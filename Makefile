@@ -1,0 +1,43 @@
+# godosn build & verification targets.
+
+GO ?= go
+
+.PHONY: all build vet test race bench bench-quick experiments experiments-quick examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Raw testing.B numbers for every experiment family.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+bench-quick:
+	$(GO) test -bench=. -benchtime=10x -run='^$$' .
+
+# Regenerate the E1–E16 experiment tables (EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/dosnbench
+
+experiments-quick:
+	$(GO) run ./cmd/dosnbench -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/privacyschemes
+	$(GO) run ./examples/forkattack
+	$(GO) run ./examples/securesearch
+	$(GO) run ./examples/advertising
+
+clean:
+	$(GO) clean ./...

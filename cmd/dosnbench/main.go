@@ -1,0 +1,65 @@
+// Command dosnbench runs the experiment harness: every experiment of
+// DESIGN.md's per-experiment index (E1–E10), printed as aligned tables.
+//
+// Usage:
+//
+//	dosnbench              # run everything (full parameters)
+//	dosnbench -exp e1,e6   # run selected experiments
+//	dosnbench -quick       # reduced parameters (seconds, for smoke runs)
+//	dosnbench -list        # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"godosn/internal/bench"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		expFlag   = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		quickFlag = flag.Bool("quick", false, "reduced parameters for a fast smoke run")
+		listFlag  = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, e := range bench.All() {
+			fmt.Printf("  %-4s %s\n", e.ID, e.Description)
+		}
+		return 0
+	}
+
+	var selected []bench.Experiment
+	if *expFlag == "" {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.TrimSpace(strings.ToLower(id))
+			e, ok := bench.Find(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dosnbench: unknown experiment %q (try -list)\n", id)
+				return 2
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	fmt.Printf("godosn experiment harness (%d experiments, quick=%v)\n", len(selected), *quickFlag)
+	for _, e := range selected {
+		table, err := e.Run(*quickFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dosnbench: %s failed: %v\n", e.ID, err)
+			return 1
+		}
+		table.Render(os.Stdout)
+	}
+	return 0
+}

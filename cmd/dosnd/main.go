@@ -1,0 +1,142 @@
+// Command dosnd boots a simulated DOSN deployment end-to-end and prints a
+// session transcript: users join, befriend, form groups under different
+// privacy schemes, publish, read feeds, sync fork-consistent walls, and run
+// a trust-ranked friend search.
+//
+// Usage:
+//
+//	dosnd -users 20 -overlay dht -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"godosn/internal/core"
+	"godosn/internal/social/privacy"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		usersFlag   = flag.Int("users", 12, "number of users")
+		overlayFlag = flag.String("overlay", "dht", "overlay: dht|gossip|superpeer|hybrid|federation")
+		seedFlag    = flag.Int64("seed", 7, "deterministic seed")
+	)
+	flag.Parse()
+
+	kind, ok := map[string]core.OverlayKind{
+		"dht":        core.OverlayDHT,
+		"gossip":     core.OverlayGossip,
+		"superpeer":  core.OverlaySuperPeer,
+		"hybrid":     core.OverlayHybrid,
+		"federation": core.OverlayFederation,
+	}[*overlayFlag]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dosnd: unknown overlay %q\n", *overlayFlag)
+		return 2
+	}
+	if *usersFlag < 4 {
+		fmt.Fprintln(os.Stderr, "dosnd: need at least 4 users")
+		return 2
+	}
+
+	users := make([]string, *usersFlag)
+	for i := range users {
+		users[i] = fmt.Sprintf("user-%02d", i)
+	}
+	var friendships []core.Friendship
+	for i := range users {
+		friendships = append(friendships, core.Friendship{
+			A: users[i], B: users[(i+1)%len(users)], Trust: 0.85,
+		})
+		if i%3 == 0 {
+			friendships = append(friendships, core.Friendship{
+				A: users[i], B: users[(i+5)%len(users)], Trust: 0.6,
+			})
+		}
+	}
+	net, err := core.NewNetwork(core.Config{
+		Seed:        *seedFlag,
+		Overlay:     kind,
+		Users:       users,
+		Friendships: friendships,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dosnd: building network: %v\n", err)
+		return 1
+	}
+	fmt.Printf("booted %d-user DOSN on %s overlay\n", len(users), net.OverlayKind())
+
+	alice, bob, carol := net.MustNode(users[0]), net.MustNode(users[1]), net.MustNode(users[2])
+
+	// Group formation under two schemes.
+	friends, err := alice.CreateGroup("friends", privacy.SchemeHybrid, "")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dosnd: %v\n", err)
+		return 1
+	}
+	friends.Add(bob.Name())
+	friends.Add(carol.Name())
+	alice.ShareGroup("friends", bob)
+	alice.ShareGroup("friends", carol)
+	fmt.Printf("%s created group %q (%s) with members %v\n",
+		alice.Name(), friends.Name(), friends.Scheme(), friends.Members())
+
+	// Publish and read through the overlay.
+	if _, st, err := alice.Publish("friends", []byte("hello, distributed world")); err != nil {
+		fmt.Fprintf(os.Stderr, "dosnd: publish: %v\n", err)
+		return 1
+	} else {
+		fmt.Printf("%s published post 0 (store: %d msgs, %d hops)\n", alice.Name(), st.Messages, st.Hops)
+	}
+	body, st, err := bob.ReadPost(alice.Name(), 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dosnd: read: %v\n", err)
+		return 1
+	}
+	fmt.Printf("%s read it via overlay (%d msgs, %d hops): %q\n", bob.Name(), st.Messages, st.Hops, body)
+
+	// Fork-consistent wall views.
+	if err := bob.SyncWall(alice.Name()); err != nil {
+		fmt.Fprintf(os.Stderr, "dosnd: wall sync: %v\n", err)
+		return 1
+	}
+	if err := carol.SyncWall(alice.Name()); err != nil {
+		fmt.Fprintf(os.Stderr, "dosnd: wall sync: %v\n", err)
+		return 1
+	}
+	if err := bob.CrossCheckWall(alice.Name(), carol); err != nil {
+		fmt.Printf("wall cross-check: MISBEHAVIOUR: %v\n", err)
+	} else {
+		fmt.Printf("%s and %s cross-checked %s's wall: consistent at version %d\n",
+			bob.Name(), carol.Name(), alice.Name(), bob.WallReader(alice.Name()).Commitment().Version)
+	}
+
+	// Revocation.
+	report, err := friends.Remove(carol.Name())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dosnd: revoke: %v\n", err)
+		return 1
+	}
+	fmt.Printf("%s revoked %s: re-encrypted %d envelopes, re-keyed %d members\n",
+		alice.Name(), carol.Name(), report.ReencryptedEnvelopes, report.RekeyedMembers)
+	if _, _, err := carol.ReadPost(alice.Name(), 0); err != nil {
+		fmt.Printf("%s can no longer read the archive: OK\n", carol.Name())
+	}
+
+	// Trust-ranked friend search.
+	found := alice.FindUsers()
+	limit := 5
+	if len(found) < limit {
+		limit = len(found)
+	}
+	fmt.Printf("%s searched for new friends (trust-ranked): %v\n", alice.Name(), found[:limit])
+
+	fmt.Println("session complete")
+	return 0
+}

@@ -1,0 +1,119 @@
+// Secure social search: Alice wants to find her old friend Carol and read
+// her profile without the relationship being disclosed "to service provider,
+// or in the case of DOSN, to the intermediate nodes participating in the
+// search" (paper Section I). This example composes all four Table-I search
+// mechanisms:
+//
+//  1. searcher privacy   — the query travels through trusted friends
+//
+//  2. owner privacy      — the index exposes resource handles, not data
+//
+//  3. access proof       — Alice dereferences pseudonymously with a ZKP
+//
+//  4. trusted results    — candidates are trust-chain ranked
+//
+//     go run ./examples/securesearch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"godosn/internal/search/friendnet"
+	"godosn/internal/search/handles"
+	"godosn/internal/search/trustrank"
+	"godosn/internal/search/zkpauth"
+	"godosn/internal/social/graph"
+)
+
+func main() {
+	// Social graph: alice -- bob -- {carol, carla, carol2}, with varying
+	// trust; three candidates match the name search "carol".
+	g := graph.New()
+	for _, u := range []string{"alice", "bob", "dana", "carol", "carla", "carol2"} {
+		g.AddUser(u)
+	}
+	g.Befriend("alice", "bob", 0.95)
+	g.Befriend("alice", "dana", 0.5)
+	g.Befriend("bob", "carol", 0.9)
+	g.Befriend("dana", "carla", 0.9)
+	g.Befriend("dana", "carol2", 0.2)
+
+	// Step 1 — handle index (owner privacy, V-C): owners decide what is
+	// searchable. Carol publishes a handle, not her data.
+	ix := handles.NewIndex()
+	ix.Publish("carol:profile", "carol — privacy researcher, likes hiking",
+		func(requester string) bool { return requester != "" }) // gate below via ZKP
+	ix.Publish("carla:profile", "carla — photographer", nil)
+	ix.Publish("carol2:profile", "carol2 — crypto spam", nil)
+
+	fmt.Println("alice searches the handle index for \"car\":")
+	hits := ix.Search("car")
+	for _, h := range hits {
+		fmt.Printf("  found handle: %s\n", h)
+	}
+
+	// Step 2 — trusted search result (V-D): rank the candidates by chained
+	// trust from alice.
+	ranker := trustrank.New(g, trustrank.DefaultConfig())
+	ranker.SetPopularity("carol", 120)
+	ranker.SetPopularity("carla", 80)
+	ranker.SetPopularity("carol2", 3000) // spammy but popular
+	ranked := ranker.Rank("alice", []string{"carol", "carla", "carol2"})
+	fmt.Println("\ntrust-chain ranking of candidates:")
+	for i, c := range ranked {
+		fmt.Printf("  %d. %-7s score=%.3f  chain=%v (trust %.2f)\n",
+			i+1, c.User, c.Score, c.Chain, c.ChainTrust)
+	}
+	best := ranked[0].User
+
+	// Step 3 — searcher privacy (V-B): route the profile request to the
+	// best candidate through trusted friends; record who learned what.
+	fn := friendnet.New(g)
+	fn.Publish(best, "profile-location", "node-42/carol-profile")
+	res, err := fn.Query("alice", best, "profile-location", 0)
+	if err != nil {
+		log.Fatalf("friend routing: %v", err)
+	}
+	fmt.Printf("\nfriend-routed request to %s (%d hops):\n", best, res.Hops)
+	for _, obs := range res.Observations {
+		fmt.Printf("  %-6s saw the request coming from %q\n", obs.Node, obs.SawRequestFrom)
+	}
+	fmt.Printf("  nodes able to identify alice as the searcher: %v\n",
+		friendnet.SearcherVisibleTo(res, "alice"))
+
+	// Step 4 — pseudonymous dereference with a ZKP (V-B + V-C): alice holds
+	// a credential carol authorized for her friends; she proves possession
+	// without revealing which friend she is.
+	owner := zkpauth.NewOwner()
+	owner.Publish("carol:profile", "carol — privacy researcher, likes hiking")
+	aliceCred, err := zkpauth.NewCredential()
+	if err != nil {
+		log.Fatalf("credential: %v", err)
+	}
+	owner.Authorize(aliceCred.Statement())
+
+	req, err := aliceCred.NewRequest("carol:profile")
+	if err != nil {
+		log.Fatalf("request: %v", err)
+	}
+	profile, err := owner.Serve(req)
+	if err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	fmt.Printf("\npseudonymous dereference as %q succeeded:\n  %s\n", req.Pseudonym, profile)
+
+	// An eavesdropper who learned the whitelisted statement cannot forge.
+	eve, _ := zkpauth.NewCredential()
+	forged, _ := eve.NewRequest("carol:profile")
+	forged.Statement = aliceCred.Statement()
+	if _, err := owner.Serve(forged); err != nil {
+		fmt.Printf("eve replaying alice's public credential image: rejected (%v)\n", err)
+	}
+
+	fmt.Println("\ncarol's view of the accesses (pseudonyms + credential images only):")
+	for _, obs := range owner.Observations() {
+		fmt.Printf("  %s used credential %s... granted=%v\n",
+			obs.Pseudonym, obs.StatementHex[:12], obs.Granted)
+	}
+}

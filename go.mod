@@ -1,0 +1,3 @@
+module godosn
+
+go 1.22

@@ -1,0 +1,337 @@
+// Package centralized models the centralized OSN of the paper's Section
+// II-A — the architecture whose "security issues raised by the central
+// service provider" motivate DOSNs — together with the two mitigation
+// approaches the paper surveys for it.
+//
+// The Provider exhibits the three threats the paper lists:
+//
+//   - Data retention: "Provider takes backups of users' data and when users
+//     delete their data, service provider may pretend to delete, but
+//     nothing may change from the provider's view." Delete removes the item
+//     from the user-visible store but the backup keeps it.
+//   - OSN employee browsing private information: EmployeeBrowse returns
+//     everything the provider can read for a user.
+//   - Selling of data: SellUserData extracts the plaintext-readable
+//     interest profile an advertiser would buy.
+//
+// Two mitigations run ON TOP of the same provider:
+//
+//   - flyByNight-style proxy cryptography (pre package): users upload only
+//     PRE ciphertext; the provider re-encrypts per friend using delegated
+//     re-keys but can never read content.
+//   - VPSN-style substitution: profile fields visible to the provider are
+//     plausible fakes; real values travel out of band to friends.
+//
+// The Knowledge report quantifies the provider's view under each mode —
+// experiment E11 compares them against the DOSN.
+package centralized
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"godosn/internal/crypto/pre"
+)
+
+// Errors returned by this package.
+var (
+	ErrUnknownUser = errors.New("centralized: unknown user")
+	ErrNoSuchItem  = errors.New("centralized: no such item")
+	ErrNoDelegate  = errors.New("centralized: no re-encryption key for recipient")
+	ErrNotPlain    = errors.New("centralized: item is not plaintext")
+)
+
+// Item is one stored piece of user content.
+type Item struct {
+	// ID identifies the item within the owner's store.
+	ID string
+	// Plaintext holds readable content ("" when encrypted).
+	Plaintext string
+	// Ciphertext holds PRE ciphertext for flyByNight items (nil otherwise).
+	Ciphertext *pre.Ciphertext
+	// Fake holds the substituted value shown for VPSN items.
+	Fake string
+}
+
+// readable reports whether the provider can read the item's real content.
+func (it *Item) readable() bool { return it.Plaintext != "" && it.Ciphertext == nil }
+
+// Provider is the central OSN operator: it stores everything, backs
+// everything up, and can inspect whatever is plaintext.
+type Provider struct {
+	mu sync.Mutex
+	// store is the user-visible data.
+	store map[string]map[string]*Item
+	// backup is the retention copy that survives deletes.
+	backup map[string]map[string]*Item
+	// edges is the social graph the provider observes.
+	edges map[string]map[string]bool
+	// rekeys holds delegated PRE re-encryption keys: owner -> friend -> rk.
+	rekeys map[string]map[string]*pre.ReKey
+	// retention controls whether Delete really deletes from backup.
+	honestDeletes bool
+}
+
+// NewProvider creates a provider. honestDeletes=false reproduces the data
+// retention threat.
+func NewProvider(honestDeletes bool) *Provider {
+	return &Provider{
+		store:         make(map[string]map[string]*Item),
+		backup:        make(map[string]map[string]*Item),
+		edges:         make(map[string]map[string]bool),
+		rekeys:        make(map[string]map[string]*pre.ReKey),
+		honestDeletes: honestDeletes,
+	}
+}
+
+// Register creates a user account.
+func (p *Provider) Register(user string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.store[user] == nil {
+		p.store[user] = make(map[string]*Item)
+		p.backup[user] = make(map[string]*Item)
+		p.edges[user] = make(map[string]bool)
+	}
+}
+
+// Connect records a friendship — visible to the provider, as the paper
+// stresses ("It also knows the social graph").
+func (p *Provider) Connect(a, b string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.edges[a] == nil || p.edges[b] == nil {
+		return ErrUnknownUser
+	}
+	p.edges[a][b] = true
+	p.edges[b][a] = true
+	return nil
+}
+
+// put stores an item (and its backup copy).
+func (p *Provider) put(user string, it *Item) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.store[user] == nil {
+		return fmt.Errorf("%w: %s", ErrUnknownUser, user)
+	}
+	cp := *it
+	p.store[user][it.ID] = it
+	p.backup[user][it.ID] = &cp
+	return nil
+}
+
+// UploadPlain stores plaintext content — the default centralized OSN flow.
+func (p *Provider) UploadPlain(user, id, content string) error {
+	return p.put(user, &Item{ID: id, Plaintext: content})
+}
+
+// UploadEncrypted stores flyByNight-style PRE ciphertext.
+func (p *Provider) UploadEncrypted(user, id string, ct *pre.Ciphertext) error {
+	return p.put(user, &Item{ID: id, Ciphertext: ct})
+}
+
+// UploadSubstituted stores a VPSN-style item: the provider sees the fake.
+func (p *Provider) UploadSubstituted(user, id, fake string) error {
+	return p.put(user, &Item{ID: id, Fake: fake, Plaintext: fake})
+}
+
+// Delegate registers a re-encryption key allowing the provider to transform
+// owner's ciphertexts for friend.
+func (p *Provider) Delegate(owner, friend string, rk *pre.ReKey) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rekeys[owner] == nil {
+		p.rekeys[owner] = make(map[string]*pre.ReKey)
+	}
+	p.rekeys[owner][friend] = rk
+}
+
+// FetchFor serves an item to a friend. Plaintext items are returned as-is;
+// encrypted items are proxy-re-encrypted for the recipient (the provider
+// never decrypts).
+func (p *Provider) FetchFor(owner, id, recipient string) (*Item, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	items, ok := p.store[owner]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownUser, owner)
+	}
+	it, ok := items[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNoSuchItem, owner, id)
+	}
+	if it.Ciphertext == nil || recipient == owner {
+		// Plaintext, or the owner fetching their own original ciphertext
+		// (decryptable with their own key, no re-encryption needed).
+		cp := *it
+		return &cp, nil
+	}
+	rk := p.rekeys[owner][recipient]
+	if rk == nil {
+		return nil, fmt.Errorf("%w: %s -> %s", ErrNoDelegate, owner, recipient)
+	}
+	transformed, err := pre.ReEncrypt(rk, it.Ciphertext)
+	if err != nil {
+		return nil, fmt.Errorf("centralized: re-encrypting for %s: %w", recipient, err)
+	}
+	return &Item{ID: it.ID, Ciphertext: transformed}, nil
+}
+
+// Delete removes an item from the user-visible store. With dishonest
+// retention the backup copy survives — the paper's data-retention threat.
+func (p *Provider) Delete(user, id string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.store[user], id)
+	if p.honestDeletes {
+		delete(p.backup[user], id)
+	}
+}
+
+// EmployeeBrowse is the insider threat: everything the provider can read
+// about a user, including retained "deleted" items.
+func (p *Provider) EmployeeBrowse(user string) []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	seen := map[string]bool{}
+	var out []string
+	for _, src := range []map[string]*Item{p.store[user], p.backup[user]} {
+		for _, it := range src {
+			if it.readable() && !seen[it.ID] {
+				seen[it.ID] = true
+				out = append(out, it.Plaintext)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SellUserData models the advertising threat: the interest keywords an
+// advertiser would receive, extracted from the provider-readable content.
+func (p *Provider) SellUserData(user string) []string {
+	browse := p.EmployeeBrowse(user)
+	seen := map[string]bool{}
+	var interests []string
+	for _, content := range browse {
+		for _, w := range strings.Fields(strings.ToLower(content)) {
+			if len(w) >= 6 && !seen[w] {
+				seen[w] = true
+				interests = append(interests, w)
+			}
+		}
+	}
+	sort.Strings(interests)
+	return interests
+}
+
+// Knowledge quantifies the provider's view of a user.
+type Knowledge struct {
+	// PlaintextItems the provider can read (including retained deletes).
+	PlaintextItems int
+	// OpaqueItems stored but unreadable (ciphertext).
+	OpaqueItems int
+	// FakeItems where the provider sees a decoy (counted in
+	// PlaintextItems too — the provider cannot tell it is fake).
+	FakeItems int
+	// SocialEdges observed.
+	SocialEdges int
+	// RetainedDeleted counts "deleted" items still in backup.
+	RetainedDeleted int
+}
+
+// KnowledgeOf reports what the provider knows about a user.
+func (p *Provider) KnowledgeOf(user string) Knowledge {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var k Knowledge
+	counted := map[string]bool{}
+	for _, it := range p.store[user] {
+		counted[it.ID] = true
+		p.countItem(it, &k)
+	}
+	for id, it := range p.backup[user] {
+		if !counted[id] {
+			p.countItem(it, &k)
+			k.RetainedDeleted++
+		}
+	}
+	k.SocialEdges = len(p.edges[user])
+	return k
+}
+
+func (p *Provider) countItem(it *Item, k *Knowledge) {
+	switch {
+	case it.Ciphertext != nil:
+		k.OpaqueItems++
+	case it.Fake != "":
+		k.PlaintextItems++
+		k.FakeItems++
+	default:
+		k.PlaintextItems++
+	}
+}
+
+// Client is a flyByNight-style user agent: it holds the PRE key pair and
+// never uploads plaintext.
+type Client struct {
+	// Name is the account name.
+	Name string
+
+	keys     *pre.KeyPair
+	provider *Provider
+}
+
+// NewClient registers a user with the provider and provisions keys.
+func NewClient(provider *Provider, name string) (*Client, error) {
+	keys, err := pre.NewKeyPair()
+	if err != nil {
+		return nil, fmt.Errorf("centralized: provisioning %q: %w", name, err)
+	}
+	provider.Register(name)
+	return &Client{Name: name, keys: keys, provider: provider}, nil
+}
+
+// Befriend connects two clients and delegates a re-encryption key so the
+// provider can serve the friend without reading content. Both directions
+// must be delegated separately.
+func (c *Client) Befriend(friend *Client) error {
+	if err := c.provider.Connect(c.Name, friend.Name); err != nil {
+		return err
+	}
+	rk, err := pre.NewReKey(c.keys, friend.keys, c.Name, friend.Name)
+	if err != nil {
+		return err
+	}
+	c.provider.Delegate(c.Name, friend.Name, rk)
+	return nil
+}
+
+// Post uploads content encrypted under the client's own key.
+func (c *Client) Post(id, content string) error {
+	ct, err := pre.Encrypt(c.keys.Public(), []byte(content))
+	if err != nil {
+		return fmt.Errorf("centralized: encrypting post: %w", err)
+	}
+	return c.provider.UploadEncrypted(c.Name, id, ct)
+}
+
+// Read fetches and decrypts a friend's item via provider re-encryption.
+func (c *Client) Read(owner, id string) (string, error) {
+	it, err := c.provider.FetchFor(owner, id, c.Name)
+	if err != nil {
+		return "", err
+	}
+	if it.Ciphertext == nil {
+		return it.Plaintext, nil
+	}
+	pt, err := c.keys.Decrypt(it.Ciphertext)
+	if err != nil {
+		return "", fmt.Errorf("centralized: decrypting %s/%s: %w", owner, id, err)
+	}
+	return string(pt), nil
+}

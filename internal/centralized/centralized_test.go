@@ -1,0 +1,154 @@
+package centralized
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestPlainCentralizedThreats(t *testing.T) {
+	p := NewProvider(false) // dishonest retention
+	p.Register("alice")
+	p.Register("bob")
+	p.Connect("alice", "bob")
+	p.UploadPlain("alice", "post1", "visiting the oncology clinic tuesday")
+	p.UploadPlain("alice", "post2", "birthday dinner downtown friday")
+
+	// Employee browsing reads everything.
+	browse := p.EmployeeBrowse("alice")
+	if len(browse) != 2 {
+		t.Fatalf("employee read %d items", len(browse))
+	}
+
+	// Data retention: deletion doesn't remove the backup.
+	p.Delete("alice", "post1")
+	browse = p.EmployeeBrowse("alice")
+	if len(browse) != 2 {
+		t.Fatalf("deleted item vanished from provider view: %d items", len(browse))
+	}
+	k := p.KnowledgeOf("alice")
+	if k.RetainedDeleted != 1 {
+		t.Fatalf("RetainedDeleted = %d", k.RetainedDeleted)
+	}
+	if k.PlaintextItems != 2 || k.SocialEdges != 1 {
+		t.Fatalf("Knowledge = %+v", k)
+	}
+
+	// Selling data: interests extracted from plaintext.
+	interests := p.SellUserData("alice")
+	found := false
+	for _, w := range interests {
+		if strings.Contains(w, "oncology") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("sensitive interest not extracted: %v", interests)
+	}
+}
+
+func TestHonestDeletion(t *testing.T) {
+	p := NewProvider(true)
+	p.Register("alice")
+	p.UploadPlain("alice", "post1", "hello")
+	p.Delete("alice", "post1")
+	if got := p.EmployeeBrowse("alice"); len(got) != 0 {
+		t.Fatalf("honest delete retained %v", got)
+	}
+}
+
+func TestFlyByNightHidesContentFromProvider(t *testing.T) {
+	p := NewProvider(false)
+	alice, err := NewClient(p, "alice")
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	bob, err := NewClient(p, "bob")
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	if err := alice.Befriend(bob); err != nil {
+		t.Fatalf("Befriend: %v", err)
+	}
+	if err := alice.Post("p1", "medical appointment tuesday"); err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	// Provider reads nothing.
+	if got := p.EmployeeBrowse("alice"); len(got) != 0 {
+		t.Fatalf("provider read encrypted content: %v", got)
+	}
+	k := p.KnowledgeOf("alice")
+	if k.OpaqueItems != 1 || k.PlaintextItems != 0 {
+		t.Fatalf("Knowledge = %+v", k)
+	}
+	// But the friend reads via proxy re-encryption.
+	got, err := bob.Read("alice", "p1")
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got != "medical appointment tuesday" {
+		t.Fatalf("bob got %q", got)
+	}
+	// Alice reads her own items directly (no re-encryption needed).
+	own, err := alice.Read("alice", "p1")
+	if err != nil || own != "medical appointment tuesday" {
+		t.Fatalf("self read: %q, %v", own, err)
+	}
+}
+
+func TestFlyByNightNonFriendDenied(t *testing.T) {
+	p := NewProvider(false)
+	alice, _ := NewClient(p, "alice")
+	eve, _ := NewClient(p, "eve")
+	alice.Post("p1", "secret")
+	if _, err := eve.Read("alice", "p1"); !errors.Is(err, ErrNoDelegate) {
+		t.Fatalf("non-friend read: %v", err)
+	}
+}
+
+func TestFlyByNightRetentionHarmless(t *testing.T) {
+	// Even with dishonest deletion, retained flyByNight items stay opaque.
+	p := NewProvider(false)
+	alice, _ := NewClient(p, "alice")
+	alice.Post("p1", "ephemeral thought")
+	p.Delete("alice", "p1")
+	if got := p.EmployeeBrowse("alice"); len(got) != 0 {
+		t.Fatalf("provider read retained ciphertext: %v", got)
+	}
+	k := p.KnowledgeOf("alice")
+	if k.RetainedDeleted != 1 || k.PlaintextItems != 0 {
+		t.Fatalf("Knowledge = %+v", k)
+	}
+}
+
+func TestVPSNSubstitution(t *testing.T) {
+	p := NewProvider(false)
+	p.Register("alice")
+	p.UploadSubstituted("alice", "city", "Springfield")
+	// The provider sees A value and cannot tell it's fake.
+	browse := p.EmployeeBrowse("alice")
+	if len(browse) != 1 || browse[0] != "Springfield" {
+		t.Fatalf("provider view %v", browse)
+	}
+	k := p.KnowledgeOf("alice")
+	if k.FakeItems != 1 {
+		t.Fatalf("Knowledge = %+v", k)
+	}
+}
+
+func TestFetchErrors(t *testing.T) {
+	p := NewProvider(false)
+	p.Register("alice")
+	if _, err := p.FetchFor("ghost", "x", "bob"); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("unknown user: %v", err)
+	}
+	if _, err := p.FetchFor("alice", "x", "bob"); !errors.Is(err, ErrNoSuchItem) {
+		t.Fatalf("missing item: %v", err)
+	}
+	if err := p.Connect("alice", "ghost"); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("connect unknown: %v", err)
+	}
+	if err := p.UploadPlain("ghost", "x", "y"); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("upload unknown: %v", err)
+	}
+}

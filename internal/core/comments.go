@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+
+	"godosn/internal/social/integrity"
+	"godosn/internal/social/privacy"
+)
+
+// PublishWithComments publishes a post that authorized members may comment
+// on, using the Cachet data-relations mechanism (paper Section IV-C): the
+// post embeds a fresh comment-signing key encrypted to the commenter group,
+// plus the public verification key binding comments to this exact post.
+//
+// The commenter group may use any privacy scheme; the paper describes
+// Cachet using "a hybrid scheme with combination of public key encryption
+// and CP-ABE ... to grant friends the ability of adding a comment to a
+// post", which corresponds to passing an ABEGroup here.
+func (nd *Node) PublishWithComments(group string, body []byte, commenters privacy.Group) (*integrity.CommentKeyPost, error) {
+	if _, _, err := nd.Publish(group, body); err != nil {
+		return nil, err
+	}
+	post, err := integrity.NewCommentKeyPost(nd.User, body, commenters)
+	if err != nil {
+		return nil, fmt.Errorf("core: creating commentable post: %w", err)
+	}
+	return post, nil
+}
+
+// Comment writes a comment on another user's post, proving privilege by
+// unlocking the post's sealed comment key through the commenter group.
+func (nd *Node) Comment(post *integrity.CommentKeyPost, commenters privacy.Group, body []byte) (*integrity.Comment, error) {
+	c, err := integrity.WriteComment(nd.User, post, commenters, body)
+	if err != nil {
+		return nil, fmt.Errorf("core: commenting as %q: %w", nd.Name(), err)
+	}
+	return c, nil
+}
+
+// VerifyComment checks a comment's post-relation and author integrity using
+// the network's key registry.
+func (nd *Node) VerifyComment(post *integrity.CommentKeyPost, c *integrity.Comment) error {
+	if err := integrity.VerifyPost(nd.net.Registry, post); err != nil {
+		return err
+	}
+	return integrity.VerifyComment(nd.net.Registry, post, c)
+}

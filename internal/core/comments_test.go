@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"godosn/internal/social/privacy"
+)
+
+func TestCommentFlowWithABECommenters(t *testing.T) {
+	// The Cachet composition: post readable by a hybrid group, comments
+	// gated by a CP-ABE group ("combination of public key encryption and
+	// CP-ABE ... to grant friends the ability of adding a comment").
+	n := smallNetwork(t, OverlayDHT)
+	alice := n.MustNode("alice")
+	bob := n.MustNode("bob")
+	carol := n.MustNode("carol")
+	eve := n.MustNode("eve")
+
+	readers, err := alice.CreateGroup("readers", privacy.SchemeHybrid, "")
+	if err != nil {
+		t.Fatalf("CreateGroup: %v", err)
+	}
+	for _, m := range []string{"bob", "carol", "eve"} {
+		readers.Add(m)
+	}
+	commenters, err := alice.CreateGroup("commenters", privacy.SchemeABE, "(close-friend)")
+	if err != nil {
+		t.Fatalf("CreateGroup ABE: %v", err)
+	}
+	// bob is a close friend; carol and eve are not commenters.
+	abeGroup := commenters.(*privacy.ABEGroup)
+	if err := abeGroup.AddWithAttributes("bob", "close-friend"); err != nil {
+		t.Fatalf("AddWithAttributes: %v", err)
+	}
+
+	post, err := alice.PublishWithComments("readers", []byte("thoughts on decentralization"), commenters)
+	if err != nil {
+		t.Fatalf("PublishWithComments: %v", err)
+	}
+
+	// bob comments successfully.
+	comment, err := bob.Comment(post, commenters, []byte("agreed!"))
+	if err != nil {
+		t.Fatalf("Comment: %v", err)
+	}
+	// Anyone can verify the comment belongs to the post and to bob.
+	if err := carol.VerifyComment(post, comment); err != nil {
+		t.Fatalf("VerifyComment: %v", err)
+	}
+
+	// carol (reader, not commenter) cannot comment.
+	if _, err := carol.Comment(post, commenters, []byte("me too")); err == nil {
+		t.Fatal("non-commenter wrote a comment")
+	}
+	// eve neither.
+	if _, err := eve.Comment(post, commenters, []byte("spam")); err == nil {
+		t.Fatal("outsider wrote a comment")
+	}
+
+	// A comment forged for a different post fails verification.
+	otherPost, err := alice.PublishWithComments("readers", []byte("second post"), commenters)
+	if err != nil {
+		t.Fatalf("PublishWithComments: %v", err)
+	}
+	if err := carol.VerifyComment(otherPost, comment); err == nil {
+		t.Fatal("comment verified against wrong post")
+	}
+}
+
+func TestCommentFlowSymmetricCommenters(t *testing.T) {
+	n := smallNetwork(t, OverlayDHT)
+	alice := n.MustNode("alice")
+	bob := n.MustNode("bob")
+	readers, _ := alice.CreateGroup("r", privacy.SchemeSymmetric, "")
+	readers.Add("bob")
+	commenters, _ := alice.CreateGroup("c", privacy.SchemeSymmetric, "")
+	commenters.Add("bob")
+	post, err := alice.PublishWithComments("r", []byte("post"), commenters)
+	if err != nil {
+		t.Fatalf("PublishWithComments: %v", err)
+	}
+	c, err := bob.Comment(post, commenters, []byte("hi"))
+	if err != nil {
+		t.Fatalf("Comment: %v", err)
+	}
+	if err := alice.VerifyComment(post, c); err != nil {
+		t.Fatalf("VerifyComment: %v", err)
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"godosn/internal/overlay"
+	"godosn/internal/social/integrity"
+)
+
+// DirectMessage is an end-to-end protected private message: encrypted to
+// the recipient through the key registry and carrying the full Section-IV
+// integrity envelope (signed owner, content, recipient binding, validity
+// window).
+type DirectMessage struct {
+	// From and To identify the endpoints.
+	From, To string
+	// Seq is the sender-side sequence number for this recipient.
+	Seq uint64
+	// Body is the decrypted content (only set after a successful open).
+	Body []byte
+	// SentAt is the message's issue time.
+	SentAt time.Time
+}
+
+// wireDM is the overlay representation: recipient-encrypted payload.
+type wireDM struct {
+	From       string `json:"from"`
+	To         string `json:"to"`
+	Seq        uint64 `json:"seq"`
+	Ciphertext []byte `json:"ciphertext"`
+}
+
+// dmPlain is what gets encrypted: the signed message in serialized form.
+type dmPlain struct {
+	Content   []byte    `json:"content"`
+	IssuedAt  time.Time `json:"issued_at"`
+	ExpiresAt time.Time `json:"expires_at"`
+	Signature []byte    `json:"signature"`
+}
+
+func dmKey(from, to string, seq uint64) string {
+	return fmt.Sprintf("dm/%s/%s/%d", to, from, seq)
+}
+
+// SendMessage sends an end-to-end encrypted, signed direct message through
+// the overlay. validity bounds the message's acceptance window (historical
+// integrity); use 0 for the default of 30 days.
+func (nd *Node) SendMessage(to string, body []byte, validity time.Duration) (overlay.OpStats, error) {
+	if _, err := nd.net.Node(to); err != nil {
+		return overlay.OpStats{}, err
+	}
+	if validity <= 0 {
+		validity = 30 * 24 * time.Hour
+	}
+	seq := nd.dmSeq[to]
+	nd.dmSeq[to]++
+	issued := time.Unix(int64(seq), 0).UTC() // deterministic simulated clock
+	signed := integrity.NewSignedMessage(nd.User, to, body, issued, validity)
+	plain, err := json.Marshal(dmPlain{
+		Content:   signed.Content,
+		IssuedAt:  signed.IssuedAt,
+		ExpiresAt: signed.ExpiresAt,
+		Signature: signed.Signature,
+	})
+	if err != nil {
+		return overlay.OpStats{}, fmt.Errorf("core: encoding message: %w", err)
+	}
+	ct, err := nd.net.Registry.EncryptTo(to, plain)
+	if err != nil {
+		return overlay.OpStats{}, fmt.Errorf("core: encrypting message: %w", err)
+	}
+	blob, err := json.Marshal(wireDM{From: nd.Name(), To: to, Seq: seq, Ciphertext: ct})
+	if err != nil {
+		return overlay.OpStats{}, fmt.Errorf("core: encoding wire message: %w", err)
+	}
+	st, err := nd.net.KV.Store(nd.Name(), dmKey(nd.Name(), to, seq), blob)
+	if err != nil {
+		return st, fmt.Errorf("core: storing message: %w", err)
+	}
+	return st, nil
+}
+
+// ReceiveMessage fetches, decrypts and integrity-checks one direct message
+// at the given simulated read time (zero time = accept any unexpired).
+func (nd *Node) ReceiveMessage(from string, seq uint64, now time.Time) (*DirectMessage, overlay.OpStats, error) {
+	blob, st, err := nd.net.KV.Lookup(nd.Name(), dmKey(from, nd.Name(), seq))
+	if err != nil {
+		return nil, st, fmt.Errorf("core: fetching message: %w", err)
+	}
+	var wire wireDM
+	if err := json.Unmarshal(blob, &wire); err != nil {
+		return nil, st, fmt.Errorf("core: decoding wire message: %w", err)
+	}
+	plain, err := nd.User.Decrypt(wire.Ciphertext)
+	if err != nil {
+		return nil, st, fmt.Errorf("core: decrypting message: %w", err)
+	}
+	var dm dmPlain
+	if err := json.Unmarshal(plain, &dm); err != nil {
+		return nil, st, fmt.Errorf("core: decoding message: %w", err)
+	}
+	signed := &integrity.SignedMessage{
+		From:      wire.From,
+		To:        wire.To,
+		Content:   dm.Content,
+		IssuedAt:  dm.IssuedAt,
+		ExpiresAt: dm.ExpiresAt,
+		Signature: dm.Signature,
+	}
+	if now.IsZero() {
+		now = dm.IssuedAt
+	}
+	if err := integrity.VerifyMessage(nd.net.Registry, signed, nd.Name(), now); err != nil {
+		return nil, st, err
+	}
+	return &DirectMessage{
+		From:   wire.From,
+		To:     wire.To,
+		Seq:    wire.Seq,
+		Body:   signed.Content,
+		SentAt: dm.IssuedAt,
+	}, st, nil
+}

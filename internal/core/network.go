@@ -1,0 +1,281 @@
+// Package core composes the godosn substrates into a running distributed
+// online social network: identities and out-of-band key distribution,
+// a social graph, a pluggable overlay for storage/lookup, per-user
+// hash-chained timelines and fork-consistent walls, the six Table-I privacy
+// schemes for group access control, and the secure-search mechanisms of
+// Section V.
+//
+// This is the framework-level reproduction of the paper: a DOSN in which
+// every classified security solution is present and composable. A Network
+// is the whole simulated deployment; a Node is one user's view of it.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"godosn/internal/crypto/abe"
+	"godosn/internal/crypto/historytree"
+	"godosn/internal/crypto/ibe"
+	"godosn/internal/crypto/pubkey"
+	"godosn/internal/overlay"
+	"godosn/internal/overlay/dht"
+	"godosn/internal/overlay/federation"
+	"godosn/internal/overlay/gossip"
+	"godosn/internal/overlay/hybrid"
+	"godosn/internal/overlay/loctree"
+	"godosn/internal/overlay/simnet"
+	"godosn/internal/overlay/superpeer"
+	"godosn/internal/search/trustrank"
+	"godosn/internal/social/graph"
+	"godosn/internal/social/identity"
+	"godosn/internal/social/privacy"
+)
+
+// Errors returned by this package.
+var (
+	ErrUnknownUser   = errors.New("core: unknown user")
+	ErrUnknownGroup  = errors.New("core: unknown group")
+	ErrDuplicateName = errors.New("core: name already in use")
+)
+
+// OverlayKind selects the Section II-B architecture for the network's
+// control/storage overlay.
+type OverlayKind int
+
+// Overlay kinds.
+const (
+	OverlayDHT OverlayKind = iota + 1
+	OverlayGossip
+	OverlaySuperPeer
+	OverlayHybrid
+	OverlayFederation
+)
+
+// String renders the overlay kind.
+func (k OverlayKind) String() string {
+	switch k {
+	case OverlayDHT:
+		return "structured-dht"
+	case OverlayGossip:
+		return "unstructured-gossip"
+	case OverlaySuperPeer:
+		return "semi-structured-superpeer"
+	case OverlayHybrid:
+		return "hybrid"
+	case OverlayFederation:
+		return "server-federation"
+	default:
+		return fmt.Sprintf("overlay(%d)", int(k))
+	}
+}
+
+// Config parameterizes a Network.
+type Config struct {
+	// Seed drives every randomized component deterministically.
+	Seed int64
+	// Overlay selects the architecture (default OverlayDHT).
+	Overlay OverlayKind
+	// Users are the initial user names.
+	Users []string
+	// Friendships seeds the social graph; trust defaults to 0.8 when zero.
+	Friendships []Friendship
+	// ReplicationFactor configures DHT-style replication (default 2).
+	ReplicationFactor int
+}
+
+// Friendship is one social edge.
+type Friendship struct {
+	A, B  string
+	Trust float64
+}
+
+// Network is a whole simulated DOSN deployment.
+type Network struct {
+	// Registry is the out-of-band key directory.
+	Registry *identity.Registry
+	// Graph is the social graph.
+	Graph *graph.Graph
+	// Sim is the underlying simulated network.
+	Sim *simnet.Network
+	// KV is the overlay used for content storage/lookup.
+	KV overlay.KV
+
+	mu    sync.RWMutex
+	kind  OverlayKind
+	nodes map[string]*Node
+
+	// Shared trusted parties for the schemes that need them.
+	authority   *abe.Authority
+	pkg         *ibe.PKG
+	dictionary  *privacy.Dictionary
+	wallStorage *historytree.Server
+	storageVK   pubkey.VerificationKey
+	ranker      *trustrank.Ranker
+
+	// presenceOnce/locations lazily build the Vis-à-Vis location tree.
+	presenceOnce sync.Once
+	locations    *loctree.Tree
+}
+
+// NewNetwork builds a deployment from the config: users, keys, social graph,
+// and the selected overlay.
+func NewNetwork(cfg Config) (*Network, error) {
+	if cfg.Overlay == 0 {
+		cfg.Overlay = OverlayDHT
+	}
+	if cfg.ReplicationFactor == 0 {
+		cfg.ReplicationFactor = 2
+	}
+	if len(cfg.Users) == 0 {
+		return nil, overlay.ErrNoNodes
+	}
+	authority, err := abe.NewAuthority()
+	if err != nil {
+		return nil, fmt.Errorf("core: creating ABE authority: %w", err)
+	}
+	pkg, err := ibe.NewPKG()
+	if err != nil {
+		return nil, fmt.Errorf("core: creating PKG: %w", err)
+	}
+	storageKey, err := pubkey.NewSigningKeyPair()
+	if err != nil {
+		return nil, fmt.Errorf("core: creating storage key: %w", err)
+	}
+	n := &Network{
+		Registry:    identity.NewRegistry(),
+		Graph:       graph.New(),
+		Sim:         simnet.New(simnet.DefaultConfig(cfg.Seed)),
+		kind:        cfg.Overlay,
+		nodes:       make(map[string]*Node),
+		authority:   authority,
+		pkg:         pkg,
+		dictionary:  privacy.NewDictionary(),
+		wallStorage: historytree.NewServer(storageKey),
+		storageVK:   storageKey.Verification(),
+	}
+	n.ranker = trustrank.New(n.Graph, trustrank.DefaultConfig())
+
+	names := make([]simnet.NodeID, len(cfg.Users))
+	for i, u := range cfg.Users {
+		names[i] = simnet.NodeID(u)
+	}
+	// Social graph first (the hybrid overlay wants friend edges).
+	for _, u := range cfg.Users {
+		n.Graph.AddUser(u)
+	}
+	for _, f := range cfg.Friendships {
+		trust := f.Trust
+		if trust == 0 {
+			trust = 0.8
+		}
+		if err := n.Graph.Befriend(f.A, f.B, trust); err != nil {
+			return nil, fmt.Errorf("core: friendship %s-%s: %w", f.A, f.B, err)
+		}
+	}
+	kv, err := n.buildOverlay(cfg, names)
+	if err != nil {
+		return nil, err
+	}
+	n.KV = kv
+	for _, u := range cfg.Users {
+		if _, err := n.addUser(u); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+func (n *Network) buildOverlay(cfg Config, names []simnet.NodeID) (overlay.KV, error) {
+	switch cfg.Overlay {
+	case OverlayDHT:
+		return dht.New(n.Sim, names, dht.Config{ReplicationFactor: cfg.ReplicationFactor})
+	case OverlayGossip:
+		return gossip.New(n.Sim, names, gossip.DefaultConfig())
+	case OverlaySuperPeer:
+		return superpeer.New(n.Sim, names, superpeer.DefaultConfig())
+	case OverlayHybrid:
+		friends := make(map[simnet.NodeID][]simnet.NodeID, len(names))
+		for _, name := range names {
+			for _, f := range n.Graph.Friends(string(name)) {
+				friends[name] = append(friends[name], simnet.NodeID(f))
+			}
+		}
+		hcfg := hybrid.DefaultConfig()
+		hcfg.DHT.ReplicationFactor = cfg.ReplicationFactor
+		return hybrid.New(n.Sim, names, friends, hcfg)
+	case OverlayFederation:
+		return federation.New(n.Sim, names, federation.DefaultConfig())
+	default:
+		return nil, fmt.Errorf("core: unknown overlay kind %d", cfg.Overlay)
+	}
+}
+
+// addUser creates the user's node, keys and wall.
+func (n *Network) addUser(name string) (*Node, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateName, name)
+	}
+	u, err := identity.NewUser(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.Registry.Register(u); err != nil {
+		return nil, err
+	}
+	node := newNode(n, u)
+	n.nodes[name] = node
+	return node, nil
+}
+
+// Node returns a user's node.
+func (n *Network) Node(name string) (*Node, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	node, ok := n.nodes[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownUser, name)
+	}
+	return node, nil
+}
+
+// MustNode returns a user's node, panicking on unknown users; for examples
+// and tests where absence is a programming error.
+func (n *Network) MustNode(name string) *Node {
+	node, err := n.Node(name)
+	if err != nil {
+		panic(err)
+	}
+	return node
+}
+
+// Users lists the network's users.
+func (n *Network) Users() []string { return n.Graph.Users() }
+
+// OverlayKind reports the architecture in use.
+func (n *Network) OverlayKind() OverlayKind { return n.kind }
+
+// StorageVerification returns the untrusted wall-storage signing key, which
+// readers use to verify commitments (not to trust the storage).
+func (n *Network) StorageVerification() pubkey.VerificationKey {
+	return n.storageVK
+}
+
+// Ranker returns the network's trust-based search ranker.
+func (n *Network) Ranker() *trustrank.Ranker { return n.ranker }
+
+// Befriend creates a friendship with the given trust.
+func (n *Network) Befriend(a, b string, trust float64) error {
+	return n.Graph.Befriend(a, b, trust)
+}
+
+// SetOnline injects churn for a user's overlay node.
+func (n *Network) SetOnline(name string, online bool) {
+	n.Sim.SetOnline(simnet.NodeID(name), online)
+	if n.kind == OverlayHybrid {
+		n.Sim.SetOnline(hybrid.CacheIdentity(simnet.NodeID(name)), online)
+	}
+}

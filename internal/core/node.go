@@ -1,0 +1,333 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"godosn/internal/overlay"
+	"godosn/internal/social/content"
+	"godosn/internal/social/identity"
+	"godosn/internal/social/integrity"
+	"godosn/internal/social/privacy"
+)
+
+// Node is one user's view of the DOSN: their keys, timeline, wall, profile,
+// groups, and access to the overlay.
+type Node struct {
+	// User holds the node's key material.
+	User *identity.User
+	// Timeline is the user's hash-chained publication history.
+	Timeline *integrity.Timeline
+	// Profile is the user's attribute set.
+	Profile *content.Profile
+	// Wall is the user's shared object on untrusted storage.
+	Wall *integrity.Wall
+
+	net    *Network
+	groups map[string]privacy.Group
+	// reader tracks this node's fork-consistent views of other walls.
+	readers map[string]*integrity.Reader
+	posts   uint64
+	// dmSeq numbers direct messages per recipient.
+	dmSeq map[string]uint64
+}
+
+func newNode(net *Network, u *identity.User) *Node {
+	return &Node{
+		User:     u,
+		Timeline: integrity.NewTimeline(u),
+		Profile:  content.NewProfile(u.Name),
+		Wall:     integrity.NewWall(u.Name, net.wallStorage),
+		net:      net,
+		groups:   make(map[string]privacy.Group),
+		readers:  make(map[string]*integrity.Reader),
+		dmSeq:    make(map[string]uint64),
+	}
+}
+
+// Name returns the node's user name.
+func (nd *Node) Name() string { return nd.User.Name }
+
+// CreateGroup creates an access-control group under the given scheme. For
+// SchemeABE, policyExpr is the access structure (e.g. "(relative AND
+// doctor)"); other schemes ignore it. The owner is added as first member.
+func (nd *Node) CreateGroup(name string, scheme privacy.Scheme, policyExpr string) (privacy.Group, error) {
+	if _, exists := nd.groups[name]; exists {
+		return nil, fmt.Errorf("%w: group %s", ErrDuplicateName, name)
+	}
+	var (
+		g   privacy.Group
+		err error
+	)
+	switch scheme {
+	case privacy.SchemeSubstitution:
+		g, err = privacy.NewSubstitutionGroup(name, nd.net.dictionary, defaultFakePool())
+	case privacy.SchemeSymmetric:
+		g, err = privacy.NewSymmetricGroup(name)
+	case privacy.SchemePublicKey:
+		g = privacy.NewPublicKeyGroup(name, nd.net.Registry)
+	case privacy.SchemeABE:
+		if policyExpr == "" {
+			policyExpr = "(member-" + name + ")"
+		}
+		g, err = privacy.NewABEGroup(name, nd.net.authority, policyExpr)
+	case privacy.SchemeIBBE:
+		g = privacy.NewIBBEGroup(name, nd.net.pkg)
+	case privacy.SchemeHybrid:
+		g, err = privacy.NewHybridGroup(name, nd.net.Registry, nd.User.SigningKeyPair())
+	default:
+		return nil, fmt.Errorf("core: unknown privacy scheme %q", scheme)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: creating group %q: %w", name, err)
+	}
+	if err := g.Add(nd.Name()); err != nil {
+		return nil, err
+	}
+	nd.groups[name] = g
+	return g, nil
+}
+
+// defaultFakePool supplies plausible fakes for substitution groups.
+func defaultFakePool() [][]byte {
+	return [][]byte{
+		[]byte("John Doe"), []byte("Springfield"), []byte("1 January 1970"),
+		[]byte("+1-555-0100"), []byte("Acme Corp"),
+	}
+}
+
+// Group returns one of the node's groups.
+func (nd *Node) Group(name string) (privacy.Group, error) {
+	g, ok := nd.groups[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownGroup, name)
+	}
+	return g, nil
+}
+
+// ShareGroup hands another node a handle on this group, modeling the
+// out-of-band delivery of group key material to a member.
+func (nd *Node) ShareGroup(name string, with *Node) error {
+	g, err := nd.Group(name)
+	if err != nil {
+		return err
+	}
+	with.groups[name] = g
+	return nil
+}
+
+// wirePost is the serialized post record stored in the overlay: routing
+// metadata plus the full marshaled envelope, so replicas hold real
+// ciphertext bytes ("the replica nodes are indeed another kind of service
+// provider", Section I — they store envelopes they cannot read).
+type wirePost struct {
+	Author   string `json:"author"`
+	Seq      uint64 `json:"seq"`
+	Nano     int64  `json:"nano"`
+	Envelope []byte `json:"envelope"`
+}
+
+// postKey is the overlay key for a user's post.
+func postKey(author string, seq uint64) string {
+	return fmt.Sprintf("post/%s/%d", author, seq)
+}
+
+// Publish encrypts body for the named group, appends it to the node's
+// timeline and wall, and stores a locator in the overlay. It returns the
+// overlay operation stats (experiments aggregate these).
+func (nd *Node) Publish(group string, body []byte) (content.Post, overlay.OpStats, error) {
+	g, err := nd.Group(group)
+	if err != nil {
+		return content.Post{}, overlay.OpStats{}, err
+	}
+	env, err := g.Encrypt(body)
+	if err != nil {
+		return content.Post{}, overlay.OpStats{}, fmt.Errorf("core: encrypting post: %w", err)
+	}
+	seq := nd.posts
+	nd.posts++
+	post := content.Post{
+		Author:    nd.Name(),
+		Seq:       seq,
+		CreatedAt: time.Unix(0, int64(seq)*int64(time.Second)),
+		Envelope:  env,
+	}
+	wire, err := privacy.Marshal(env)
+	if err != nil {
+		return content.Post{}, overlay.OpStats{}, fmt.Errorf("core: marshaling envelope: %w", err)
+	}
+	record := wirePost{
+		Author:   post.Author,
+		Seq:      seq,
+		Nano:     post.CreatedAt.UnixNano(),
+		Envelope: wire,
+	}
+	blob, err := json.Marshal(record)
+	if err != nil {
+		return content.Post{}, overlay.OpStats{}, fmt.Errorf("core: encoding post record: %w", err)
+	}
+	// Historical integrity: chain the locator into the timeline.
+	if _, err := nd.Timeline.Publish(blob); err != nil {
+		return content.Post{}, overlay.OpStats{}, err
+	}
+	// Fork consistency: append to the wall on untrusted storage.
+	if _, err := nd.Wall.Append(blob); err != nil {
+		return content.Post{}, overlay.OpStats{}, err
+	}
+	st, err := nd.net.KV.Store(nd.Name(), postKey(post.Author, seq), blob)
+	if err != nil {
+		return content.Post{}, st, fmt.Errorf("core: storing post: %w", err)
+	}
+	return post, st, nil
+}
+
+// FetchPost retrieves another user's post record through the overlay and
+// deserializes the embedded envelope — a replica-stored ciphertext, fully
+// self-contained.
+func (nd *Node) FetchPost(author string, seq uint64) (content.Post, overlay.OpStats, error) {
+	blob, st, err := nd.net.KV.Lookup(nd.Name(), postKey(author, seq))
+	if err != nil {
+		return content.Post{}, st, fmt.Errorf("core: fetching post %s/%d: %w", author, seq, err)
+	}
+	var record wirePost
+	if err := json.Unmarshal(blob, &record); err != nil {
+		return content.Post{}, st, fmt.Errorf("core: decoding post record: %w", err)
+	}
+	env, err := privacy.Unmarshal(record.Envelope)
+	if err != nil {
+		return content.Post{}, st, fmt.Errorf("core: decoding envelope: %w", err)
+	}
+	return content.Post{
+		Author:    record.Author,
+		Seq:       record.Seq,
+		CreatedAt: time.Unix(0, record.Nano),
+		Envelope:  env,
+	}, st, nil
+}
+
+// RepublishArchive re-stores a group's (re-encrypted) archive into the
+// overlay after a revocation — the "previous data ... must be encrypted and
+// stored again" step of Section III-D. It assumes the group's archive order
+// matches this node's post sequence for that group.
+func (nd *Node) RepublishArchive(group string, seqs []uint64) (overlay.OpStats, error) {
+	g, err := nd.Group(group)
+	if err != nil {
+		return overlay.OpStats{}, err
+	}
+	archive := g.Archive()
+	var total overlay.OpStats
+	for i, seq := range seqs {
+		if i >= len(archive) {
+			break
+		}
+		wire, err := privacy.Marshal(archive[i])
+		if err != nil {
+			return total, fmt.Errorf("core: marshaling re-encrypted envelope: %w", err)
+		}
+		record := wirePost{
+			Author:   nd.Name(),
+			Seq:      seq,
+			Nano:     int64(seq) * int64(time.Second),
+			Envelope: wire,
+		}
+		blob, err := json.Marshal(record)
+		if err != nil {
+			return total, fmt.Errorf("core: encoding post record: %w", err)
+		}
+		st, err := nd.net.KV.Store(nd.Name(), postKey(nd.Name(), seq), blob)
+		addStats(&total, st)
+		if err != nil {
+			return total, fmt.Errorf("core: re-storing post %d: %w", seq, err)
+		}
+	}
+	return total, nil
+}
+
+// ReadPost fetches and decrypts another user's post.
+func (nd *Node) ReadPost(author string, seq uint64) ([]byte, overlay.OpStats, error) {
+	post, st, err := nd.FetchPost(author, seq)
+	if err != nil {
+		return nil, st, err
+	}
+	g, ok := nd.groups[post.Envelope.Group]
+	if !ok {
+		return nil, st, fmt.Errorf("%w: %s", ErrUnknownGroup, post.Envelope.Group)
+	}
+	pt, err := g.Decrypt(nd.User, post.Envelope)
+	if err != nil {
+		return nil, st, fmt.Errorf("core: decrypting post: %w", err)
+	}
+	return pt, st, nil
+}
+
+// ReadFeed assembles the feed of all friends' posts this node can fetch and
+// decrypt, in deterministic order.
+func (nd *Node) ReadFeed() ([][]byte, overlay.OpStats, error) {
+	var total overlay.OpStats
+	feed := &content.Feed{}
+	for _, friend := range nd.net.Graph.Friends(nd.Name()) {
+		friendNode, err := nd.net.Node(friend)
+		if err != nil {
+			continue
+		}
+		for seq := uint64(0); seq < friendNode.posts; seq++ {
+			post, st, err := nd.FetchPost(friend, seq)
+			addStats(&total, st)
+			if err != nil {
+				continue
+			}
+			feed.Add(post)
+		}
+	}
+	resolve := func(group string) privacy.Group { return nd.groups[group] }
+	return feed.ReadAll(nd.User, resolve), total, nil
+}
+
+// SyncWall advances this node's fork-consistent view of another user's wall.
+// It returns *historytree.ForkEvidence (as error) on provable equivocation.
+func (nd *Node) SyncWall(owner string) error {
+	r, ok := nd.readers[owner]
+	if !ok {
+		ownerNode, err := nd.net.Node(owner)
+		if err != nil {
+			return err
+		}
+		r = ownerNode.Wall.NewReader(nd.Name(), nd.net.storageVK)
+		nd.readers[owner] = r
+	}
+	return r.Sync()
+}
+
+// WallReader returns the node's reader for an owner's wall (nil before the
+// first SyncWall).
+func (nd *Node) WallReader(owner string) *integrity.Reader { return nd.readers[owner] }
+
+// CrossCheckWall compares this node's view of a wall with another node's
+// view — the client-to-client fork detection step of Section IV-B.
+func (nd *Node) CrossCheckWall(owner string, other *Node) error {
+	a := nd.readers[owner]
+	b := other.readers[owner]
+	return integrity.CrossCheck(a, b, nd.net.storageVK)
+}
+
+// FindUsers performs a trust-ranked friends-of-friends search — the "find
+// new friends with common interests" flow of Section V, ranked per V-D.
+func (nd *Node) FindUsers() []string {
+	candidates := nd.net.Graph.FriendsOfFriends(nd.Name())
+	ranked := nd.net.ranker.Rank(nd.Name(), candidates)
+	out := make([]string, 0, len(ranked))
+	for _, c := range ranked {
+		if c.Score > 0 {
+			out = append(out, c.User)
+		}
+	}
+	return out
+}
+
+func addStats(total *overlay.OpStats, st overlay.OpStats) {
+	total.Hops += st.Hops
+	total.Messages += st.Messages
+	total.Bytes += st.Bytes
+	total.Latency += st.Latency
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"fmt"
+
+	"godosn/internal/overlay/loctree"
+)
+
+// presence lazily creates the network-wide location tree (Vis-à-Vis style,
+// Section II-B): users check in to regions; friends query regions.
+func (n *Network) presence() *loctree.Tree {
+	n.presenceOnce.Do(func() {
+		n.locations = loctree.New()
+	})
+	return n.locations
+}
+
+// CheckIn registers the node's presence at a region path (e.g.
+// "/tr/istanbul"). Only presence is shared — content never enters the tree.
+func (nd *Node) CheckIn(region string) error {
+	if _, err := nd.net.presence().Register(nd.Name(), region); err != nil {
+		return fmt.Errorf("core: check-in: %w", err)
+	}
+	return nil
+}
+
+// FriendsIn returns the node's friends currently present under a region —
+// the Vis-à-Vis "which of my friends are in town" query, filtered to the
+// social graph so non-friends' presence stays invisible.
+func (nd *Node) FriendsIn(region string) ([]string, error) {
+	res, err := nd.net.presence().Query(region)
+	if err != nil {
+		return nil, fmt.Errorf("core: region query: %w", err)
+	}
+	var out []string
+	for _, u := range res.Users {
+		if nd.net.Graph.AreFriends(nd.Name(), u) {
+			out = append(out, u)
+		}
+	}
+	return out, nil
+}

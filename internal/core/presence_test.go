@@ -1,0 +1,47 @@
+package core
+
+import "testing"
+
+func TestPresenceCheckInAndQuery(t *testing.T) {
+	n := smallNetwork(t, OverlayDHT)
+	alice := n.MustNode("alice")
+	bob := n.MustNode("bob")     // alice's friend
+	eve := n.MustNode("eve")     // not alice's friend
+	carol := n.MustNode("carol") // alice's friend (chord edge)
+
+	if err := bob.CheckIn("/tr/istanbul/kadikoy"); err != nil {
+		t.Fatalf("CheckIn: %v", err)
+	}
+	if err := carol.CheckIn("/tr/ankara"); err != nil {
+		t.Fatalf("CheckIn: %v", err)
+	}
+	if err := eve.CheckIn("/tr/istanbul"); err != nil {
+		t.Fatalf("CheckIn: %v", err)
+	}
+
+	inIstanbul, err := alice.FriendsIn("/tr/istanbul")
+	if err != nil {
+		t.Fatalf("FriendsIn: %v", err)
+	}
+	if len(inIstanbul) != 1 || inIstanbul[0] != "bob" {
+		t.Fatalf("FriendsIn(/tr/istanbul) = %v, want [bob] (eve is not a friend)", inIstanbul)
+	}
+	inTR, err := alice.FriendsIn("/tr")
+	if err != nil {
+		t.Fatalf("FriendsIn: %v", err)
+	}
+	if len(inTR) != 2 {
+		t.Fatalf("FriendsIn(/tr) = %v", inTR)
+	}
+	// Moving updates presence.
+	if err := bob.CheckIn("/de/berlin"); err != nil {
+		t.Fatalf("CheckIn move: %v", err)
+	}
+	inIstanbul, _ = alice.FriendsIn("/tr/istanbul")
+	if len(inIstanbul) != 0 {
+		t.Fatalf("stale presence: %v", inIstanbul)
+	}
+	if err := bob.CheckIn("bad-region"); err == nil {
+		t.Fatal("bad region accepted")
+	}
+}

@@ -1,0 +1,349 @@
+package abe
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+
+	"godosn/internal/crypto/prf"
+	"godosn/internal/crypto/pubkey"
+	"godosn/internal/crypto/shamir"
+	"godosn/internal/crypto/symmetric"
+)
+
+// Authority is the attribute authority: it owns one keypair per attribute,
+// publishes the public parameters, and issues user keys.
+//
+// An Authority is safe for concurrent use.
+type Authority struct {
+	mu sync.RWMutex
+	// epoch increments on every revocation-driven re-key (Section III-D:
+	// "usual revocation methods for ABE use frequent re-keying").
+	epoch uint64
+	attrs map[string]*attributeKeys
+	sig   *pubkey.SigningKeyPair
+}
+
+// attributeKeys holds the secret and public half of one attribute parameter.
+type attributeKeys struct {
+	secret *pubkey.EncryptionKeyPair
+	public *pubkey.EncryptionPublicKey
+}
+
+// NewAuthority creates an authority managing the given attribute universe.
+// Attributes can be added later with AddAttribute.
+func NewAuthority(universe ...string) (*Authority, error) {
+	sig, err := pubkey.NewSigningKeyPair()
+	if err != nil {
+		return nil, fmt.Errorf("abe: creating authority signer: %w", err)
+	}
+	a := &Authority{
+		epoch: 1,
+		attrs: make(map[string]*attributeKeys),
+		sig:   sig,
+	}
+	for _, attr := range universe {
+		if err := a.AddAttribute(attr); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// AddAttribute registers a new attribute in the universe. Adding an existing
+// attribute is a no-op.
+func (a *Authority) AddAttribute(name string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.attrs[name]; ok {
+		return nil
+	}
+	kp, err := pubkey.NewEncryptionKeyPair()
+	if err != nil {
+		return fmt.Errorf("abe: generating attribute %q parameter: %w", name, err)
+	}
+	a.attrs[name] = &attributeKeys{secret: kp, public: kp.Public()}
+	return nil
+}
+
+// Epoch returns the current re-keying epoch.
+func (a *Authority) Epoch() uint64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.epoch
+}
+
+// PublicParams returns the public encryption parameters: one public key per
+// attribute, at the current epoch. The result is a snapshot safe to retain.
+type PublicParams struct {
+	// Epoch is the re-keying epoch these parameters belong to.
+	Epoch uint64
+	// Attrs maps attribute name to its public parameter.
+	Attrs map[string]*pubkey.EncryptionPublicKey
+	// Verification verifies authority-issued key policies (KP-ABE).
+	Verification pubkey.VerificationKey
+}
+
+// PublicParams returns a snapshot of the authority's public parameters.
+func (a *Authority) PublicParams() *PublicParams {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	attrs := make(map[string]*pubkey.EncryptionPublicKey, len(a.attrs))
+	for name, ak := range a.attrs {
+		attrs[name] = ak.public
+	}
+	return &PublicParams{Epoch: a.epoch, Attrs: attrs, Verification: a.sig.Verification()}
+}
+
+// UserKey is a CP-ABE decryption key: the attribute secrets for the user's
+// attribute set, issued at a particular epoch.
+type UserKey struct {
+	// Epoch is the epoch the key was issued at; keys from earlier epochs
+	// cannot decrypt ciphertexts created after a revocation re-key.
+	Epoch uint64
+	// Attributes is the user's attribute set, as issued.
+	Attributes []string
+
+	secrets map[string]*pubkey.EncryptionKeyPair
+}
+
+// IssueKey issues a CP-ABE key for the given attribute set. Every attribute
+// must exist in the universe.
+func (a *Authority) IssueKey(attributes []string) (*UserKey, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	secrets := make(map[string]*pubkey.EncryptionKeyPair, len(attributes))
+	for _, attr := range attributes {
+		ak, ok := a.attrs[attr]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownAttr, attr)
+		}
+		secrets[attr] = ak.secret
+	}
+	return &UserKey{
+		Epoch:      a.epoch,
+		Attributes: append([]string(nil), attributes...),
+		secrets:    secrets,
+	}, nil
+}
+
+// Revoke performs the re-keying step the paper describes for ABE revocation:
+// every attribute held by the revoked user gets a fresh parameter and the
+// epoch advances. Previously issued keys for those attributes stop working
+// for new ciphertexts; already-published data must be re-encrypted by its
+// owners (measured in experiment E2).
+func (a *Authority) Revoke(revokedAttributes []string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, attr := range revokedAttributes {
+		if _, ok := a.attrs[attr]; !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownAttr, attr)
+		}
+		kp, err := pubkey.NewEncryptionKeyPair()
+		if err != nil {
+			return fmt.Errorf("abe: re-keying attribute %q: %w", attr, err)
+		}
+		a.attrs[attr] = &attributeKeys{secret: kp, public: kp.Public()}
+	}
+	a.epoch++
+	return nil
+}
+
+// Ciphertext is a CP-ABE ciphertext.
+type Ciphertext struct {
+	// Epoch records the parameter epoch used at encryption time.
+	Epoch uint64
+	// Policy is the access structure; it is public, as in CP-ABE.
+	Policy *Policy
+	// Shares maps share index to the ECIES-wrapped Shamir share for the
+	// corresponding policy leaf.
+	Shares map[uint32][]byte
+	// Body is the AES-GCM payload under the shared seed-derived key.
+	Body []byte
+}
+
+// Size returns the total serialized size in bytes of the ciphertext,
+// approximating wire cost for the size experiments (E3).
+func (c *Ciphertext) Size() int {
+	n := 8 + len(c.Body) + len(c.Policy.String())
+	for _, s := range c.Shares {
+		n += 4 + len(s)
+	}
+	return n
+}
+
+const seedContext = "godosn/abe/seed-v1"
+
+// Encrypt encrypts plaintext under the access policy using the public
+// parameters. Any party holding PublicParams can encrypt (standard CP-ABE).
+func Encrypt(params *PublicParams, policy *Policy, plaintext []byte) (*Ciphertext, error) {
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	for _, attr := range policy.Attributes() {
+		if _, ok := params.Attrs[attr]; !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownAttr, attr)
+		}
+	}
+	// Fresh seed in the Shamir field.
+	seedKey, err := symmetric.NewKey()
+	if err != nil {
+		return nil, fmt.Errorf("abe: sampling seed: %w", err)
+	}
+	seed := new(big.Int).SetBytes(seedKey)
+	seed.Mod(seed, shamir.Prime())
+
+	ct := &Ciphertext{
+		Epoch:  params.Epoch,
+		Policy: policy,
+		Shares: make(map[uint32][]byte),
+	}
+	var nextIdx uint32 = 1
+	if err := shareTree(params, policy, seed, ct, &nextIdx); err != nil {
+		return nil, err
+	}
+	key, err := seedToKey(seed)
+	if err != nil {
+		return nil, err
+	}
+	body, err := symmetric.Seal(key, plaintext, []byte(policy.String()))
+	if err != nil {
+		return nil, fmt.Errorf("abe: sealing body: %w", err)
+	}
+	ct.Body = body
+	return ct, nil
+}
+
+// shareTree recursively Shamir-shares secret down the policy tree, wrapping
+// leaf shares to the leaf attribute parameters. Leaf share indices are
+// assigned depth-first and recorded in ct.Shares; internal structure is
+// reproducible from the public policy, so only leaf wraps are stored.
+func shareTree(params *PublicParams, node *Policy, secret *big.Int, ct *Ciphertext, nextIdx *uint32) error {
+	if node.Kind == GateLeaf {
+		idx := *nextIdx
+		*nextIdx++
+		pk := params.Attrs[node.Attribute]
+		wrapped, err := pubkey.Encrypt(pk, secret.Bytes())
+		if err != nil {
+			return fmt.Errorf("abe: wrapping share for %q: %w", node.Attribute, err)
+		}
+		ct.Shares[idx] = wrapped
+		return nil
+	}
+	shares, err := shamir.Split(secret, node.threshold(), len(node.Children))
+	if err != nil {
+		return fmt.Errorf("abe: sharing at gate: %w", err)
+	}
+	for i, child := range node.Children {
+		if err := shareTree(params, child, shares[i].Y, ct, nextIdx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decrypt recovers the plaintext if the key's attributes satisfy the
+// ciphertext policy and the key epoch matches the ciphertext epoch.
+func (k *UserKey) Decrypt(ct *Ciphertext) ([]byte, error) {
+	if ct == nil || ct.Policy == nil {
+		return nil, ErrBadPolicy
+	}
+	if !ct.Policy.Satisfied(k.Attributes) {
+		return nil, ErrNotSatisfied
+	}
+	var nextIdx uint32 = 1
+	seed, err := recoverTree(k, ct.Policy, ct, &nextIdx)
+	if err != nil {
+		return nil, err
+	}
+	key, err := seedToKey(seed)
+	if err != nil {
+		return nil, err
+	}
+	plaintext, err := symmetric.Open(key, ct.Body, []byte(ct.Policy.String()))
+	if err != nil {
+		return nil, fmt.Errorf("abe: opening body: %w", err)
+	}
+	return plaintext, nil
+}
+
+// recoverTree walks the policy tree, decrypting leaf shares the key can open
+// and interpolating gate secrets bottom-up. It returns nil secret with
+// ErrNotSatisfied when a needed subtree cannot be recovered.
+func recoverTree(k *UserKey, node *Policy, ct *Ciphertext, nextIdx *uint32) (*big.Int, error) {
+	if node.Kind == GateLeaf {
+		idx := *nextIdx
+		*nextIdx++
+		sk, ok := k.secrets[node.Attribute]
+		if !ok {
+			return nil, ErrNotSatisfied
+		}
+		wrapped, ok := ct.Shares[idx]
+		if !ok {
+			return nil, fmt.Errorf("%w: missing share %d", ErrBadPolicy, idx)
+		}
+		raw, err := sk.Decrypt(wrapped)
+		if err != nil {
+			// A wrap that no longer opens (e.g. the attribute was re-keyed
+			// after a revocation) counts as an unsatisfied leaf, so an OR
+			// branch over a still-valid attribute can proceed.
+			return nil, ErrNotSatisfied
+		}
+		return new(big.Int).SetBytes(raw), nil
+	}
+	need := node.threshold()
+	recovered := make([]shamir.Share, 0, need)
+	for i, child := range node.Children {
+		// Every child consumes its leaf index range whether or not we can
+		// open it, so indices stay aligned with shareTree's assignment.
+		before := *nextIdx
+		sec, err := recoverTree(k, child, ct, nextIdx)
+		if err != nil {
+			// Structural errors abort; unsatisfied subtrees are skipped.
+			if !isUnsatisfied(err) {
+				return nil, err
+			}
+			*nextIdx = before + child.leafCount()
+			continue
+		}
+		if len(recovered) < need {
+			recovered = append(recovered, shamir.Share{X: uint32(i + 1), Y: sec})
+		}
+	}
+	if len(recovered) < need {
+		return nil, ErrNotSatisfied
+	}
+	secret, err := shamir.Combine(recovered[:need])
+	if err != nil {
+		return nil, fmt.Errorf("abe: combining at gate: %w", err)
+	}
+	return secret, nil
+}
+
+func isUnsatisfied(err error) bool {
+	return errors.Is(err, ErrNotSatisfied)
+}
+
+// leafCount returns the number of leaves under the node.
+func (p *Policy) leafCount() uint32 {
+	if p.Kind == GateLeaf {
+		return 1
+	}
+	var n uint32
+	for _, c := range p.Children {
+		n += c.leafCount()
+	}
+	return n
+}
+
+// seedToKey derives the payload AES key from the shared seed.
+func seedToKey(seed *big.Int) (symmetric.Key, error) {
+	h := sha256.Sum256(seed.Bytes())
+	key, err := prf.Derive(h[:], seedContext, symmetric.KeySize)
+	if err != nil {
+		return nil, fmt.Errorf("abe: deriving payload key: %w", err)
+	}
+	return key, nil
+}

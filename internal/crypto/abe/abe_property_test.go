@@ -1,0 +1,146 @@
+package abe
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickDecryptIffSatisfied is the core ABE correctness property: for
+// random policies and random attribute subsets, decryption succeeds exactly
+// when the attribute set satisfies the policy.
+func TestQuickDecryptIffSatisfied(t *testing.T) {
+	universe := []string{"a", "b", "c", "d", "e"}
+	auth, err := NewAuthority(universe...)
+	if err != nil {
+		t.Fatalf("NewAuthority: %v", err)
+	}
+	params := auth.PublicParams()
+
+	f := func(policySeed int64, attrMask uint8) bool {
+		rng := rand.New(rand.NewSource(policySeed))
+		policy := randomPolicy(rng, universe, 0)
+		if policy.Validate() != nil {
+			return true // generator should not produce these; skip if so
+		}
+		var attrs []string
+		for i, a := range universe {
+			if attrMask&(1<<i) != 0 {
+				attrs = append(attrs, a)
+			}
+		}
+		ct, err := Encrypt(params, policy, []byte("payload"))
+		if err != nil {
+			return false
+		}
+		key, err := auth.IssueKey(attrs)
+		if err != nil {
+			return false
+		}
+		pt, err := key.Decrypt(ct)
+		satisfied := policy.Satisfied(attrs)
+		if satisfied {
+			return err == nil && string(pt) == "payload"
+		}
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomPolicy builds a random monotone policy of bounded depth.
+func randomPolicy(rng *rand.Rand, universe []string, depth int) *Policy {
+	if depth >= 2 || rng.Intn(3) == 0 {
+		return Attr(universe[rng.Intn(len(universe))])
+	}
+	nChildren := rng.Intn(3) + 2
+	children := make([]*Policy, nChildren)
+	for i := range children {
+		children[i] = randomPolicy(rng, universe, depth+1)
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return And(children...)
+	case 1:
+		return Or(children...)
+	default:
+		return Threshold(rng.Intn(nChildren)+1, children...)
+	}
+}
+
+// TestQuickKPDecryptIffSatisfied is the dual property for KP-ABE.
+func TestQuickKPDecryptIffSatisfied(t *testing.T) {
+	universe := []string{"a", "b", "c", "d"}
+	auth, err := NewAuthority(universe...)
+	if err != nil {
+		t.Fatalf("NewAuthority: %v", err)
+	}
+	params := auth.PublicParams()
+
+	f := func(policySeed int64, labelMask uint8) bool {
+		rng := rand.New(rand.NewSource(policySeed))
+		policy := randomPolicy(rng, universe, 0)
+		var labels []string
+		for i, a := range universe {
+			if labelMask&(1<<i) != 0 {
+				labels = append(labels, a)
+			}
+		}
+		if len(labels) == 0 {
+			return true
+		}
+		key, err := auth.IssueKPKey(policy)
+		if err != nil {
+			return false
+		}
+		ct, err := EncryptKP(params, labels, []byte("payload"))
+		if err != nil {
+			return false
+		}
+		pt, err := key.Decrypt(params, ct)
+		if policy.Satisfied(labels) {
+			return err == nil && string(pt) == "payload"
+		}
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeepNestedPolicies exercises multi-level trees deterministically.
+func TestDeepNestedPolicies(t *testing.T) {
+	auth, _ := NewAuthority("a", "b", "c", "d", "e", "f")
+	params := auth.PublicParams()
+	policy, err := ParsePolicy("((a AND b) OR 2-of(c, d, (e AND f)))")
+	if err != nil {
+		t.Fatalf("ParsePolicy: %v", err)
+	}
+	cases := []struct {
+		attrs []string
+		want  bool
+	}{
+		{[]string{"a", "b"}, true},
+		{[]string{"c", "d"}, true},
+		{[]string{"c", "e", "f"}, true},
+		{[]string{"d", "e", "f"}, true},
+		{[]string{"a", "c"}, false},
+		{[]string{"e", "f"}, false},
+		{[]string{"a", "d"}, false},
+	}
+	for _, tc := range cases {
+		ct, err := Encrypt(params, policy, []byte("x"))
+		if err != nil {
+			t.Fatalf("Encrypt: %v", err)
+		}
+		key, err := auth.IssueKey(tc.attrs)
+		if err != nil {
+			t.Fatalf("IssueKey: %v", err)
+		}
+		_, err = key.Decrypt(ct)
+		if (err == nil) != tc.want {
+			t.Errorf("attrs %v: decrypt success=%v, want %v", tc.attrs, err == nil, tc.want)
+		}
+	}
+}

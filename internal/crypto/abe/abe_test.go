@@ -1,0 +1,279 @@
+package abe
+
+import (
+	"bytes"
+	"testing"
+)
+
+func newTestAuthority(t *testing.T) *Authority {
+	t.Helper()
+	a, err := NewAuthority("relative", "doctor", "painter", "friend", "colleague")
+	if err != nil {
+		t.Fatalf("NewAuthority: %v", err)
+	}
+	return a
+}
+
+func TestCPABERoundTrip(t *testing.T) {
+	auth := newTestAuthority(t)
+	params := auth.PublicParams()
+	tests := []struct {
+		name   string
+		policy string
+		attrs  []string
+	}{
+		{"single attr", "relative", []string{"relative"}},
+		{"and", "(relative AND doctor)", []string{"relative", "doctor"}},
+		{"or left", "(relative OR painter)", []string{"relative"}},
+		{"or right", "(relative OR painter)", []string{"painter"}},
+		{"threshold", "2-of(relative, doctor, painter)", []string{"doctor", "painter"}},
+		{"nested", "(friend AND (relative OR doctor))", []string{"friend", "doctor"}},
+		{"extra attrs", "relative", []string{"relative", "colleague", "painter"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			pol, err := ParsePolicy(tt.policy)
+			if err != nil {
+				t.Fatalf("ParsePolicy: %v", err)
+			}
+			ct, err := Encrypt(params, pol, []byte("come to my party"))
+			if err != nil {
+				t.Fatalf("Encrypt: %v", err)
+			}
+			key, err := auth.IssueKey(tt.attrs)
+			if err != nil {
+				t.Fatalf("IssueKey: %v", err)
+			}
+			got, err := key.Decrypt(ct)
+			if err != nil {
+				t.Fatalf("Decrypt: %v", err)
+			}
+			if string(got) != "come to my party" {
+				t.Fatalf("got %q", got)
+			}
+		})
+	}
+}
+
+func TestCPABEUnsatisfiedFails(t *testing.T) {
+	auth := newTestAuthority(t)
+	params := auth.PublicParams()
+	tests := []struct {
+		policy string
+		attrs  []string
+	}{
+		{"(relative AND doctor)", []string{"relative"}},
+		{"(relative AND doctor)", []string{"doctor", "painter"}},
+		{"relative", []string{"doctor"}},
+		{"2-of(relative, doctor, painter)", []string{"relative"}},
+		{"relative", nil},
+	}
+	for _, tt := range tests {
+		pol, _ := ParsePolicy(tt.policy)
+		ct, err := Encrypt(params, pol, []byte("secret"))
+		if err != nil {
+			t.Fatalf("Encrypt: %v", err)
+		}
+		key, err := auth.IssueKey(tt.attrs)
+		if err != nil {
+			t.Fatalf("IssueKey: %v", err)
+		}
+		if _, err := key.Decrypt(ct); err == nil {
+			t.Errorf("policy %q decrypted with attrs %v", tt.policy, tt.attrs)
+		}
+	}
+}
+
+func TestCPABEUnknownAttributeRejected(t *testing.T) {
+	auth := newTestAuthority(t)
+	params := auth.PublicParams()
+	pol, _ := ParsePolicy("martian")
+	if _, err := Encrypt(params, pol, []byte("x")); err == nil {
+		t.Fatal("encrypted under unknown attribute")
+	}
+	if _, err := auth.IssueKey([]string{"martian"}); err == nil {
+		t.Fatal("issued key for unknown attribute")
+	}
+}
+
+func TestRevocationBlocksNewCiphertexts(t *testing.T) {
+	auth := newTestAuthority(t)
+	oldParams := auth.PublicParams()
+	oldKey, err := auth.IssueKey([]string{"relative"})
+	if err != nil {
+		t.Fatalf("IssueKey: %v", err)
+	}
+	pol, _ := ParsePolicy("relative")
+
+	oldCt, err := Encrypt(oldParams, pol, []byte("before revocation"))
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	if _, err := oldKey.Decrypt(oldCt); err != nil {
+		t.Fatalf("pre-revocation decrypt: %v", err)
+	}
+
+	if err := auth.Revoke([]string{"relative"}); err != nil {
+		t.Fatalf("Revoke: %v", err)
+	}
+	if auth.Epoch() != oldParams.Epoch+1 {
+		t.Fatalf("epoch did not advance")
+	}
+	newParams := auth.PublicParams()
+	newCt, err := Encrypt(newParams, pol, []byte("after revocation"))
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	// The revoked key must not open post-revocation ciphertexts...
+	if _, err := oldKey.Decrypt(newCt); err == nil {
+		t.Fatal("revoked key decrypted new ciphertext")
+	}
+	// ...but prior ciphertexts remain readable until re-encrypted, which is
+	// exactly the re-encryption overhead the paper attributes to ABE.
+	if _, err := oldKey.Decrypt(oldCt); err != nil {
+		t.Fatalf("old ciphertext became unreadable: %v", err)
+	}
+	// A freshly issued key works with new parameters.
+	freshKey, err := auth.IssueKey([]string{"relative"})
+	if err != nil {
+		t.Fatalf("IssueKey: %v", err)
+	}
+	got, err := freshKey.Decrypt(newCt)
+	if err != nil || string(got) != "after revocation" {
+		t.Fatalf("fresh key decrypt: %v", err)
+	}
+}
+
+func TestRevokedAttributeORBranchStillWorks(t *testing.T) {
+	auth := newTestAuthority(t)
+	key, err := auth.IssueKey([]string{"relative", "doctor"})
+	if err != nil {
+		t.Fatalf("IssueKey: %v", err)
+	}
+	if err := auth.Revoke([]string{"relative"}); err != nil {
+		t.Fatalf("Revoke: %v", err)
+	}
+	// Key's doctor attribute is still valid; (relative OR doctor) under the
+	// new params must decrypt via the doctor branch.
+	pol, _ := ParsePolicy("(relative OR doctor)")
+	ct, err := Encrypt(auth.PublicParams(), pol, []byte("still visible"))
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	got, err := key.Decrypt(ct)
+	if err != nil || string(got) != "still visible" {
+		t.Fatalf("OR branch decrypt after partial revocation: %v", err)
+	}
+}
+
+func TestCiphertextSizeGrowsWithPolicy(t *testing.T) {
+	auth := newTestAuthority(t)
+	params := auth.PublicParams()
+	small, _ := ParsePolicy("relative")
+	big, _ := ParsePolicy("(relative AND doctor AND painter AND friend AND colleague)")
+	pt := []byte("same payload")
+	ctSmall, err := Encrypt(params, small, pt)
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	ctBig, err := Encrypt(params, big, pt)
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	if ctBig.Size() <= ctSmall.Size() {
+		t.Fatalf("ciphertext size did not grow with policy: %d vs %d", ctBig.Size(), ctSmall.Size())
+	}
+}
+
+func TestTamperedCiphertextFails(t *testing.T) {
+	auth := newTestAuthority(t)
+	pol, _ := ParsePolicy("relative")
+	ct, err := Encrypt(auth.PublicParams(), pol, []byte("payload"))
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	key, _ := auth.IssueKey([]string{"relative"})
+	ct.Body[len(ct.Body)-1] ^= 1
+	if _, err := key.Decrypt(ct); err == nil {
+		t.Fatal("tampered body decrypted")
+	}
+}
+
+func TestAddAttributeIdempotent(t *testing.T) {
+	auth := newTestAuthority(t)
+	before := auth.PublicParams().Attrs["relative"]
+	if err := auth.AddAttribute("relative"); err != nil {
+		t.Fatalf("AddAttribute: %v", err)
+	}
+	after := auth.PublicParams().Attrs["relative"]
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatal("re-adding attribute rotated its parameter")
+	}
+}
+
+func TestKPABERoundTrip(t *testing.T) {
+	auth := newTestAuthority(t)
+	params := auth.PublicParams()
+	pol, _ := ParsePolicy("(relative AND doctor)")
+	key, err := auth.IssueKPKey(pol)
+	if err != nil {
+		t.Fatalf("IssueKPKey: %v", err)
+	}
+	ct, err := EncryptKP(params, []string{"relative", "doctor", "painter"}, []byte("kp message"))
+	if err != nil {
+		t.Fatalf("EncryptKP: %v", err)
+	}
+	got, err := key.Decrypt(params, ct)
+	if err != nil {
+		t.Fatalf("Decrypt: %v", err)
+	}
+	if string(got) != "kp message" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestKPABEPolicyNotSatisfied(t *testing.T) {
+	auth := newTestAuthority(t)
+	params := auth.PublicParams()
+	pol, _ := ParsePolicy("(relative AND doctor)")
+	key, _ := auth.IssueKPKey(pol)
+	ct, err := EncryptKP(params, []string{"relative", "painter"}, []byte("x"))
+	if err != nil {
+		t.Fatalf("EncryptKP: %v", err)
+	}
+	if _, err := key.Decrypt(params, ct); err == nil {
+		t.Fatal("KP key decrypted ciphertext not satisfying its policy")
+	}
+}
+
+func TestKPABEForgedPolicyRejected(t *testing.T) {
+	auth := newTestAuthority(t)
+	params := auth.PublicParams()
+	narrow, _ := ParsePolicy("(relative AND doctor)")
+	key, _ := auth.IssueKPKey(narrow)
+	// Attacker widens the certified policy without a matching signature.
+	key.Policy, _ = ParsePolicy("(relative OR doctor)")
+	ct, _ := EncryptKP(params, []string{"relative"}, []byte("x"))
+	if _, err := key.Decrypt(params, ct); err == nil {
+		t.Fatal("forged key policy accepted")
+	}
+}
+
+func TestKPABEUnknownAttribute(t *testing.T) {
+	auth := newTestAuthority(t)
+	params := auth.PublicParams()
+	if _, err := EncryptKP(params, []string{"martian"}, []byte("x")); err == nil {
+		t.Fatal("encrypted with unknown attribute label")
+	}
+	pol, _ := ParsePolicy("martian")
+	if _, err := auth.IssueKPKey(pol); err == nil {
+		t.Fatal("issued KP key over unknown attribute")
+	}
+}
+
+func TestKPABEEmptyAttributes(t *testing.T) {
+	auth := newTestAuthority(t)
+	if _, err := EncryptKP(auth.PublicParams(), nil, []byte("x")); err == nil {
+		t.Fatal("encrypted with empty attribute set")
+	}
+}

@@ -1,0 +1,39 @@
+package abe
+
+import "testing"
+
+// FuzzParsePolicy ensures the policy parser never panics and that anything
+// it accepts round-trips through String() to an equivalent policy.
+func FuzzParsePolicy(f *testing.F) {
+	for _, seed := range []string{
+		"relative",
+		"(relative AND doctor)",
+		"(relative OR painter)",
+		"2-of(a, b, c)",
+		"((a AND b) OR 2-of(c, d, (e AND f)))",
+		"(a AND b OR c)",
+		"0-of(a)",
+		"(",
+		"",
+		"9999999999-of(a)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := ParsePolicy(input)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("ParsePolicy accepted invalid policy %q: %v", input, err)
+		}
+		// Round-trip: the rendered form must re-parse to the same tree.
+		again, err := ParsePolicy(p.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", p.String(), input, err)
+		}
+		if again.String() != p.String() {
+			t.Fatalf("round trip drift: %q -> %q", p.String(), again.String())
+		}
+	})
+}

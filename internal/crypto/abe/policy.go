@@ -1,0 +1,380 @@
+// Package abe implements attribute-based encryption (CP-ABE and KP-ABE) over
+// monotone boolean access structures, pairing-free.
+//
+// The paper (Section III-D) classifies ABE as the data-privacy mechanism used
+// by Persona and Cachet: a message is encrypted under an access structure
+// (a logical expression over attributes such as ('relative' OR 'painter')),
+// and a user holding a key for a satisfying attribute set decrypts.
+//
+// Construction (documented substitution; see DESIGN.md §2). The pairing-based
+// schemes the paper cites (Bethencourt et al., Goyal et al.) are replaced by:
+//
+//   - An Authority publishes, per attribute, a P-256 public parameter; it
+//     keeps the matching private scalar as the attribute secret.
+//   - CP-ABE Encrypt compiles the policy into a tree of threshold gates,
+//     Shamir-shares a fresh message seed down the tree, and encrypts each
+//     leaf share to the leaf attribute's public parameter (ECIES).
+//   - A user key is the set of attribute private keys for the user's
+//     attributes; Decrypt recovers exactly the leaf shares for attributes the
+//     user holds and reconstructs the seed if and only if the tree is
+//     satisfied.
+//
+// The access-structure semantics, the cost structure the survey reasons about
+// (single encryption per group, ciphertext growing with the policy,
+// revocation forcing re-keying plus re-encryption of prior data), and the key
+// distribution model are all preserved. The known deviation is collusion
+// resistance across users, which fundamentally requires pairings; the
+// Authority issuing per-user randomized keys is out of scope and flagged in
+// DESIGN.md.
+package abe
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// GateKind distinguishes the node types of a policy tree.
+type GateKind int
+
+// Policy node kinds.
+const (
+	GateLeaf GateKind = iota + 1
+	GateAnd
+	GateOr
+	GateThreshold
+)
+
+// Policy is a node of a monotone access-structure tree.
+type Policy struct {
+	Kind GateKind
+	// Attribute is set for GateLeaf nodes.
+	Attribute string
+	// K is the threshold for GateThreshold nodes (k of len(Children)).
+	K int
+	// Children are the sub-policies for non-leaf nodes.
+	Children []*Policy
+}
+
+// Errors returned by policy handling.
+var (
+	ErrEmptyPolicy   = errors.New("abe: empty policy")
+	ErrBadPolicy     = errors.New("abe: malformed policy")
+	ErrParse         = errors.New("abe: policy parse error")
+	ErrNotSatisfied  = errors.New("abe: key attributes do not satisfy policy")
+	ErrUnknownAttr   = errors.New("abe: unknown attribute")
+	ErrNotAuthorized = errors.New("abe: key policy does not cover ciphertext attributes")
+)
+
+// Attr returns a leaf policy requiring the given attribute.
+func Attr(name string) *Policy {
+	return &Policy{Kind: GateLeaf, Attribute: name}
+}
+
+// And returns a policy satisfied only when all children are satisfied.
+func And(children ...*Policy) *Policy {
+	return &Policy{Kind: GateAnd, Children: children}
+}
+
+// Or returns a policy satisfied when any child is satisfied.
+func Or(children ...*Policy) *Policy {
+	return &Policy{Kind: GateOr, Children: children}
+}
+
+// Threshold returns a policy satisfied when at least k children are.
+func Threshold(k int, children ...*Policy) *Policy {
+	return &Policy{Kind: GateThreshold, K: k, Children: children}
+}
+
+// Validate checks structural well-formedness of the policy tree.
+func (p *Policy) Validate() error {
+	if p == nil {
+		return ErrEmptyPolicy
+	}
+	switch p.Kind {
+	case GateLeaf:
+		if p.Attribute == "" {
+			return fmt.Errorf("%w: leaf with empty attribute", ErrBadPolicy)
+		}
+		if len(p.Children) != 0 {
+			return fmt.Errorf("%w: leaf with children", ErrBadPolicy)
+		}
+		return nil
+	case GateAnd, GateOr:
+		if len(p.Children) == 0 {
+			return fmt.Errorf("%w: gate with no children", ErrBadPolicy)
+		}
+	case GateThreshold:
+		if len(p.Children) == 0 {
+			return fmt.Errorf("%w: threshold with no children", ErrBadPolicy)
+		}
+		if p.K < 1 || p.K > len(p.Children) {
+			return fmt.Errorf("%w: threshold %d of %d", ErrBadPolicy, p.K, len(p.Children))
+		}
+	default:
+		return fmt.Errorf("%w: unknown gate kind %d", ErrBadPolicy, p.Kind)
+	}
+	for _, c := range p.Children {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// threshold returns the effective Shamir threshold of the node.
+func (p *Policy) threshold() int {
+	switch p.Kind {
+	case GateAnd:
+		return len(p.Children)
+	case GateOr:
+		return 1
+	case GateThreshold:
+		return p.K
+	default:
+		return 1
+	}
+}
+
+// Satisfied reports whether the given attribute set satisfies the policy.
+func (p *Policy) Satisfied(attrs []string) bool {
+	set := make(map[string]struct{}, len(attrs))
+	for _, a := range attrs {
+		set[a] = struct{}{}
+	}
+	return p.satisfied(set)
+}
+
+func (p *Policy) satisfied(set map[string]struct{}) bool {
+	if p == nil {
+		return false
+	}
+	if p.Kind == GateLeaf {
+		_, ok := set[p.Attribute]
+		return ok
+	}
+	count := 0
+	for _, c := range p.Children {
+		if c.satisfied(set) {
+			count++
+		}
+	}
+	return count >= p.threshold()
+}
+
+// Attributes returns the sorted set of attributes mentioned in the policy.
+func (p *Policy) Attributes() []string {
+	set := make(map[string]struct{})
+	p.collectAttrs(set)
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (p *Policy) collectAttrs(set map[string]struct{}) {
+	if p == nil {
+		return
+	}
+	if p.Kind == GateLeaf {
+		set[p.Attribute] = struct{}{}
+		return
+	}
+	for _, c := range p.Children {
+		c.collectAttrs(set)
+	}
+}
+
+// String renders the policy in the surface syntax accepted by ParsePolicy.
+func (p *Policy) String() string {
+	if p == nil {
+		return ""
+	}
+	switch p.Kind {
+	case GateLeaf:
+		return p.Attribute
+	case GateAnd:
+		return "(" + joinPolicies(p.Children, " AND ") + ")"
+	case GateOr:
+		return "(" + joinPolicies(p.Children, " OR ") + ")"
+	case GateThreshold:
+		return fmt.Sprintf("%d-of(%s)", p.K, joinPolicies(p.Children, ", "))
+	default:
+		return "<invalid>"
+	}
+}
+
+func joinPolicies(ps []*Policy, sep string) string {
+	parts := make([]string, len(ps))
+	for i, c := range ps {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, sep)
+}
+
+// ParsePolicy parses the textual policy syntax used throughout the examples:
+//
+//	relative
+//	(relative AND doctor)
+//	(relative OR painter)
+//	2-of(relative, doctor, painter)
+//
+// AND and OR are case insensitive and may not be mixed within a single
+// parenthesis group without nesting.
+func ParsePolicy(s string) (*Policy, error) {
+	p := &policyParser{input: s}
+	pol, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return nil, fmt.Errorf("%w: trailing input at %d", ErrParse, p.pos)
+	}
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	return pol, nil
+}
+
+type policyParser struct {
+	input string
+	pos   int
+}
+
+func (p *policyParser) skipSpace() {
+	for p.pos < len(p.input) && (p.input[p.pos] == ' ' || p.input[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *policyParser) parseExpr() (*Policy, error) {
+	p.skipSpace()
+	if p.pos >= len(p.input) {
+		return nil, fmt.Errorf("%w: unexpected end of input", ErrParse)
+	}
+	// k-of(...) threshold form.
+	if pol, ok, err := p.tryThreshold(); err != nil {
+		return nil, err
+	} else if ok {
+		return pol, nil
+	}
+	if p.input[p.pos] == '(' {
+		return p.parseGroup()
+	}
+	return p.parseLeaf()
+}
+
+func (p *policyParser) tryThreshold() (*Policy, bool, error) {
+	save := p.pos
+	numEnd := p.pos
+	for numEnd < len(p.input) && p.input[numEnd] >= '0' && p.input[numEnd] <= '9' {
+		numEnd++
+	}
+	if numEnd == p.pos || !strings.HasPrefix(p.input[numEnd:], "-of(") {
+		p.pos = save
+		return nil, false, nil
+	}
+	k := 0
+	for _, ch := range p.input[p.pos:numEnd] {
+		k = k*10 + int(ch-'0')
+	}
+	p.pos = numEnd + len("-of(")
+	var children []*Policy
+	for {
+		child, err := p.parseExpr()
+		if err != nil {
+			return nil, false, err
+		}
+		children = append(children, child)
+		p.skipSpace()
+		if p.pos < len(p.input) && p.input[p.pos] == ',' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	p.skipSpace()
+	if p.pos >= len(p.input) || p.input[p.pos] != ')' {
+		return nil, false, fmt.Errorf("%w: expected ')' at %d", ErrParse, p.pos)
+	}
+	p.pos++
+	return Threshold(k, children...), true, nil
+}
+
+func (p *policyParser) parseGroup() (*Policy, error) {
+	p.pos++ // consume '('
+	first, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	children := []*Policy{first}
+	var op string
+	for {
+		p.skipSpace()
+		if p.pos < len(p.input) && p.input[p.pos] == ')' {
+			p.pos++
+			break
+		}
+		word := p.peekWord()
+		upper := strings.ToUpper(word)
+		if upper != "AND" && upper != "OR" {
+			return nil, fmt.Errorf("%w: expected AND/OR at %d, got %q", ErrParse, p.pos, word)
+		}
+		if op == "" {
+			op = upper
+		} else if op != upper {
+			return nil, fmt.Errorf("%w: mixed AND/OR without nesting at %d", ErrParse, p.pos)
+		}
+		p.pos += len(word)
+		child, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, child)
+	}
+	if len(children) == 1 {
+		return children[0], nil
+	}
+	if op == "AND" {
+		return And(children...), nil
+	}
+	return Or(children...), nil
+}
+
+func (p *policyParser) peekWord() string {
+	p.skipSpace()
+	end := p.pos
+	for end < len(p.input) && isWordChar(p.input[end]) {
+		end++
+	}
+	return p.input[p.pos:end]
+}
+
+func (p *policyParser) parseLeaf() (*Policy, error) {
+	p.skipSpace()
+	end := p.pos
+	for end < len(p.input) && isWordChar(p.input[end]) {
+		end++
+	}
+	if end == p.pos {
+		return nil, fmt.Errorf("%w: expected attribute at %d", ErrParse, p.pos)
+	}
+	name := p.input[p.pos:end]
+	p.pos = end
+	return Attr(name), nil
+}
+
+func isWordChar(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	case c == '_', c == '-', c == ':', c == '.':
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,148 @@
+package abe
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestParsePolicy(t *testing.T) {
+	tests := []struct {
+		in   string
+		want *Policy
+	}{
+		{"relative", Attr("relative")},
+		{"(relative AND doctor)", And(Attr("relative"), Attr("doctor"))},
+		{"(relative OR painter)", Or(Attr("relative"), Attr("painter"))},
+		{"(a and b and c)", And(Attr("a"), Attr("b"), Attr("c"))},
+		{"(a OR (b AND c))", Or(Attr("a"), And(Attr("b"), Attr("c")))},
+		{"2-of(a, b, c)", Threshold(2, Attr("a"), Attr("b"), Attr("c"))},
+		{"2-of(a, (b AND c), d)", Threshold(2, Attr("a"), And(Attr("b"), Attr("c")), Attr("d"))},
+		{"(x)", Attr("x")},
+	}
+	for _, tt := range tests {
+		t.Run(tt.in, func(t *testing.T) {
+			got, err := ParsePolicy(tt.in)
+			if err != nil {
+				t.Fatalf("ParsePolicy(%q): %v", tt.in, err)
+			}
+			if !reflect.DeepEqual(got, tt.want) {
+				t.Fatalf("ParsePolicy(%q) = %s, want %s", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParsePolicyErrors(t *testing.T) {
+	for _, in := range []string{
+		"", "()", "(a AND)", "(a AND b OR c)", "(a", "a b",
+		"0-of(a)", "3-of(a, b)", "(AND a b)",
+	} {
+		if _, err := ParsePolicy(in); err == nil {
+			t.Errorf("ParsePolicy(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestPolicyRoundTripThroughString(t *testing.T) {
+	policies := []*Policy{
+		Attr("a"),
+		And(Attr("a"), Attr("b")),
+		Or(And(Attr("a"), Attr("b")), Attr("c")),
+		Threshold(2, Attr("a"), Attr("b"), Attr("c")),
+	}
+	for _, p := range policies {
+		got, err := ParsePolicy(p.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", p.String(), err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Fatalf("round trip %q: got %s", p.String(), got)
+		}
+	}
+}
+
+func TestSatisfied(t *testing.T) {
+	pol := Or(And(Attr("relative"), Attr("doctor")), Attr("admin"))
+	tests := []struct {
+		attrs []string
+		want  bool
+	}{
+		{[]string{"relative", "doctor"}, true},
+		{[]string{"admin"}, true},
+		{[]string{"relative"}, false},
+		{[]string{"doctor"}, false},
+		{nil, false},
+		{[]string{"relative", "doctor", "admin"}, true},
+	}
+	for _, tt := range tests {
+		if got := pol.Satisfied(tt.attrs); got != tt.want {
+			t.Errorf("Satisfied(%v) = %v, want %v", tt.attrs, got, tt.want)
+		}
+	}
+}
+
+func TestThresholdSatisfied(t *testing.T) {
+	pol := Threshold(2, Attr("a"), Attr("b"), Attr("c"))
+	if pol.Satisfied([]string{"a"}) {
+		t.Error("1 of 3 satisfied a 2-threshold")
+	}
+	if !pol.Satisfied([]string{"a", "c"}) {
+		t.Error("2 of 3 did not satisfy a 2-threshold")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Policy{
+		nil,
+		{Kind: GateLeaf},
+		{Kind: GateAnd},
+		{Kind: GateThreshold, K: 0, Children: []*Policy{Attr("a")}},
+		{Kind: GateThreshold, K: 2, Children: []*Policy{Attr("a")}},
+		{Kind: GateKind(99), Children: []*Policy{Attr("a")}},
+		{Kind: GateLeaf, Attribute: "a", Children: []*Policy{Attr("b")}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid policy", i)
+		}
+	}
+}
+
+func TestAttributes(t *testing.T) {
+	pol := Or(And(Attr("b"), Attr("a")), Attr("c"), Attr("a"))
+	got := pol.Attributes()
+	want := []string{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Attributes() = %v, want %v", got, want)
+	}
+}
+
+func TestLeafCount(t *testing.T) {
+	pol := Or(And(Attr("a"), Attr("b")), Threshold(1, Attr("c"), Attr("d"), Attr("e")))
+	if got := pol.leafCount(); got != 5 {
+		t.Fatalf("leafCount = %d, want 5", got)
+	}
+}
+
+func TestQuickSatisfiedMonotone(t *testing.T) {
+	// Monotonicity: adding attributes never unsatisfies a policy.
+	pol := Or(And(Attr("a"), Attr("b")), Threshold(2, Attr("c"), Attr("d"), Attr("e")))
+	all := []string{"a", "b", "c", "d", "e", "f"}
+	f := func(mask, extra uint8) bool {
+		var subset []string
+		for i, a := range all {
+			if mask&(1<<i) != 0 {
+				subset = append(subset, a)
+			}
+		}
+		superset := append(append([]string(nil), subset...), all[int(extra)%len(all)])
+		if pol.Satisfied(subset) && !pol.Satisfied(superset) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+// Package blindsig implements Chaum blind RSA signatures.
+//
+// The paper (Section V-A) uses blind signatures for content privacy in
+// secure social search: a subscriber obtains the publisher's signature on a
+// keyword (hashtag) without revealing the keyword, and that signature then
+// doubles as the decryption key for matching messages (the Hummingbird
+// approach). The classic RSA construction implemented here:
+//
+//	blind:    m' = m * r^e mod N      (receiver, random r)
+//	sign:     s' = (m')^d mod N       (signer, learns nothing about m)
+//	unblind:  s  = s' * r^{-1} mod N  (receiver; s = m^d, a plain signature)
+//
+// Messages are hashed (full-domain style) before blinding.
+package blindsig
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Errors returned by this package.
+var (
+	ErrBadSignature = errors.New("blindsig: signature verification failed")
+	ErrKeySize      = errors.New("blindsig: key too small")
+)
+
+// minBits is the minimum accepted RSA modulus size.
+const minBits = 1024
+
+// Signer holds the RSA private key of the signing party (the publisher).
+type Signer struct {
+	key *rsa.PrivateKey
+}
+
+// PublicKey is the signer's public key, distributed to subscribers.
+type PublicKey struct {
+	key *rsa.PublicKey
+}
+
+// NewSigner generates a signer with a fresh RSA key of the given bit size.
+func NewSigner(bits int) (*Signer, error) {
+	if bits < minBits {
+		return nil, ErrKeySize
+	}
+	key, err := rsa.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		return nil, fmt.Errorf("blindsig: generating key: %w", err)
+	}
+	return &Signer{key: key}, nil
+}
+
+// Public returns the signer's public key.
+func (s *Signer) Public() *PublicKey {
+	return &PublicKey{key: &s.key.PublicKey}
+}
+
+// BlindState is the receiver's private unblinding state.
+type BlindState struct {
+	r   *big.Int
+	pub *rsa.PublicKey
+}
+
+// Blind hashes message to the RSA domain and blinds it. It returns the
+// blinded element to send to the signer and the unblinding state.
+func (pk *PublicKey) Blind(message []byte) (*big.Int, *BlindState, error) {
+	n := pk.key.N
+	m := hashToDomain(message, n)
+	var r *big.Int
+	for {
+		var err error
+		r, err = rand.Int(rand.Reader, n)
+		if err != nil {
+			return nil, nil, fmt.Errorf("blindsig: sampling blinding factor: %w", err)
+		}
+		if r.Sign() > 0 && new(big.Int).GCD(nil, nil, r, n).Cmp(big.NewInt(1)) == 0 {
+			break
+		}
+	}
+	e := big.NewInt(int64(pk.key.E))
+	re := new(big.Int).Exp(r, e, n)
+	blinded := new(big.Int).Mul(m, re)
+	blinded.Mod(blinded, n)
+	return blinded, &BlindState{r: r, pub: pk.key}, nil
+}
+
+// SignBlinded signs a blinded element. The signer learns nothing about the
+// underlying message.
+func (s *Signer) SignBlinded(blinded *big.Int) *big.Int {
+	return new(big.Int).Exp(blinded, s.key.D, s.key.N)
+}
+
+// Unblind removes the blinding factor, yielding an ordinary RSA signature on
+// the original message.
+func (st *BlindState) Unblind(blindedSig *big.Int) *big.Int {
+	rInv := new(big.Int).ModInverse(st.r, st.pub.N)
+	sig := new(big.Int).Mul(blindedSig, rInv)
+	return sig.Mod(sig, st.pub.N)
+}
+
+// Verify checks that sig is a valid signature on message under pk.
+func (pk *PublicKey) Verify(message []byte, sig *big.Int) error {
+	n := pk.key.N
+	e := big.NewInt(int64(pk.key.E))
+	m := hashToDomain(message, n)
+	check := new(big.Int).Exp(sig, e, n)
+	if check.Cmp(m) != 0 {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Sign produces a plain (non-blind) signature on message; used by the signer
+// for its own content and by tests as a reference.
+func (s *Signer) Sign(message []byte) *big.Int {
+	m := hashToDomain(message, s.key.N)
+	return new(big.Int).Exp(m, s.key.D, s.key.N)
+}
+
+// SignatureKey derives a symmetric-key-sized digest from a signature, for
+// Hummingbird-style use of the signature as a message encryption key.
+func SignatureKey(sig *big.Int) []byte {
+	h := sha256.New()
+	h.Write([]byte("godosn/blindsig/sigkey-v1"))
+	h.Write(sig.Bytes())
+	return h.Sum(nil)
+}
+
+// hashToDomain maps message into Z_N via repeated hashing (full-domain hash,
+// truncated below N).
+func hashToDomain(message []byte, n *big.Int) *big.Int {
+	byteLen := (n.BitLen() + 7) / 8
+	out := make([]byte, 0, byteLen)
+	var counter byte
+	for len(out) < byteLen {
+		h := sha256.New()
+		h.Write([]byte("godosn/blindsig/fdh-v1"))
+		h.Write([]byte{counter})
+		h.Write(message)
+		out = append(out, h.Sum(nil)...)
+		counter++
+	}
+	m := new(big.Int).SetBytes(out[:byteLen])
+	return m.Mod(m, n)
+}

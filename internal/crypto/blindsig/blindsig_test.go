@@ -1,0 +1,110 @@
+package blindsig
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+)
+
+// testSigner is shared across tests; RSA keygen is expensive.
+var testSigner = mustSigner()
+
+func mustSigner() *Signer {
+	s, err := NewSigner(1024)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestBlindSignVerify(t *testing.T) {
+	pub := testSigner.Public()
+	msg := []byte("#party-hashtag")
+	blinded, st, err := pub.Blind(msg)
+	if err != nil {
+		t.Fatalf("Blind: %v", err)
+	}
+	sig := st.Unblind(testSigner.SignBlinded(blinded))
+	if err := pub.Verify(msg, sig); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestBlindSignatureEqualsPlainSignature(t *testing.T) {
+	// Unblinding must yield exactly the deterministic RSA signature, which
+	// is what makes the signature usable as a message key by all holders.
+	pub := testSigner.Public()
+	msg := []byte("keyword")
+	blinded, st, err := pub.Blind(msg)
+	if err != nil {
+		t.Fatalf("Blind: %v", err)
+	}
+	viaBlind := st.Unblind(testSigner.SignBlinded(blinded))
+	direct := testSigner.Sign(msg)
+	if viaBlind.Cmp(direct) != 0 {
+		t.Fatal("blind-channel signature differs from direct signature")
+	}
+}
+
+func TestVerifyRejectsWrongMessage(t *testing.T) {
+	sig := testSigner.Sign([]byte("right"))
+	if err := testSigner.Public().Verify([]byte("wrong"), sig); err == nil {
+		t.Fatal("verified signature on different message")
+	}
+}
+
+func TestVerifyRejectsMutatedSignature(t *testing.T) {
+	sig := testSigner.Sign([]byte("msg"))
+	bad := new(big.Int).Add(sig, big.NewInt(1))
+	if err := testSigner.Public().Verify([]byte("msg"), bad); err == nil {
+		t.Fatal("verified mutated signature")
+	}
+}
+
+func TestBlindedElementUnlinkable(t *testing.T) {
+	pub := testSigner.Public()
+	b1, _, err := pub.Blind([]byte("same"))
+	if err != nil {
+		t.Fatalf("Blind: %v", err)
+	}
+	b2, _, err := pub.Blind([]byte("same"))
+	if err != nil {
+		t.Fatalf("Blind: %v", err)
+	}
+	if b1.Cmp(b2) == 0 {
+		t.Fatal("blinding is deterministic; signer could link requests")
+	}
+}
+
+func TestSignatureKeyDeterministic(t *testing.T) {
+	sig := testSigner.Sign([]byte("kw"))
+	k1 := SignatureKey(sig)
+	k2 := SignatureKey(new(big.Int).Set(sig))
+	if !bytes.Equal(k1, k2) {
+		t.Fatal("SignatureKey not deterministic")
+	}
+	if len(k1) != 32 {
+		t.Fatalf("key length %d, want 32", len(k1))
+	}
+	other := SignatureKey(testSigner.Sign([]byte("kw2")))
+	if bytes.Equal(k1, other) {
+		t.Fatal("different signatures gave same key")
+	}
+}
+
+func TestNewSignerRejectsSmallKeys(t *testing.T) {
+	if _, err := NewSigner(512); err == nil {
+		t.Fatal("accepted 512-bit key")
+	}
+}
+
+func TestCrossSignerVerifyFails(t *testing.T) {
+	other, err := NewSigner(1024)
+	if err != nil {
+		t.Fatalf("NewSigner: %v", err)
+	}
+	sig := testSigner.Sign([]byte("m"))
+	if err := other.Public().Verify([]byte("m"), sig); err == nil {
+		t.Fatal("verified against wrong signer")
+	}
+}

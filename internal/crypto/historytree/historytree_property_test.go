@@ -1,0 +1,127 @@
+package historytree
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"godosn/internal/crypto/merkle"
+	"godosn/internal/crypto/pubkey"
+)
+
+// TestQuickViewNeverCrossesForks drives random interleavings of appends on
+// an honest and a forked copy of the same object and checks the invariants:
+// a view following the honest server always advances; any attempt to move
+// it onto the forked copy fails or yields fork evidence; cross-checking a
+// forked reader always yields evidence once both sides diverge at the same
+// version.
+func TestQuickViewNeverCrossesForks(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		key, err := pubkey.NewSigningKeyPair()
+		if err != nil {
+			return false
+		}
+		vk := key.Verification()
+		honest := NewServer(key)
+		forked := NewServer(key)
+		const obj = "wall:x"
+
+		view := NewView(obj, vk)
+		divergedAt := -1
+		for round := 0; round < 12; round++ {
+			payload := fmt.Sprintf("op-%d", round)
+			honest.Append(obj, []byte(payload))
+			if divergedAt < 0 && rng.Intn(4) == 0 {
+				divergedAt = round
+			}
+			if divergedAt >= 0 && round >= divergedAt {
+				forked.Append(obj, []byte("FORK-"+payload))
+			} else {
+				forked.Append(obj, []byte(payload))
+			}
+
+			// Advance the view honestly.
+			latest, err := honest.Latest(obj)
+			if err != nil {
+				return false
+			}
+			var proof *merkle.ConsistencyProof
+			if cur := view.Latest(); cur != nil && latest.Version > cur.Version {
+				proof, err = honest.ProveConsistency(obj, cur.Version, latest.Version)
+				if err != nil {
+					return false
+				}
+			}
+			if err := view.Advance(latest, proof); err != nil {
+				return false // honest advance must always work
+			}
+
+			// Attack: try to move the view onto the forked copy.
+			if divergedAt >= 0 {
+				evil, err := forked.Latest(obj)
+				if err != nil {
+					return false
+				}
+				evilProof, _ := forked.ProveConsistency(obj, view.Latest().Version, evil.Version)
+				if err := view.Advance(evil, evilProof); err == nil {
+					return false // crossing the fork must never succeed
+				}
+				// And the view must not have moved.
+				if view.Latest().Root != latest.Root {
+					return false
+				}
+			}
+		}
+		// Final cross-check between an honest and a forked reader.
+		if divergedAt >= 0 {
+			hc, _ := honest.Latest(obj)
+			fc, _ := forked.Latest(obj)
+			err := CheckCommitments(hc, fc, vk)
+			var fork *ForkEvidence
+			if !errors.As(err, &fork) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMembershipAcrossVersions checks that membership proofs verify at
+// every historical version for random history lengths.
+func TestQuickMembershipAcrossVersions(t *testing.T) {
+	key, err := pubkey.NewSigningKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(key)
+	const obj = "o"
+	var roots [][32]byte
+	for i := 0; i < 24; i++ {
+		c, err := s.Append(obj, []byte(fmt.Sprintf("op%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		roots = append(roots, c.Root)
+	}
+	f := func(vRaw, iRaw uint8) bool {
+		version := int(vRaw)%24 + 1
+		index := int(iRaw) % version
+		op, proof, err := s.ProveMembership(obj, version, index)
+		if err != nil {
+			return false
+		}
+		if string(op) != fmt.Sprintf("op%d", index) {
+			return false
+		}
+		return merkle.VerifyProof(roots[version-1], merkle.LeafHash(op), proof) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

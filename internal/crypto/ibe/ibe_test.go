@@ -1,0 +1,169 @@
+package ibe
+
+import (
+	"bytes"
+	"testing"
+)
+
+func newTestPKG(t *testing.T) *PKG {
+	t.Helper()
+	p, err := NewPKG()
+	if err != nil {
+		t.Fatalf("NewPKG: %v", err)
+	}
+	return p
+}
+
+func TestIBERoundTrip(t *testing.T) {
+	pkg := newTestPKG(t)
+	ct, err := pkg.Encrypt("alice@example.org", []byte("hello alice"))
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	key, err := pkg.Extract("alice@example.org")
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	got, err := key.Decrypt(ct)
+	if err != nil {
+		t.Fatalf("Decrypt: %v", err)
+	}
+	if string(got) != "hello alice" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestIBEWrongIdentityFails(t *testing.T) {
+	pkg := newTestPKG(t)
+	ct, _ := pkg.Encrypt("alice@example.org", []byte("for alice"))
+	bobKey, _ := pkg.Extract("bob@example.org")
+	if _, err := bobKey.Decrypt(ct); err == nil {
+		t.Fatal("bob decrypted alice's message")
+	}
+}
+
+func TestIdentityKeysDeterministic(t *testing.T) {
+	pkg := newTestPKG(t)
+	k1, _ := pkg.Extract("carol")
+	k2, _ := pkg.Extract("carol")
+	ct, _ := pkg.Encrypt("carol", []byte("m"))
+	a, err1 := k1.Decrypt(ct)
+	b, err2 := k2.Decrypt(ct)
+	if err1 != nil || err2 != nil || !bytes.Equal(a, b) {
+		t.Fatal("re-extracted key differs")
+	}
+}
+
+func TestDifferentPKGsIncompatible(t *testing.T) {
+	pkg1 := newTestPKG(t)
+	pkg2 := newTestPKG(t)
+	ct, _ := pkg1.Encrypt("alice", []byte("m"))
+	key, _ := pkg2.Extract("alice")
+	if _, err := key.Decrypt(ct); err == nil {
+		t.Fatal("key from different PKG decrypted")
+	}
+}
+
+func TestArbitraryStringIdentities(t *testing.T) {
+	pkg := newTestPKG(t)
+	// "public keys can be any arbitrary string" — exercise odd identities.
+	for _, id := range []string{"", "a", "ユーザー@例.jp", "spaces in id", string([]byte{0, 1, 2})} {
+		ct, err := pkg.Encrypt(id, []byte("m"))
+		if err != nil {
+			t.Fatalf("Encrypt(%q): %v", id, err)
+		}
+		key, err := pkg.Extract(id)
+		if err != nil {
+			t.Fatalf("Extract(%q): %v", id, err)
+		}
+		if got, err := key.Decrypt(ct); err != nil || string(got) != "m" {
+			t.Fatalf("Decrypt(%q): %v", id, err)
+		}
+	}
+}
+
+func TestBroadcastRoundTrip(t *testing.T) {
+	pkg := newTestPKG(t)
+	recipients := []string{"alice", "bob", "carol"}
+	b, err := pkg.EncryptBroadcast(recipients, []byte("party on friday"))
+	if err != nil {
+		t.Fatalf("EncryptBroadcast: %v", err)
+	}
+	for _, id := range recipients {
+		key, _ := pkg.Extract(id)
+		got, err := key.DecryptBroadcast(b)
+		if err != nil {
+			t.Fatalf("DecryptBroadcast(%s): %v", id, err)
+		}
+		if string(got) != "party on friday" {
+			t.Fatalf("%s got %q", id, got)
+		}
+	}
+}
+
+func TestBroadcastNonRecipientFails(t *testing.T) {
+	pkg := newTestPKG(t)
+	b, _ := pkg.EncryptBroadcast([]string{"alice", "bob"}, []byte("secret"))
+	eveKey, _ := pkg.Extract("eve")
+	if _, err := eveKey.DecryptBroadcast(b); err == nil {
+		t.Fatal("non-recipient decrypted broadcast")
+	}
+}
+
+func TestBroadcastRecipientRemovalIsFree(t *testing.T) {
+	// The paper: "Removing a recipient from the list would then have no
+	// extra cost" — a new broadcast simply omits the identity; no re-keying
+	// of remaining members is needed.
+	pkg := newTestPKG(t)
+	before, _ := pkg.EncryptBroadcast([]string{"alice", "bob", "carol"}, []byte("v1"))
+	after, err := pkg.EncryptBroadcast([]string{"alice", "carol"}, []byte("v2"))
+	if err != nil {
+		t.Fatalf("EncryptBroadcast: %v", err)
+	}
+	bobKey, _ := pkg.Extract("bob")
+	if _, err := bobKey.DecryptBroadcast(after); err == nil {
+		t.Fatal("removed recipient still decrypts")
+	}
+	aliceKey, _ := pkg.Extract("alice")
+	if got, err := aliceKey.DecryptBroadcast(after); err != nil || string(got) != "v2" {
+		t.Fatalf("remaining recipient failed: %v", err)
+	}
+	// Old broadcasts stay readable by the removed member, as with any
+	// already-delivered content.
+	if _, err := bobKey.DecryptBroadcast(before); err != nil {
+		t.Fatalf("old broadcast unreadable: %v", err)
+	}
+}
+
+func TestBroadcastSizeGrowsWithRecipients(t *testing.T) {
+	pkg := newTestPKG(t)
+	small, _ := pkg.EncryptBroadcast([]string{"a"}, []byte("m"))
+	var many []string
+	for i := 0; i < 16; i++ {
+		many = append(many, string(rune('a'+i)))
+	}
+	large, _ := pkg.EncryptBroadcast(many, []byte("m"))
+	if large.Size() <= small.Size() {
+		t.Fatal("broadcast size did not grow with recipient count")
+	}
+}
+
+func TestBroadcastEmptyRecipients(t *testing.T) {
+	pkg := newTestPKG(t)
+	if _, err := pkg.EncryptBroadcast(nil, []byte("m")); err == nil {
+		t.Fatal("accepted empty recipient list")
+	}
+}
+
+func TestBroadcastMalformed(t *testing.T) {
+	pkg := newTestPKG(t)
+	key, _ := pkg.Extract("alice")
+	if _, err := key.DecryptBroadcast(nil); err == nil {
+		t.Fatal("accepted nil broadcast")
+	}
+	b, _ := pkg.EncryptBroadcast([]string{"alice"}, []byte("m"))
+	b.WrappedKeys = nil
+	if _, err := key.DecryptBroadcast(b); err == nil {
+		t.Fatal("accepted broadcast with missing wraps")
+	}
+}

@@ -1,0 +1,101 @@
+package merkle
+
+import "errors"
+
+// ErrInvalidConsistency indicates a consistency proof that does not verify.
+var ErrInvalidConsistency = errors.New("merkle: consistency proof verification failed")
+
+// ConsistencyProof proves that the tree with newSize leaves is an append-only
+// extension of the tree with oldSize leaves (RFC 6962 §2.1.2 style).
+type ConsistencyProof struct {
+	// OldSize and NewSize are the two tree sizes related by the proof.
+	OldSize int
+	NewSize int
+	// Path holds the proof node digests.
+	Path [][32]byte
+}
+
+// ProveConsistency builds a proof that the current tree extends its earlier
+// state at oldSize leaves.
+func (t *Tree) ProveConsistency(oldSize int) (*ConsistencyProof, error) {
+	n := len(t.leaves)
+	if oldSize <= 0 || oldSize > n {
+		return nil, ErrIndexRange
+	}
+	p := &ConsistencyProof{OldSize: oldSize, NewSize: n}
+	if oldSize == n {
+		return p, nil
+	}
+	p.Path = subProof(t.leaves, oldSize, true)
+	return p, nil
+}
+
+// subProof implements the SUBPROOF recursion of RFC 6962.
+func subProof(leaves [][32]byte, m int, completeSubtree bool) [][32]byte {
+	n := len(leaves)
+	if m == n {
+		if completeSubtree {
+			return nil
+		}
+		return [][32]byte{rootOf(leaves)}
+	}
+	k := splitPoint(n)
+	if m <= k {
+		proof := subProof(leaves[:k], m, completeSubtree)
+		return append(proof, rootOf(leaves[k:]))
+	}
+	proof := subProof(leaves[k:], m-k, false)
+	return append(proof, rootOf(leaves[:k]))
+}
+
+// VerifyConsistency checks that newRoot's tree extends oldRoot's tree.
+func VerifyConsistency(oldRoot, newRoot [32]byte, proof *ConsistencyProof) error {
+	if proof == nil || proof.OldSize <= 0 || proof.OldSize > proof.NewSize {
+		return ErrInvalidConsistency
+	}
+	if proof.OldSize == proof.NewSize {
+		if oldRoot != newRoot || len(proof.Path) != 0 {
+			return ErrInvalidConsistency
+		}
+		return nil
+	}
+	// RFC 6962 §2.1.4.2 verification algorithm.
+	path := proof.Path
+	if len(path) == 0 {
+		return ErrInvalidConsistency
+	}
+	fn := proof.OldSize - 1
+	sn := proof.NewSize - 1
+	for fn%2 == 1 {
+		fn >>= 1
+		sn >>= 1
+	}
+	var fr, sr [32]byte
+	if fn > 0 {
+		fr, sr = path[0], path[0]
+		path = path[1:]
+	} else {
+		fr, sr = oldRoot, oldRoot
+	}
+	for _, c := range path {
+		if sn == 0 {
+			return ErrInvalidConsistency
+		}
+		if fn%2 == 1 || fn == sn {
+			fr = NodeHash(c, fr)
+			sr = NodeHash(c, sr)
+			for fn%2 == 0 && fn != 0 {
+				fn >>= 1
+				sn >>= 1
+			}
+		} else {
+			sr = NodeHash(sr, c)
+		}
+		fn >>= 1
+		sn >>= 1
+	}
+	if fr != oldRoot || sr != newRoot || sn != 0 {
+		return ErrInvalidConsistency
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package oprf
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestProtocolMatchesDirect(t *testing.T) {
+	s, err := NewSecret()
+	if err != nil {
+		t.Fatalf("NewSecret: %v", err)
+	}
+	inputs := [][]byte{[]byte(""), []byte("hashtag"), []byte("#godosn"), bytes.Repeat([]byte("a"), 1000)}
+	for _, in := range inputs {
+		blinded, st, err := Blind(in)
+		if err != nil {
+			t.Fatalf("Blind: %v", err)
+		}
+		evaluated, err := s.Evaluate(blinded)
+		if err != nil {
+			t.Fatalf("Evaluate: %v", err)
+		}
+		got, err := st.Finalize(evaluated)
+		if err != nil {
+			t.Fatalf("Finalize: %v", err)
+		}
+		want := s.EvaluateDirect(in)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("OPRF output mismatch for input %q", in)
+		}
+		if len(got) != OutputSize {
+			t.Fatalf("output size %d, want %d", len(got), OutputSize)
+		}
+	}
+}
+
+func TestDistinctInputsDistinctOutputs(t *testing.T) {
+	s, _ := NewSecret()
+	a := s.EvaluateDirect([]byte("x"))
+	b := s.EvaluateDirect([]byte("y"))
+	if bytes.Equal(a, b) {
+		t.Fatal("distinct inputs gave equal outputs")
+	}
+}
+
+func TestDistinctSecretsDistinctOutputs(t *testing.T) {
+	s1, _ := NewSecret()
+	s2, _ := NewSecret()
+	a := s1.EvaluateDirect([]byte("x"))
+	b := s2.EvaluateDirect([]byte("x"))
+	if bytes.Equal(a, b) {
+		t.Fatal("distinct secrets gave equal outputs")
+	}
+}
+
+func TestBlindingHidesInput(t *testing.T) {
+	// Two blindings of the same input must differ (fresh blinding factors),
+	// otherwise the sender could link repeated queries.
+	b1, _, err := Blind([]byte("same input"))
+	if err != nil {
+		t.Fatalf("Blind: %v", err)
+	}
+	b2, _, err := Blind([]byte("same input"))
+	if err != nil {
+		t.Fatalf("Blind: %v", err)
+	}
+	if bytes.Equal(b1, b2) {
+		t.Fatal("blinded elements repeat across runs")
+	}
+}
+
+func TestEvaluateRejectsGarbage(t *testing.T) {
+	s, _ := NewSecret()
+	if _, err := s.Evaluate([]byte("not a point")); err == nil {
+		t.Fatal("Evaluate accepted garbage")
+	}
+}
+
+func TestFinalizeRejectsGarbage(t *testing.T) {
+	_, st, err := Blind([]byte("in"))
+	if err != nil {
+		t.Fatalf("Blind: %v", err)
+	}
+	if _, err := st.Finalize([]byte("junk")); err == nil {
+		t.Fatal("Finalize accepted garbage")
+	}
+}
+
+func TestQuickProtocolAgreement(t *testing.T) {
+	s, _ := NewSecret()
+	f := func(input []byte) bool {
+		blinded, st, err := Blind(input)
+		if err != nil {
+			return false
+		}
+		evaluated, err := s.Evaluate(blinded)
+		if err != nil {
+			return false
+		}
+		got, err := st.Finalize(evaluated)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, s.EvaluateDirect(input))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

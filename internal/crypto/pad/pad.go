@@ -1,0 +1,346 @@
+// Package pad implements a persistent authenticated dictionary (PAD): a
+// key-value store with Merkle-style authentication, logarithmic-time lookups
+// and proofs, and cheap persistent snapshots.
+//
+// The paper (Section III-F) notes that in Frientegrity "the hybrid structure
+// of the access control lists (ACLs) ... is organized in a persistent
+// authenticated dictionary (PAD). Thus, ACLs are PADs, making it possible to
+// access in logarithmic time." This package provides that substrate: the
+// ACL layer of internal/social/privacy stores membership entries in a PAD so
+// that an untrusted replica can answer "is user U in group G's ACL?" with a
+// cryptographic proof against a signed root.
+//
+// The construction is an authenticated treap: a balanced search tree whose
+// shape is a deterministic function of the key set (heap priorities are
+// derived by hashing keys), with every node carrying a hash of its subtree.
+// Deterministic shape means two replicas holding the same entries agree on
+// the root digest. Updates copy the O(log n) path (path-copying persistence),
+// so every version remains queryable — the "persistent" in PAD.
+package pad
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+)
+
+// Errors returned by this package.
+var (
+	ErrNotFound     = errors.New("pad: key not found")
+	ErrInvalidProof = errors.New("pad: proof verification failed")
+)
+
+// node is an immutable treap node; trees share structure across versions.
+type node struct {
+	key      []byte
+	value    []byte
+	priority [32]byte
+	hash     [32]byte
+	left     *node
+	right    *node
+}
+
+// Dict is one immutable version of the dictionary. The zero value is NOT
+// usable; obtain versions from New and Insert/Delete.
+type Dict struct {
+	root *node
+	size int
+}
+
+// New returns an empty dictionary version.
+func New() *Dict { return &Dict{} }
+
+// Len returns the number of entries in this version.
+func (d *Dict) Len() int { return d.size }
+
+// Root returns the authenticator digest of this version. Signing this root
+// commits the whole dictionary contents.
+func (d *Dict) Root() [32]byte { return hashOf(d.root) }
+
+var emptyHash = sha256.Sum256([]byte("godosn/pad/empty-v1"))
+
+func hashOf(n *node) [32]byte {
+	if n == nil {
+		return emptyHash
+	}
+	return n.hash
+}
+
+// nodeHash authenticates a node: H(len(key) || key || len(value) || value ||
+// leftHash || rightHash).
+func nodeHash(key, value []byte, left, right [32]byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("godosn/pad/node-v1"))
+	var l [8]byte
+	binary.BigEndian.PutUint64(l[:], uint64(len(key)))
+	h.Write(l[:])
+	h.Write(key)
+	binary.BigEndian.PutUint64(l[:], uint64(len(value)))
+	h.Write(l[:])
+	h.Write(value)
+	h.Write(left[:])
+	h.Write(right[:])
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+func priorityOf(key []byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("godosn/pad/priority-v1"))
+	h.Write(key)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+func mkNode(key, value []byte, left, right *node) *node {
+	n := &node{
+		key:      key,
+		value:    value,
+		priority: priorityOf(key),
+		left:     left,
+		right:    right,
+	}
+	n.hash = nodeHash(key, value, hashOf(left), hashOf(right))
+	return n
+}
+
+// withChildren returns a copy of n with new children (path copying).
+func (n *node) withChildren(left, right *node) *node {
+	return mkNode(n.key, n.value, left, right)
+}
+
+// Get returns the value for key in this version.
+func (d *Dict) Get(key []byte) ([]byte, error) {
+	n := d.root
+	for n != nil {
+		switch c := bytes.Compare(key, n.key); {
+		case c == 0:
+			return append([]byte(nil), n.value...), nil
+		case c < 0:
+			n = n.left
+		default:
+			n = n.right
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// Insert returns a new version with key set to value. The receiver version
+// is unchanged.
+func (d *Dict) Insert(key, value []byte) *Dict {
+	k := append([]byte(nil), key...)
+	v := append([]byte(nil), value...)
+	root, added := insert(d.root, k, v)
+	size := d.size
+	if added {
+		size++
+	}
+	return &Dict{root: root, size: size}
+}
+
+func insert(n *node, key, value []byte) (*node, bool) {
+	if n == nil {
+		return mkNode(key, value, nil, nil), true
+	}
+	switch c := bytes.Compare(key, n.key); {
+	case c == 0:
+		return mkNode(n.key, value, n.left, n.right), false
+	case c < 0:
+		left, added := insert(n.left, key, value)
+		nn := n.withChildren(left, n.right)
+		if bytes.Compare(left.priority[:], nn.priority[:]) > 0 {
+			nn = rotateRight(nn)
+		}
+		return nn, added
+	default:
+		right, added := insert(n.right, key, value)
+		nn := n.withChildren(n.left, right)
+		if bytes.Compare(right.priority[:], nn.priority[:]) > 0 {
+			nn = rotateLeft(nn)
+		}
+		return nn, added
+	}
+}
+
+// Delete returns a new version without key. Deleting an absent key returns
+// the receiver unchanged.
+func (d *Dict) Delete(key []byte) *Dict {
+	root, removed := remove(d.root, key)
+	if !removed {
+		return d
+	}
+	return &Dict{root: root, size: d.size - 1}
+}
+
+func remove(n *node, key []byte) (*node, bool) {
+	if n == nil {
+		return nil, false
+	}
+	switch c := bytes.Compare(key, n.key); {
+	case c < 0:
+		left, removed := remove(n.left, key)
+		if !removed {
+			return n, false
+		}
+		return n.withChildren(left, n.right), true
+	case c > 0:
+		right, removed := remove(n.right, key)
+		if !removed {
+			return n, false
+		}
+		return n.withChildren(n.left, right), true
+	default:
+		return merge(n.left, n.right), true
+	}
+}
+
+// merge joins two treaps where every key in a precedes every key in b.
+func merge(a, b *node) *node {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	case bytes.Compare(a.priority[:], b.priority[:]) > 0:
+		return a.withChildren(a.left, merge(a.right, b))
+	default:
+		return b.withChildren(merge(a, b.left), b.right)
+	}
+}
+
+func rotateRight(n *node) *node {
+	l := n.left
+	return l.withChildren(l.left, n.withChildren(l.right, n.right))
+}
+
+func rotateLeft(n *node) *node {
+	r := n.right
+	return r.withChildren(n.withChildren(n.left, r.left), r.right)
+}
+
+// Keys returns all keys in order (for iteration and tests).
+func (d *Dict) Keys() [][]byte {
+	var out [][]byte
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		out = append(out, append([]byte(nil), n.key...))
+		walk(n.right)
+	}
+	walk(d.root)
+	return out
+}
+
+// ProofStep is one node on a lookup path.
+type ProofStep struct {
+	// Key and Value are the node's entry (Value only for the terminal node
+	// of a positive proof; nil otherwise to keep proofs small — the hash
+	// still commits to it via ValueHashed).
+	Key []byte
+	// Value is the node's value.
+	Value []byte
+	// OffPathHash is the hash of the child NOT taken by the lookup.
+	OffPathHash [32]byte
+	// WentLeft records which child the lookup descended into.
+	WentLeft bool
+}
+
+// Proof is an authenticated lookup result: the path from root to the key's
+// node (positive) or to the leaf where the key would live (negative).
+type Proof struct {
+	// Present reports whether the key was found.
+	Present bool
+	// Value is the found value (Present only).
+	Value []byte
+	// Steps is the root-to-node path.
+	Steps []ProofStep
+}
+
+// Prove produces an authenticated lookup proof for key in this version.
+func (d *Dict) Prove(key []byte) *Proof {
+	p := &Proof{}
+	n := d.root
+	for n != nil {
+		c := bytes.Compare(key, n.key)
+		if c == 0 {
+			p.Present = true
+			p.Value = append([]byte(nil), n.value...)
+			// Terminal step carries both child hashes via Steps encoding:
+			// we store the node with the right child hash in OffPathHash and
+			// WentLeft=true, then a sentinel step for the left child hash.
+			p.Steps = append(p.Steps, ProofStep{
+				Key:         append([]byte(nil), n.key...),
+				Value:       append([]byte(nil), n.value...),
+				OffPathHash: hashOf(n.right),
+				WentLeft:    true,
+			})
+			p.Steps = append(p.Steps, ProofStep{OffPathHash: hashOf(n.left), WentLeft: false})
+			return p
+		}
+		step := ProofStep{
+			Key:   append([]byte(nil), n.key...),
+			Value: append([]byte(nil), n.value...),
+		}
+		if c < 0 {
+			step.WentLeft = true
+			step.OffPathHash = hashOf(n.right)
+			n = n.left
+		} else {
+			step.WentLeft = false
+			step.OffPathHash = hashOf(n.left)
+			n = n.right
+		}
+		p.Steps = append(p.Steps, step)
+	}
+	return p
+}
+
+// VerifyProof checks a lookup proof against a trusted root digest. For a
+// positive proof it also confirms the returned value; for a negative proof it
+// confirms the search path ends at an absent position and that every step is
+// search-order consistent with the queried key.
+func VerifyProof(root [32]byte, key []byte, p *Proof) error {
+	if p == nil {
+		return ErrInvalidProof
+	}
+	steps := p.Steps
+	var computed [32]byte
+	if p.Present {
+		if len(steps) < 2 {
+			return ErrInvalidProof
+		}
+		term := steps[len(steps)-2]
+		sentinel := steps[len(steps)-1]
+		if !bytes.Equal(term.Key, key) || !bytes.Equal(term.Value, p.Value) {
+			return ErrInvalidProof
+		}
+		computed = nodeHash(term.Key, term.Value, sentinel.OffPathHash, term.OffPathHash)
+		steps = steps[:len(steps)-2]
+	} else {
+		computed = emptyHash
+	}
+	for i := len(steps) - 1; i >= 0; i-- {
+		s := steps[i]
+		// Search-order consistency: the lookup key must sort to the side
+		// that was descended into.
+		c := bytes.Compare(key, s.Key)
+		if c == 0 || (c < 0) != s.WentLeft {
+			return ErrInvalidProof
+		}
+		if s.WentLeft {
+			computed = nodeHash(s.Key, s.Value, computed, s.OffPathHash)
+		} else {
+			computed = nodeHash(s.Key, s.Value, s.OffPathHash, computed)
+		}
+	}
+	if computed != root {
+		return ErrInvalidProof
+	}
+	return nil
+}

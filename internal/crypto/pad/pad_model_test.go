@@ -1,0 +1,110 @@
+package pad
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestModelBasedRandomOps drives the PAD with random insert/delete/get
+// sequences against a plain map model, verifying (a) observable equivalence,
+// (b) proof validity for every queried key, and (c) persistence of old
+// versions.
+func TestModelBasedRandomOps(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			d := New()
+			model := map[string]string{}
+			type snapshot struct {
+				dict  *Dict
+				model map[string]string
+			}
+			var snaps []snapshot
+
+			keyspace := make([]string, 30)
+			for i := range keyspace {
+				keyspace[i] = fmt.Sprintf("key-%02d", i)
+			}
+			for op := 0; op < 400; op++ {
+				k := keyspace[rng.Intn(len(keyspace))]
+				switch rng.Intn(4) {
+				case 0, 1: // insert/update
+					v := fmt.Sprintf("v%d", op)
+					d = d.Insert([]byte(k), []byte(v))
+					model[k] = v
+				case 2: // delete
+					d = d.Delete([]byte(k))
+					delete(model, k)
+				case 3: // snapshot
+					cp := make(map[string]string, len(model))
+					for mk, mv := range model {
+						cp[mk] = mv
+					}
+					snaps = append(snaps, snapshot{dict: d, model: cp})
+				}
+				// Invariants after every op.
+				if d.Len() != len(model) {
+					t.Fatalf("op %d: Len=%d model=%d", op, d.Len(), len(model))
+				}
+				probe := keyspace[rng.Intn(len(keyspace))]
+				got, err := d.Get([]byte(probe))
+				want, ok := model[probe]
+				if ok != (err == nil) {
+					t.Fatalf("op %d: Get(%s) presence mismatch: %v vs %v", op, probe, err, ok)
+				}
+				if ok && string(got) != want {
+					t.Fatalf("op %d: Get(%s)=%q want %q", op, probe, got, want)
+				}
+				proof := d.Prove([]byte(probe))
+				if proof.Present != ok {
+					t.Fatalf("op %d: proof presence mismatch for %s", op, probe)
+				}
+				if err := VerifyProof(d.Root(), []byte(probe), proof); err != nil {
+					t.Fatalf("op %d: proof for %s invalid: %v", op, probe, err)
+				}
+			}
+			// Persistence: every snapshot still matches its model exactly.
+			for i, s := range snaps {
+				if s.dict.Len() != len(s.model) {
+					t.Fatalf("snapshot %d: Len drifted", i)
+				}
+				for k, v := range s.model {
+					got, err := s.dict.Get([]byte(k))
+					if err != nil || string(got) != v {
+						t.Fatalf("snapshot %d: Get(%s)=%q,%v want %q", i, k, got, err, v)
+					}
+				}
+				for _, k := range keyspace {
+					if _, inModel := s.model[k]; !inModel {
+						if _, err := s.dict.Get([]byte(k)); err == nil {
+							t.Fatalf("snapshot %d: phantom key %s", i, k)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestProofStepsLogarithmic checks the Frientegrity "logarithmic time"
+// claim structurally: proof length grows ~log n, far below linear.
+func TestProofStepsLogarithmic(t *testing.T) {
+	steps := func(n int) int {
+		d := New()
+		for i := 0; i < n; i++ {
+			d = d.Insert([]byte(fmt.Sprintf("m-%06d", i)), []byte("v"))
+		}
+		p := d.Prove([]byte(fmt.Sprintf("m-%06d", n/2)))
+		return len(p.Steps)
+	}
+	s256 := steps(256)
+	s4096 := steps(4096)
+	if s4096 > s256+12 {
+		t.Fatalf("proof growth not logarithmic: %d @256 -> %d @4096", s256, s4096)
+	}
+	if s4096 > 40 {
+		t.Fatalf("proof at 4096 entries uses %d steps", s4096)
+	}
+}

@@ -1,0 +1,260 @@
+package pad
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertGet(t *testing.T) {
+	d := New()
+	d = d.Insert([]byte("alice"), []byte("rw"))
+	d = d.Insert([]byte("bob"), []byte("r"))
+	v, err := d.Get([]byte("alice"))
+	if err != nil || string(v) != "rw" {
+		t.Fatalf("Get(alice) = %q, %v", v, err)
+	}
+	v, err = d.Get([]byte("bob"))
+	if err != nil || string(v) != "r" {
+		t.Fatalf("Get(bob) = %q, %v", v, err)
+	}
+	if _, err := d.Get([]byte("carol")); err == nil {
+		t.Fatal("Get(carol) succeeded")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestInsertOverwrite(t *testing.T) {
+	d := New().Insert([]byte("k"), []byte("v1"))
+	d2 := d.Insert([]byte("k"), []byte("v2"))
+	if d2.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite", d2.Len())
+	}
+	v, _ := d2.Get([]byte("k"))
+	if string(v) != "v2" {
+		t.Fatalf("got %q", v)
+	}
+	// Persistence: the old version still holds the old value.
+	v, _ = d.Get([]byte("k"))
+	if string(v) != "v1" {
+		t.Fatalf("old version mutated: %q", v)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	d := New().Insert([]byte("a"), []byte("1")).Insert([]byte("b"), []byte("2"))
+	d2 := d.Delete([]byte("a"))
+	if d2.Len() != 1 {
+		t.Fatalf("Len = %d", d2.Len())
+	}
+	if _, err := d2.Get([]byte("a")); err == nil {
+		t.Fatal("deleted key still present")
+	}
+	if _, err := d2.Get([]byte("b")); err != nil {
+		t.Fatal("unrelated key lost")
+	}
+	// Old version unaffected.
+	if _, err := d.Get([]byte("a")); err != nil {
+		t.Fatal("persistence violated by delete")
+	}
+	// Deleting absent key returns same version.
+	if d3 := d2.Delete([]byte("zz")); d3.Root() != d2.Root() {
+		t.Fatal("deleting absent key changed root")
+	}
+}
+
+func TestRootDeterministicAcrossInsertionOrders(t *testing.T) {
+	keys := []string{"alice", "bob", "carol", "dave", "eve", "frank", "grace"}
+	build := func(order []int) *Dict {
+		d := New()
+		for _, i := range order {
+			d = d.Insert([]byte(keys[i]), []byte("v:"+keys[i]))
+		}
+		return d
+	}
+	base := build([]int{0, 1, 2, 3, 4, 5, 6})
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		perm := rng.Perm(len(keys))
+		other := build(perm)
+		if base.Root() != other.Root() {
+			t.Fatalf("insertion order %v changed root", perm)
+		}
+	}
+}
+
+func TestRootChangesWithContent(t *testing.T) {
+	a := New().Insert([]byte("k"), []byte("v1"))
+	b := New().Insert([]byte("k"), []byte("v2"))
+	if a.Root() == b.Root() {
+		t.Fatal("different values, same root")
+	}
+	c := New().Insert([]byte("k2"), []byte("v1"))
+	if a.Root() == c.Root() {
+		t.Fatal("different keys, same root")
+	}
+	if New().Root() != New().Root() {
+		t.Fatal("empty roots differ")
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	d := New()
+	var want []string
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("key-%03d", (i*37)%100)
+		d = d.Insert([]byte(k), []byte("v"))
+		want = append(want, k)
+	}
+	sort.Strings(want)
+	// dedupe
+	uniq := want[:0]
+	for i, k := range want {
+		if i == 0 || want[i-1] != k {
+			uniq = append(uniq, k)
+		}
+	}
+	got := d.Keys()
+	if len(got) != len(uniq) {
+		t.Fatalf("Keys len %d, want %d", len(got), len(uniq))
+	}
+	for i, k := range got {
+		if string(k) != uniq[i] {
+			t.Fatalf("Keys[%d] = %q, want %q", i, k, uniq[i])
+		}
+	}
+}
+
+func TestProveVerifyPositive(t *testing.T) {
+	d := New()
+	for i := 0; i < 40; i++ {
+		d = d.Insert([]byte(fmt.Sprintf("user-%02d", i)), []byte(fmt.Sprintf("lvl-%d", i%3)))
+	}
+	root := d.Root()
+	for i := 0; i < 40; i++ {
+		key := []byte(fmt.Sprintf("user-%02d", i))
+		p := d.Prove(key)
+		if !p.Present {
+			t.Fatalf("Prove(%s) negative", key)
+		}
+		if string(p.Value) != fmt.Sprintf("lvl-%d", i%3) {
+			t.Fatalf("Prove(%s) value %q", key, p.Value)
+		}
+		if err := VerifyProof(root, key, p); err != nil {
+			t.Fatalf("VerifyProof(%s): %v", key, err)
+		}
+	}
+}
+
+func TestProveVerifyNegative(t *testing.T) {
+	d := New()
+	for i := 0; i < 20; i++ {
+		d = d.Insert([]byte(fmt.Sprintf("user-%02d", i*2)), []byte("v"))
+	}
+	root := d.Root()
+	for i := 0; i < 20; i++ {
+		key := []byte(fmt.Sprintf("user-%02d", i*2+1))
+		p := d.Prove(key)
+		if p.Present {
+			t.Fatalf("absent key proved present")
+		}
+		if err := VerifyProof(root, key, p); err != nil {
+			t.Fatalf("negative VerifyProof(%s): %v", key, err)
+		}
+	}
+}
+
+func TestVerifyRejectsWrongValue(t *testing.T) {
+	d := New().Insert([]byte("k"), []byte("true-value"))
+	p := d.Prove([]byte("k"))
+	p.Value = []byte("lie")
+	p.Steps[len(p.Steps)-2].Value = []byte("lie")
+	if err := VerifyProof(d.Root(), []byte("k"), p); err == nil {
+		t.Fatal("forged value verified")
+	}
+}
+
+func TestVerifyRejectsAbsenceLie(t *testing.T) {
+	// A malicious replica claims a present key is absent by truncating the
+	// path: verification must fail against the true root.
+	d := New()
+	for i := 0; i < 20; i++ {
+		d = d.Insert([]byte(fmt.Sprintf("user-%02d", i)), []byte("v"))
+	}
+	target := []byte("user-07")
+	p := d.Prove(target)
+	forged := &Proof{Present: false, Steps: p.Steps[:len(p.Steps)-2]}
+	if err := VerifyProof(d.Root(), target, forged); err == nil {
+		t.Fatal("false absence proof verified")
+	}
+}
+
+func TestVerifyRejectsWrongRoot(t *testing.T) {
+	d1 := New().Insert([]byte("k"), []byte("v"))
+	d2 := New().Insert([]byte("k"), []byte("other"))
+	p := d1.Prove([]byte("k"))
+	if err := VerifyProof(d2.Root(), []byte("k"), p); err == nil {
+		t.Fatal("proof verified against wrong root")
+	}
+}
+
+func TestVerifyNilProof(t *testing.T) {
+	if err := VerifyProof([32]byte{}, []byte("k"), nil); err == nil {
+		t.Fatal("nil proof verified")
+	}
+}
+
+func TestQuickInsertGetProve(t *testing.T) {
+	f := func(keys [][]byte) bool {
+		d := New()
+		expect := map[string][]byte{}
+		for i, k := range keys {
+			v := []byte(fmt.Sprintf("v%d", i))
+			d = d.Insert(k, v)
+			expect[string(k)] = v
+		}
+		root := d.Root()
+		for k, v := range expect {
+			got, err := d.Get([]byte(k))
+			if err != nil || !bytes.Equal(got, v) {
+				return false
+			}
+			p := d.Prove([]byte(k))
+			if !p.Present || VerifyProof(root, []byte(k), p) != nil {
+				return false
+			}
+		}
+		return d.Len() == len(expect)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeterministicRoot(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30) + 1
+		keys := make([]string, n)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("k%d", rng.Intn(40))
+		}
+		d1, d2 := New(), New()
+		for _, k := range keys {
+			d1 = d1.Insert([]byte(k), []byte("v"))
+		}
+		perm := rng.Perm(n)
+		for _, i := range perm {
+			d2 = d2.Insert([]byte(keys[i]), []byte("v"))
+		}
+		return d1.Root() == d2.Root()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+package pre
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	alice, err := NewKeyPair()
+	if err != nil {
+		t.Fatalf("NewKeyPair: %v", err)
+	}
+	for _, pt := range [][]byte{{}, []byte("x"), bytes.Repeat([]byte("m"), 5000)} {
+		ct, err := Encrypt(alice.Public(), pt)
+		if err != nil {
+			t.Fatalf("Encrypt: %v", err)
+		}
+		got, err := alice.Decrypt(ct)
+		if err != nil {
+			t.Fatalf("Decrypt: %v", err)
+		}
+		if !bytes.Equal(got, pt) {
+			t.Fatalf("round trip mismatch for %d bytes", len(pt))
+		}
+	}
+}
+
+func TestReEncryptionDelegates(t *testing.T) {
+	alice, _ := NewKeyPair()
+	bob, _ := NewKeyPair()
+	ct, err := Encrypt(alice.Public(), []byte("for my friends via the provider"))
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	// Bob cannot read the original.
+	if _, err := bob.Decrypt(ct); err == nil {
+		t.Fatal("bob decrypted alice's original ciphertext")
+	}
+	rk, err := NewReKey(alice, bob, "alice", "bob")
+	if err != nil {
+		t.Fatalf("NewReKey: %v", err)
+	}
+	ct2, err := ReEncrypt(rk, ct)
+	if err != nil {
+		t.Fatalf("ReEncrypt: %v", err)
+	}
+	got, err := bob.Decrypt(ct2)
+	if err != nil {
+		t.Fatalf("bob decrypting re-encrypted: %v", err)
+	}
+	if string(got) != "for my friends via the provider" {
+		t.Fatalf("got %q", got)
+	}
+	// Alice can no longer decrypt the transformed ciphertext...
+	if _, err := alice.Decrypt(ct2); err == nil {
+		t.Fatal("alice decrypted the re-encrypted ciphertext")
+	}
+	// ...but her original is untouched.
+	if _, err := alice.Decrypt(ct); err != nil {
+		t.Fatalf("original broken by re-encryption: %v", err)
+	}
+}
+
+func TestProxyLearnsNothing(t *testing.T) {
+	// The "proxy view" is (ct, rk). Neither decrypts the body: try opening
+	// with fresh keys and confirm the sealed body differs from plaintext.
+	alice, _ := NewKeyPair()
+	bob, _ := NewKeyPair()
+	secret := []byte("the plaintext the proxy must not see")
+	ct, _ := Encrypt(alice.Public(), secret)
+	if bytes.Contains(ct.Body, secret) || bytes.Contains(ct.C1, secret) || bytes.Contains(ct.C2, secret) {
+		t.Fatal("plaintext visible in ciphertext")
+	}
+	rk, _ := NewReKey(alice, bob, "a", "b")
+	eve, _ := NewKeyPair()
+	ct2, _ := ReEncrypt(rk, ct)
+	if _, err := eve.Decrypt(ct2); err == nil {
+		t.Fatal("unrelated key decrypted re-encrypted ciphertext")
+	}
+}
+
+func TestSingleHop(t *testing.T) {
+	alice, _ := NewKeyPair()
+	bob, _ := NewKeyPair()
+	carol, _ := NewKeyPair()
+	ct, _ := Encrypt(alice.Public(), []byte("m"))
+	rkAB, _ := NewReKey(alice, bob, "a", "b")
+	rkBC, _ := NewReKey(bob, carol, "b", "c")
+	ct2, err := ReEncrypt(rkAB, ct)
+	if err != nil {
+		t.Fatalf("ReEncrypt: %v", err)
+	}
+	if _, err := ReEncrypt(rkBC, ct2); err == nil {
+		t.Fatal("second-hop re-encryption accepted")
+	}
+}
+
+func TestWrongReKeyFails(t *testing.T) {
+	alice, _ := NewKeyPair()
+	bob, _ := NewKeyPair()
+	carol, _ := NewKeyPair()
+	ct, _ := Encrypt(alice.Public(), []byte("m"))
+	// Re-key for a different delegator: transformation yields garbage that
+	// bob cannot open.
+	rkWrong, _ := NewReKey(carol, bob, "carol", "bob")
+	ct2, err := ReEncrypt(rkWrong, ct)
+	if err != nil {
+		t.Fatalf("ReEncrypt: %v", err)
+	}
+	if _, err := bob.Decrypt(ct2); err == nil {
+		t.Fatal("wrong-delegator re-encryption decrypted")
+	}
+}
+
+func TestTamperedCiphertextFails(t *testing.T) {
+	alice, _ := NewKeyPair()
+	ct, _ := Encrypt(alice.Public(), []byte("m"))
+	ct.Body[len(ct.Body)-1] ^= 1
+	if _, err := alice.Decrypt(ct); err == nil {
+		t.Fatal("tampered body decrypted")
+	}
+	ct2, _ := Encrypt(alice.Public(), []byte("m"))
+	ct2.C1 = []byte("junk")
+	if _, err := alice.Decrypt(ct2); err == nil {
+		t.Fatal("garbage C1 accepted")
+	}
+}
+
+func TestCiphertextSizeReported(t *testing.T) {
+	alice, _ := NewKeyPair()
+	ct, _ := Encrypt(alice.Public(), make([]byte, 100))
+	if ct.Size() <= 100 {
+		t.Fatalf("Size = %d", ct.Size())
+	}
+}
+
+func TestQuickDelegationRoundTrip(t *testing.T) {
+	alice, _ := NewKeyPair()
+	bob, _ := NewKeyPair()
+	rk, _ := NewReKey(alice, bob, "a", "b")
+	f := func(pt []byte) bool {
+		ct, err := Encrypt(alice.Public(), pt)
+		if err != nil {
+			return false
+		}
+		ct2, err := ReEncrypt(rk, ct)
+		if err != nil {
+			return false
+		}
+		got, err := bob.Decrypt(ct2)
+		return err == nil && bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+// Package prf implements a pseudorandom function family based on HMAC-SHA256,
+// plus an HKDF-style key derivation helper.
+//
+// The paper (Section III-F) describes Hummingbird deriving per-message
+// symmetric keys by applying "a combination of a pseudo random function (PRF)
+// and a hash function on a particular part of message (hashtag)". This
+// package provides that PRF; the oblivious evaluation protocol lives in
+// internal/crypto/oprf.
+package prf
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// SecretSize is the size in bytes of a PRF secret.
+const SecretSize = 32
+
+// OutputSize is the size in bytes of a PRF output.
+const OutputSize = sha256.Size
+
+// ErrEmptySecret indicates evaluation with an empty secret.
+var ErrEmptySecret = errors.New("prf: empty secret")
+
+// Secret is the key selecting one function from the PRF family.
+type Secret []byte
+
+// NewSecret generates a fresh random PRF secret.
+func NewSecret() (Secret, error) {
+	s := make([]byte, SecretSize)
+	if _, err := io.ReadFull(rand.Reader, s); err != nil {
+		return nil, fmt.Errorf("prf: generating secret: %w", err)
+	}
+	return s, nil
+}
+
+// Eval computes F_s(x) = HMAC-SHA256(s, x).
+func Eval(s Secret, x []byte) ([]byte, error) {
+	if len(s) == 0 {
+		return nil, ErrEmptySecret
+	}
+	mac := hmac.New(sha256.New, s)
+	mac.Write(x)
+	return mac.Sum(nil), nil
+}
+
+// Derive expands a seed into length bytes of key material bound to the given
+// context label, using the HKDF-Expand construction over HMAC-SHA256.
+func Derive(seed []byte, context string, length int) ([]byte, error) {
+	if len(seed) == 0 {
+		return nil, ErrEmptySecret
+	}
+	if length <= 0 || length > 255*OutputSize {
+		return nil, fmt.Errorf("prf: invalid derive length %d", length)
+	}
+	var (
+		out  = make([]byte, 0, length)
+		prev []byte
+	)
+	for counter := byte(1); len(out) < length; counter++ {
+		mac := hmac.New(sha256.New, seed)
+		mac.Write(prev)
+		mac.Write([]byte(context))
+		mac.Write([]byte{counter})
+		prev = mac.Sum(nil)
+		out = append(out, prev...)
+	}
+	return out[:length], nil
+}

@@ -1,0 +1,109 @@
+package prf
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvalDeterministic(t *testing.T) {
+	s, err := NewSecret()
+	if err != nil {
+		t.Fatalf("NewSecret: %v", err)
+	}
+	a, err := Eval(s, []byte("input"))
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	b, err := Eval(s, []byte("input"))
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("Eval is not deterministic")
+	}
+	if len(a) != OutputSize {
+		t.Fatalf("output size %d, want %d", len(a), OutputSize)
+	}
+}
+
+func TestEvalDistinctInputs(t *testing.T) {
+	s, _ := NewSecret()
+	a, _ := Eval(s, []byte("x"))
+	b, _ := Eval(s, []byte("y"))
+	if bytes.Equal(a, b) {
+		t.Fatal("distinct inputs produced equal outputs")
+	}
+}
+
+func TestEvalDistinctSecrets(t *testing.T) {
+	s1, _ := NewSecret()
+	s2, _ := NewSecret()
+	a, _ := Eval(s1, []byte("x"))
+	b, _ := Eval(s2, []byte("x"))
+	if bytes.Equal(a, b) {
+		t.Fatal("distinct secrets produced equal outputs")
+	}
+}
+
+func TestEvalEmptySecret(t *testing.T) {
+	if _, err := Eval(nil, []byte("x")); err == nil {
+		t.Fatal("Eval accepted empty secret")
+	}
+}
+
+func TestDeriveLengths(t *testing.T) {
+	seed := []byte("seed material")
+	for _, n := range []int{1, 16, 32, 33, 64, 100, 255} {
+		out, err := Derive(seed, "ctx", n)
+		if err != nil {
+			t.Fatalf("Derive(%d): %v", n, err)
+		}
+		if len(out) != n {
+			t.Fatalf("Derive(%d) returned %d bytes", n, len(out))
+		}
+	}
+}
+
+func TestDeriveInvalidLength(t *testing.T) {
+	for _, n := range []int{0, -1, 255*OutputSize + 1} {
+		if _, err := Derive([]byte("s"), "ctx", n); err == nil {
+			t.Fatalf("Derive accepted length %d", n)
+		}
+	}
+}
+
+func TestDeriveContextSeparation(t *testing.T) {
+	seed := []byte("seed")
+	a, _ := Derive(seed, "ctx-a", 32)
+	b, _ := Derive(seed, "ctx-b", 32)
+	if bytes.Equal(a, b) {
+		t.Fatal("different contexts produced equal derivations")
+	}
+}
+
+func TestDerivePrefixConsistency(t *testing.T) {
+	// Same seed+context with different lengths must agree on the shared
+	// prefix (HKDF-Expand property) so callers can extend derivations.
+	seed := []byte("seed")
+	short, _ := Derive(seed, "ctx", 16)
+	long, _ := Derive(seed, "ctx", 48)
+	if !bytes.Equal(short, long[:16]) {
+		t.Fatal("derivation prefix not consistent across lengths")
+	}
+}
+
+func TestQuickEvalInjectivityOnInputs(t *testing.T) {
+	s, _ := NewSecret()
+	f := func(x, y []byte) bool {
+		if bytes.Equal(x, y) {
+			return true
+		}
+		a, err1 := Eval(s, x)
+		b, err2 := Eval(s, y)
+		return err1 == nil && err2 == nil && !bytes.Equal(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,207 @@
+// Package pubkey provides public-key (asymmetric) encryption and digital
+// signatures, implementing the "public key encryption" row of Table I of the
+// paper and the signature substrate for Section IV (data integrity).
+//
+// Encryption is ECIES-style hybrid: an ephemeral ECDH key agreement on P-256
+// derives (via the prf package) an AES-GCM key that encrypts the payload.
+// Signatures are Ed25519. Both use only the Go standard library.
+package pubkey
+
+import (
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"fmt"
+
+	"godosn/internal/crypto/prf"
+	"godosn/internal/crypto/symmetric"
+)
+
+// Errors returned by this package.
+var (
+	ErrCiphertextFormat = errors.New("pubkey: malformed ciphertext")
+	ErrBadSignature     = errors.New("pubkey: signature verification failed")
+	ErrNilKey           = errors.New("pubkey: nil key")
+)
+
+// encContext labels ECIES key derivation.
+const encContext = "godosn/pubkey/ecies-v1"
+
+// EncryptionKeyPair holds a P-256 ECDH keypair used for hybrid encryption.
+type EncryptionKeyPair struct {
+	private *ecdh.PrivateKey
+}
+
+// EncryptionPublicKey is the public half of an EncryptionKeyPair.
+type EncryptionPublicKey struct {
+	public *ecdh.PublicKey
+}
+
+// NewEncryptionKeyPair generates a fresh P-256 keypair.
+func NewEncryptionKeyPair() (*EncryptionKeyPair, error) {
+	priv, err := ecdh.P256().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("pubkey: generating encryption key: %w", err)
+	}
+	return &EncryptionKeyPair{private: priv}, nil
+}
+
+// EncryptionKeyPairFromPrivateBytes reconstructs a keypair from a 32-byte
+// P-256 private scalar, as produced by PrivateBytes. It is used by the IBE
+// private key generator to derive identity keys deterministically.
+func EncryptionKeyPairFromPrivateBytes(data []byte) (*EncryptionKeyPair, error) {
+	priv, err := ecdh.P256().NewPrivateKey(data)
+	if err != nil {
+		return nil, fmt.Errorf("pubkey: parsing private key: %w", err)
+	}
+	return &EncryptionKeyPair{private: priv}, nil
+}
+
+// PrivateBytes returns the raw private scalar of the keypair.
+func (kp *EncryptionKeyPair) PrivateBytes() []byte {
+	return kp.private.Bytes()
+}
+
+// Public returns the public key for distribution to other users.
+func (kp *EncryptionKeyPair) Public() *EncryptionPublicKey {
+	return &EncryptionPublicKey{public: kp.private.PublicKey()}
+}
+
+// Bytes returns the canonical encoding of the public key.
+func (pk *EncryptionPublicKey) Bytes() []byte {
+	return pk.public.Bytes()
+}
+
+// ParseEncryptionPublicKey decodes a public key encoded with Bytes.
+func ParseEncryptionPublicKey(data []byte) (*EncryptionPublicKey, error) {
+	pub, err := ecdh.P256().NewPublicKey(data)
+	if err != nil {
+		return nil, fmt.Errorf("pubkey: parsing public key: %w", err)
+	}
+	return &EncryptionPublicKey{public: pub}, nil
+}
+
+// Encrypt encrypts plaintext to the holder of pk using ephemeral ECDH +
+// AES-GCM. The ciphertext layout is: ephemeral public key || sealed payload.
+func Encrypt(pk *EncryptionPublicKey, plaintext []byte) ([]byte, error) {
+	if pk == nil || pk.public == nil {
+		return nil, ErrNilKey
+	}
+	eph, err := ecdh.P256().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("pubkey: generating ephemeral key: %w", err)
+	}
+	shared, err := eph.ECDH(pk.public)
+	if err != nil {
+		return nil, fmt.Errorf("pubkey: ECDH: %w", err)
+	}
+	key, err := prf.Derive(shared, encContext, symmetric.KeySize)
+	if err != nil {
+		return nil, fmt.Errorf("pubkey: deriving key: %w", err)
+	}
+	ephBytes := eph.PublicKey().Bytes()
+	sealed, err := symmetric.Seal(key, plaintext, ephBytes)
+	if err != nil {
+		return nil, fmt.Errorf("pubkey: sealing payload: %w", err)
+	}
+	out := make([]byte, 0, len(ephBytes)+len(sealed))
+	out = append(out, ephBytes...)
+	return append(out, sealed...), nil
+}
+
+// ephPubLen is the length of an uncompressed P-256 point encoding.
+const ephPubLen = 65
+
+// Decrypt reverses Encrypt using the private key.
+func (kp *EncryptionKeyPair) Decrypt(ciphertext []byte) ([]byte, error) {
+	if len(ciphertext) < ephPubLen {
+		return nil, ErrCiphertextFormat
+	}
+	ephBytes, sealed := ciphertext[:ephPubLen], ciphertext[ephPubLen:]
+	ephPub, err := ecdh.P256().NewPublicKey(ephBytes)
+	if err != nil {
+		return nil, fmt.Errorf("pubkey: parsing ephemeral key: %w", err)
+	}
+	shared, err := kp.private.ECDH(ephPub)
+	if err != nil {
+		return nil, fmt.Errorf("pubkey: ECDH: %w", err)
+	}
+	key, err := prf.Derive(shared, encContext, symmetric.KeySize)
+	if err != nil {
+		return nil, fmt.Errorf("pubkey: deriving key: %w", err)
+	}
+	plaintext, err := symmetric.Open(key, sealed, ephBytes)
+	if err != nil {
+		return nil, fmt.Errorf("pubkey: opening payload: %w", err)
+	}
+	return plaintext, nil
+}
+
+// CiphertextOverhead is the ciphertext expansion of Encrypt in bytes.
+func CiphertextOverhead() int { return ephPubLen + symmetric.Overhead() }
+
+// SigningKeyPair holds an Ed25519 keypair for digital signatures.
+type SigningKeyPair struct {
+	private ed25519.PrivateKey
+	public  ed25519.PublicKey
+}
+
+// VerificationKey is the public half of a SigningKeyPair.
+type VerificationKey ed25519.PublicKey
+
+// NewSigningKeyPair generates a fresh Ed25519 keypair.
+func NewSigningKeyPair() (*SigningKeyPair, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("pubkey: generating signing key: %w", err)
+	}
+	return &SigningKeyPair{private: priv, public: pub}, nil
+}
+
+// Seed returns the 32-byte Ed25519 seed from which the keypair can be
+// reconstructed with SigningKeyPairFromSeed. It is the transferable form of
+// a signing capability (e.g. the per-post comment key of Section IV-C).
+func (kp *SigningKeyPair) Seed() []byte {
+	return kp.private.Seed()
+}
+
+// SigningKeyPairFromSeed reconstructs a signing keypair from a seed produced
+// by Seed.
+func SigningKeyPairFromSeed(seed []byte) (*SigningKeyPair, error) {
+	if len(seed) != ed25519.SeedSize {
+		return nil, fmt.Errorf("pubkey: bad seed length %d", len(seed))
+	}
+	priv := ed25519.NewKeyFromSeed(seed)
+	pub, ok := priv.Public().(ed25519.PublicKey)
+	if !ok {
+		return nil, errors.New("pubkey: unexpected public key type")
+	}
+	return &SigningKeyPair{private: priv, public: pub}, nil
+}
+
+// Verification returns the verification key for distribution.
+func (kp *SigningKeyPair) Verification() VerificationKey {
+	out := make(VerificationKey, len(kp.public))
+	copy(out, kp.public)
+	return out
+}
+
+// Sign signs message with the private key.
+func (kp *SigningKeyPair) Sign(message []byte) []byte {
+	return ed25519.Sign(kp.private, message)
+}
+
+// Verify checks signature over message against the verification key.
+func Verify(vk VerificationKey, message, signature []byte) error {
+	if len(vk) != ed25519.PublicKeySize {
+		return ErrNilKey
+	}
+	if !ed25519.Verify(ed25519.PublicKey(vk), message, signature) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// SignatureSize is the size in bytes of a signature produced by Sign.
+const SignatureSize = ed25519.SignatureSize

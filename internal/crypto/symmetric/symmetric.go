@@ -1,0 +1,114 @@
+// Package symmetric provides authenticated symmetric encryption (AES-GCM)
+// with explicit key management primitives.
+//
+// It implements the "symmetric key encryption" row of Table I of the paper:
+// a single shared secret is used for both encryption and decryption, which is
+// fast but complicates revocation — revoking a member requires generating a
+// fresh key and re-encrypting all data that must stay hidden from the revoked
+// member. Key rotation helpers for that workflow live here; the group
+// management logic built on top lives in internal/social/privacy.
+package symmetric
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// KeySize is the size in bytes of symmetric keys (AES-256).
+const KeySize = 32
+
+// nonceSize is the standard GCM nonce size in bytes.
+const nonceSize = 12
+
+// ErrInvalidKeySize indicates a key of the wrong length was supplied.
+var ErrInvalidKeySize = errors.New("symmetric: invalid key size")
+
+// ErrCiphertextTooShort indicates a ciphertext shorter than a nonce.
+var ErrCiphertextTooShort = errors.New("symmetric: ciphertext too short")
+
+// Key is an AES-256 key.
+type Key []byte
+
+// NewKey generates a fresh random key using crypto/rand.
+func NewKey() (Key, error) {
+	k := make([]byte, KeySize)
+	if _, err := io.ReadFull(rand.Reader, k); err != nil {
+		return nil, fmt.Errorf("symmetric: generating key: %w", err)
+	}
+	return k, nil
+}
+
+// MustNewKey generates a fresh key and panics on failure. It is intended for
+// tests and examples where entropy failure is fatal anyway.
+func MustNewKey() Key {
+	k, err := NewKey()
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Clone returns an independent copy of the key.
+func (k Key) Clone() Key {
+	out := make(Key, len(k))
+	copy(out, k)
+	return out
+}
+
+// Valid reports whether the key has the correct length.
+func (k Key) Valid() bool { return len(k) == KeySize }
+
+// Seal encrypts and authenticates plaintext under key, binding the optional
+// associated data. The returned ciphertext embeds a random nonce prefix.
+func Seal(key Key, plaintext, associatedData []byte) ([]byte, error) {
+	aead, err := newAEAD(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, nonceSize)
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return nil, fmt.Errorf("symmetric: generating nonce: %w", err)
+	}
+	out := make([]byte, 0, nonceSize+len(plaintext)+aead.Overhead())
+	out = append(out, nonce...)
+	return aead.Seal(out, nonce, plaintext, associatedData), nil
+}
+
+// Open authenticates and decrypts a ciphertext produced by Seal.
+func Open(key Key, ciphertext, associatedData []byte) ([]byte, error) {
+	aead, err := newAEAD(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(ciphertext) < nonceSize {
+		return nil, ErrCiphertextTooShort
+	}
+	nonce, body := ciphertext[:nonceSize], ciphertext[nonceSize:]
+	plaintext, err := aead.Open(nil, nonce, body, associatedData)
+	if err != nil {
+		return nil, fmt.Errorf("symmetric: opening ciphertext: %w", err)
+	}
+	return plaintext, nil
+}
+
+// Overhead is the total ciphertext expansion of Seal in bytes.
+func Overhead() int { return nonceSize + 16 }
+
+func newAEAD(key Key) (cipher.AEAD, error) {
+	if !key.Valid() {
+		return nil, ErrInvalidKeySize
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("symmetric: creating cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("symmetric: creating GCM: %w", err)
+	}
+	return aead, nil
+}

@@ -1,0 +1,125 @@
+package zkp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestProveVerify(t *testing.T) {
+	w, stmt, err := NewWitness()
+	if err != nil {
+		t.Fatalf("NewWitness: %v", err)
+	}
+	ctx := []byte("search request 1")
+	proof, err := w.Prove(stmt, ctx)
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	if err := Verify(stmt, proof, ctx); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongContext(t *testing.T) {
+	w, stmt, _ := NewWitness()
+	proof, _ := w.Prove(stmt, []byte("ctx-a"))
+	if err := Verify(stmt, proof, []byte("ctx-b")); err == nil {
+		t.Fatal("proof verified under different context (replayable)")
+	}
+}
+
+func TestVerifyRejectsWrongStatement(t *testing.T) {
+	w, stmt, _ := NewWitness()
+	_, other, _ := NewWitness()
+	proof, _ := w.Prove(stmt, []byte("ctx"))
+	if err := Verify(other, proof, []byte("ctx")); err == nil {
+		t.Fatal("proof verified against wrong statement")
+	}
+}
+
+func TestVerifyRejectsMutatedProof(t *testing.T) {
+	w, stmt, _ := NewWitness()
+	proof, _ := w.Prove(stmt, []byte("ctx"))
+	badResp := append([]byte(nil), proof.Response...)
+	badResp[0] ^= 1
+	if err := Verify(stmt, &Proof{Commitment: proof.Commitment, Response: badResp}, []byte("ctx")); err == nil {
+		t.Fatal("mutated response verified")
+	}
+	badCom := append([]byte(nil), proof.Commitment...)
+	badCom[5] ^= 1
+	if err := Verify(stmt, &Proof{Commitment: badCom, Response: proof.Response}, []byte("ctx")); err == nil {
+		t.Fatal("mutated commitment verified")
+	}
+}
+
+func TestVerifyRejectsNil(t *testing.T) {
+	_, stmt, _ := NewWitness()
+	if err := Verify(stmt, nil, nil); err == nil {
+		t.Fatal("nil proof verified")
+	}
+	if err := Verify(nil, &Proof{}, nil); err == nil {
+		t.Fatal("nil statement verified")
+	}
+}
+
+func TestWitnessFromSeedDeterministic(t *testing.T) {
+	w1, s1 := WitnessFromSeed([]byte("seed"))
+	w2, s2 := WitnessFromSeed([]byte("seed"))
+	if !bytes.Equal(s1.X, s2.X) {
+		t.Fatal("same seed gave different statements")
+	}
+	proof, err := w1.Prove(s2, []byte("ctx"))
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	if err := Verify(s1, proof, []byte("ctx")); err != nil {
+		t.Fatalf("cross-derived proof failed: %v", err)
+	}
+	_ = w2
+	_, s3 := WitnessFromSeed([]byte("other seed"))
+	if bytes.Equal(s1.X, s3.X) {
+		t.Fatal("different seeds gave same statement")
+	}
+}
+
+func TestInteractiveProtocol(t *testing.T) {
+	w, stmt, _ := NewWitness()
+	com, err := w.Commit()
+	if err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	c, err := NewChallenge()
+	if err != nil {
+		t.Fatalf("NewChallenge: %v", err)
+	}
+	s := w.Respond(com, c)
+	if err := VerifyInteractive(stmt, com.A, c, s); err != nil {
+		t.Fatalf("VerifyInteractive: %v", err)
+	}
+}
+
+func TestInteractiveRejectsWrongWitness(t *testing.T) {
+	w, _, _ := NewWitness()
+	_, otherStmt, _ := NewWitness()
+	com, _ := w.Commit()
+	c, _ := NewChallenge()
+	s := w.Respond(com, c)
+	if err := VerifyInteractive(otherStmt, com.A, c, s); err == nil {
+		t.Fatal("interactive proof verified against wrong statement")
+	}
+}
+
+func TestQuickProofsVerify(t *testing.T) {
+	w, stmt, _ := NewWitness()
+	f := func(ctx []byte) bool {
+		proof, err := w.Prove(stmt, ctx)
+		if err != nil {
+			return false
+		}
+		return Verify(stmt, proof, ctx) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package cuckoo
+
+import (
+	"fmt"
+	"testing"
+
+	"godosn/internal/overlay/simnet"
+)
+
+func build(t *testing.T, n int, cfg Config) (*Overlay, []simnet.NodeID) {
+	t.Helper()
+	net := simnet.New(simnet.DefaultConfig(5))
+	names := make([]simnet.NodeID, n)
+	for i := range names {
+		names[i] = simnet.NodeID(fmt.Sprintf("node-%d", i))
+	}
+	o, err := New(net, names, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return o, names
+}
+
+func TestStoreLookup(t *testing.T) {
+	o, names := build(t, 32, DefaultConfig())
+	if _, err := o.Store(string(names[0]), "k", []byte("v")); err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	got, _, err := o.Lookup(string(names[7]), "k")
+	if err != nil || string(got) != "v" {
+		t.Fatalf("Lookup: %q, %v", got, err)
+	}
+}
+
+func TestPopularItemsGetCheaper(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PopularityThreshold = 2
+	o, names := build(t, 64, cfg)
+	o.Store(string(names[0]), "viral", []byte("v"))
+
+	// Drive demand from many origins; record per-lookup cost.
+	var costs []int
+	for i := 1; i <= 20; i++ {
+		_, st, err := o.Lookup(string(names[i]), "viral")
+		if err != nil {
+			t.Fatalf("Lookup %d: %v", i, err)
+		}
+		costs = append(costs, st.Hops)
+	}
+	early := costs[0]
+	// Late lookups from nodes whose neighbors hold the item should be far
+	// cheaper than the initial DHT routing.
+	cheap := 0
+	for _, c := range costs[10:] {
+		if c <= 1 {
+			cheap++
+		}
+	}
+	if cheap == 0 {
+		t.Fatalf("no late lookup was cheap; early=%d costs=%v", early, costs)
+	}
+}
+
+func TestRareItemsUseDHT(t *testing.T) {
+	o, names := build(t, 64, DefaultConfig())
+	o.Store(string(names[0]), "rare", []byte("v"))
+	_, st, err := o.Lookup(string(names[33]), "rare")
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if st.Hops < 1 {
+		t.Fatalf("rare lookup reported %d hops; expected DHT routing", st.Hops)
+	}
+}
+
+func TestMissingKey(t *testing.T) {
+	o, names := build(t, 16, DefaultConfig())
+	if _, _, err := o.Lookup(string(names[0]), "missing"); err == nil {
+		t.Fatal("missing key found")
+	}
+}
+
+func TestUnknownOrigin(t *testing.T) {
+	o, _ := build(t, 8, DefaultConfig())
+	if _, _, err := o.Lookup("stranger", "k"); err == nil {
+		t.Fatal("lookup from stranger succeeded")
+	}
+}
+
+func TestName(t *testing.T) {
+	o, _ := build(t, 4, DefaultConfig())
+	if o.Name() == "" {
+		t.Fatal("empty name")
+	}
+}

@@ -1,0 +1,367 @@
+// Package dht implements a Chord-style structured overlay with finger
+// tables, successor-list replication, and iterative O(log n) lookups.
+//
+// The paper (Section II-B) notes that in structured DOSNs "queries will be
+// resolved in a limited number of steps" and that "most of the recent DOSNs
+// use structured organization and distributed hash tables (DHTs) for the
+// lookup service" (PrPl, PeerSoN, Safebook, Cachet). This package is that
+// lookup/storage substrate; experiment E6 measures its logarithmic hop
+// growth against the other organizations.
+package dht
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"godosn/internal/overlay"
+	"godosn/internal/overlay/simnet"
+)
+
+// ringBits is the identifier space size (2^64 ring).
+const ringBits = 64
+
+// hashID maps a string to a point on the ring.
+func hashID(s string) uint64 {
+	h := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(h[:8])
+}
+
+// node is one DHT participant.
+type node struct {
+	id     uint64
+	name   simnet.NodeID
+	finger []uint64 // finger[i] = id of successor(id + 2^i)
+
+	mu   sync.Mutex
+	data map[string][]byte
+}
+
+// DHT is a Chord ring over a simnet. It is safe for concurrent use after
+// Build.
+type DHT struct {
+	net     *simnet.Network
+	replica int
+
+	mu    sync.RWMutex
+	byID  map[uint64]*node
+	ring  []uint64 // sorted node ids
+	names map[simnet.NodeID]*node
+}
+
+var _ overlay.KV = (*DHT)(nil)
+
+// Config parameterizes the DHT.
+type Config struct {
+	// ReplicationFactor is the number of successor replicas per key (>= 1).
+	ReplicationFactor int
+}
+
+// New creates a DHT over the given nodes and builds routing state.
+func New(net *simnet.Network, nodes []simnet.NodeID, cfg Config) (*DHT, error) {
+	if len(nodes) == 0 {
+		return nil, overlay.ErrNoNodes
+	}
+	if cfg.ReplicationFactor < 1 {
+		cfg.ReplicationFactor = 1
+	}
+	d := &DHT{
+		net:     net,
+		replica: cfg.ReplicationFactor,
+		byID:    make(map[uint64]*node, len(nodes)),
+		names:   make(map[simnet.NodeID]*node, len(nodes)),
+	}
+	for _, name := range nodes {
+		id := hashID(string(name))
+		for {
+			if _, dup := d.byID[id]; !dup {
+				break
+			}
+			id++ // resolve improbable collisions deterministically
+		}
+		n := &node{id: id, name: name, data: make(map[string][]byte)}
+		d.byID[id] = n
+		d.names[name] = n
+		d.ring = append(d.ring, id)
+		if err := net.Register(name, d.handlerFor(n)); err != nil {
+			return nil, fmt.Errorf("dht: registering %s: %w", name, err)
+		}
+	}
+	sort.Slice(d.ring, func(i, j int) bool { return d.ring[i] < d.ring[j] })
+	d.rebuildFingers()
+	return d, nil
+}
+
+// Name implements overlay.KV.
+func (d *DHT) Name() string { return "structured-dht" }
+
+// rebuildFingers recomputes every node's finger table from the global ring
+// view, as simulators conventionally do in place of the incremental Chord
+// join protocol.
+func (d *DHT) rebuildFingers() {
+	for _, n := range d.byID {
+		n.finger = make([]uint64, ringBits)
+		for i := 0; i < ringBits; i++ {
+			target := n.id + (uint64(1) << uint(i))
+			n.finger[i] = d.successorID(target)
+		}
+	}
+}
+
+// successorID returns the first ring node id clockwise from target.
+func (d *DHT) successorID(target uint64) uint64 {
+	i := sort.Search(len(d.ring), func(i int) bool { return d.ring[i] >= target })
+	if i == len(d.ring) {
+		i = 0
+	}
+	return d.ring[i]
+}
+
+// successorsOf returns up to k distinct node ids clockwise from target.
+func (d *DHT) successorsOf(target uint64, k int) []uint64 {
+	if k > len(d.ring) {
+		k = len(d.ring)
+	}
+	i := sort.Search(len(d.ring), func(i int) bool { return d.ring[i] >= target })
+	out := make([]uint64, 0, k)
+	for len(out) < k {
+		if i == len(d.ring) {
+			i = 0
+		}
+		out = append(out, d.ring[i])
+		i++
+	}
+	return out
+}
+
+// inInterval reports whether x lies in the half-open clockwise interval
+// (a, b] on the ring.
+func inInterval(x, a, b uint64) bool {
+	if a < b {
+		return x > a && x <= b
+	}
+	if a > b {
+		return x > a || x <= b
+	}
+	return true // a == b: full circle
+}
+
+// closestPrecedingFinger returns the node's best routing step toward key.
+func (n *node) closestPrecedingFinger(key uint64) uint64 {
+	for i := ringBits - 1; i >= 0; i-- {
+		f := n.finger[i]
+		if f != n.id && inInterval(f, n.id, key-1) {
+			return f
+		}
+	}
+	return n.id
+}
+
+// RPC message kinds.
+const (
+	kindFindSuccessor = "dht.find_successor"
+	kindStore         = "dht.store"
+	kindFetch         = "dht.fetch"
+)
+
+type findSuccessorReq struct{ Key uint64 }
+type findSuccessorResp struct {
+	// Done reports the successor was found; otherwise Next is the closest
+	// preceding node to continue the iterative lookup at.
+	Done bool
+	Node uint64
+	Next uint64
+}
+type storeReq struct {
+	Key   string
+	Value []byte
+}
+type fetchReq struct{ Key string }
+type fetchResp struct {
+	Found bool
+	Value []byte
+}
+
+// handlerFor builds the simnet handler executing node-local RPC logic.
+func (d *DHT) handlerFor(n *node) simnet.HandlerFunc {
+	return func(tr *simnet.Trace, from simnet.NodeID, msg simnet.Message) (simnet.Message, error) {
+		switch msg.Kind {
+		case kindFindSuccessor:
+			req, ok := msg.Payload.(findSuccessorReq)
+			if !ok {
+				return simnet.Message{}, fmt.Errorf("dht: bad payload for %s", msg.Kind)
+			}
+			d.mu.RLock()
+			succ := d.successorID(n.id + 1)
+			d.mu.RUnlock()
+			if inInterval(req.Key, n.id, succ) {
+				return simnet.Message{Kind: msg.Kind, Payload: findSuccessorResp{Done: true, Node: succ}, Size: 24}, nil
+			}
+			next := n.closestPrecedingFinger(req.Key)
+			if next == n.id {
+				return simnet.Message{Kind: msg.Kind, Payload: findSuccessorResp{Done: true, Node: succ}, Size: 24}, nil
+			}
+			return simnet.Message{Kind: msg.Kind, Payload: findSuccessorResp{Next: next}, Size: 24}, nil
+
+		case kindStore:
+			req, ok := msg.Payload.(storeReq)
+			if !ok {
+				return simnet.Message{}, fmt.Errorf("dht: bad payload for %s", msg.Kind)
+			}
+			n.mu.Lock()
+			n.data[req.Key] = append([]byte(nil), req.Value...)
+			n.mu.Unlock()
+			return simnet.Message{Kind: msg.Kind, Size: 8}, nil
+
+		case kindFetch:
+			req, ok := msg.Payload.(fetchReq)
+			if !ok {
+				return simnet.Message{}, fmt.Errorf("dht: bad payload for %s", msg.Kind)
+			}
+			n.mu.Lock()
+			v, found := n.data[req.Key]
+			n.mu.Unlock()
+			resp := fetchResp{Found: found}
+			if found {
+				resp.Value = append([]byte(nil), v...)
+			}
+			return simnet.Message{Kind: msg.Kind, Payload: resp, Size: 8 + len(resp.Value)}, nil
+		}
+		return simnet.Message{}, fmt.Errorf("dht: unknown message kind %q", msg.Kind)
+	}
+}
+
+// findSuccessor runs the iterative Chord lookup from the origin node,
+// charging each routing step to the trace.
+func (d *DHT) findSuccessor(tr *simnet.Trace, origin simnet.NodeID, key uint64) (uint64, error) {
+	d.mu.RLock()
+	cur := d.names[origin]
+	d.mu.RUnlock()
+	if cur == nil {
+		return 0, fmt.Errorf("dht: origin %s not in overlay", origin)
+	}
+	// Local shortcut: origin answers from its own routing state first.
+	d.mu.RLock()
+	succ := d.successorID(cur.id + 1)
+	d.mu.RUnlock()
+	if inInterval(key, cur.id, succ) {
+		return succ, nil
+	}
+	target := cur.closestPrecedingFinger(key)
+	for step := 0; step < 2*ringBits; step++ {
+		d.mu.RLock()
+		targetNode := d.byID[target]
+		d.mu.RUnlock()
+		if targetNode == nil {
+			return 0, overlay.ErrUnavailable
+		}
+		reply, err := d.net.RPC(tr, origin, targetNode.name, simnet.Message{
+			Kind:    kindFindSuccessor,
+			Payload: findSuccessorReq{Key: key},
+			Size:    16,
+		})
+		if err != nil {
+			// Route around an unreachable hop: fall back to its ring
+			// successor, as Chord's failure handling would after a timeout.
+			d.mu.RLock()
+			next := d.successorID(target + 1)
+			d.mu.RUnlock()
+			if next == target {
+				return 0, overlay.ErrUnavailable
+			}
+			// If stepping from the dead node to its successor crosses the
+			// key, that successor IS the key's successor — conclude rather
+			// than overshoot and ping-pong around the ring.
+			if inInterval(key, target, next) {
+				return next, nil
+			}
+			target = next
+			continue
+		}
+		resp, ok := reply.Payload.(findSuccessorResp)
+		if !ok {
+			return 0, fmt.Errorf("dht: bad find_successor reply")
+		}
+		if resp.Done {
+			return resp.Node, nil
+		}
+		target = resp.Next
+	}
+	return 0, fmt.Errorf("dht: lookup did not converge for key %d", key)
+}
+
+// Store implements overlay.KV: the value is written to the key's successor
+// and its replica set.
+func (d *DHT) Store(origin, key string, value []byte) (overlay.OpStats, error) {
+	tr := &simnet.Trace{}
+	kid := hashID(key)
+	root, err := d.findSuccessor(tr, simnet.NodeID(origin), kid)
+	if err != nil {
+		return stats(tr), err
+	}
+	d.mu.RLock()
+	replicas := d.successorsOf(root, d.replica)
+	d.mu.RUnlock()
+	stored := 0
+	for _, rid := range replicas {
+		d.mu.RLock()
+		rn := d.byID[rid]
+		d.mu.RUnlock()
+		_, err := d.net.RPC(tr, simnet.NodeID(origin), rn.name, simnet.Message{
+			Kind:    kindStore,
+			Payload: storeReq{Key: key, Value: value},
+			Size:    len(key) + len(value),
+		})
+		if err == nil {
+			stored++
+		}
+	}
+	if stored == 0 {
+		return stats(tr), overlay.ErrUnavailable
+	}
+	return stats(tr), nil
+}
+
+// Lookup implements overlay.KV: it routes to the key's successor and falls
+// back through the replica set when nodes are offline.
+func (d *DHT) Lookup(origin, key string) ([]byte, overlay.OpStats, error) {
+	tr := &simnet.Trace{}
+	kid := hashID(key)
+	root, err := d.findSuccessor(tr, simnet.NodeID(origin), kid)
+	if err != nil {
+		return nil, stats(tr), err
+	}
+	d.mu.RLock()
+	replicas := d.successorsOf(root, d.replica)
+	d.mu.RUnlock()
+	var lastErr error = overlay.ErrUnavailable
+	for _, rid := range replicas {
+		d.mu.RLock()
+		rn := d.byID[rid]
+		d.mu.RUnlock()
+		reply, err := d.net.RPC(tr, simnet.NodeID(origin), rn.name, simnet.Message{
+			Kind:    kindFetch,
+			Payload: fetchReq{Key: key},
+			Size:    len(key),
+		})
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, ok := reply.Payload.(fetchResp)
+		if !ok {
+			return nil, stats(tr), fmt.Errorf("dht: bad fetch reply")
+		}
+		if resp.Found {
+			return resp.Value, stats(tr), nil
+		}
+		lastErr = overlay.ErrNotFound
+	}
+	return nil, stats(tr), lastErr
+}
+
+func stats(tr *simnet.Trace) overlay.OpStats {
+	return overlay.OpStats{Hops: tr.Hops, Messages: tr.Messages, Bytes: tr.Bytes, Latency: tr.Latency}
+}

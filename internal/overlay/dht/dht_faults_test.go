@@ -1,0 +1,125 @@
+package dht
+
+import (
+	"fmt"
+	"testing"
+
+	"godosn/internal/overlay/simnet"
+)
+
+// buildLossyDHT creates a DHT over a network with the given loss rate.
+func buildLossyDHT(t *testing.T, n int, loss float64, replicas int) (*DHT, []simnet.NodeID) {
+	t.Helper()
+	net := simnet.New(simnet.Config{Seed: 21, LossRate: loss})
+	names := make([]simnet.NodeID, n)
+	for i := range names {
+		names[i] = simnet.NodeID(fmt.Sprintf("node-%d", i))
+	}
+	d, err := New(net, names, Config{ReplicationFactor: replicas})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return d, names
+}
+
+func TestLookupUnderMessageLoss(t *testing.T) {
+	// With 10% message loss some lookups fail, but the overlay must not
+	// wedge, and replication + rerouting keep the success rate usable.
+	d, names := buildLossyDHT(t, 64, 0.10, 3)
+	stored := 0
+	for i := 0; i < 40; i++ {
+		if _, err := d.Store(string(names[i%len(names)]), fmt.Sprintf("k%d", i), []byte("v")); err == nil {
+			stored++
+		}
+	}
+	if stored < 30 {
+		t.Fatalf("only %d/40 stores succeeded under 10%% loss", stored)
+	}
+	success := 0
+	attempts := 0
+	for i := 0; i < 40; i++ {
+		for try := 0; try < 3; try++ { // clients retry on loss
+			attempts++
+			if _, _, err := d.Lookup(string(names[(i*7+1)%len(names)]), fmt.Sprintf("k%d", i)); err == nil {
+				success++
+				break
+			}
+		}
+	}
+	if success < 30 {
+		t.Fatalf("only %d/40 lookups (with retry) succeeded under 10%% loss", success)
+	}
+}
+
+func TestLookupUnderMassChurn(t *testing.T) {
+	// Take 40% of nodes offline after storing with replication 4: most
+	// keys should still resolve via surviving replicas and rerouting.
+	net := simnet.New(simnet.Config{Seed: 5})
+	names := make([]simnet.NodeID, 50)
+	for i := range names {
+		names[i] = simnet.NodeID(fmt.Sprintf("node-%d", i))
+	}
+	d, err := New(net, names, Config{ReplicationFactor: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := d.Store(string(names[i%50]), fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatalf("Store: %v", err)
+		}
+	}
+	rng := net.Rand("churn-test")
+	offline := map[simnet.NodeID]bool{}
+	for len(offline) < 20 {
+		victim := names[rng.Intn(len(names))]
+		if !offline[victim] {
+			offline[victim] = true
+			net.SetOnline(victim, false)
+		}
+	}
+	var origin simnet.NodeID
+	for _, name := range names {
+		if !offline[name] {
+			origin = name
+			break
+		}
+	}
+	found := 0
+	for i := 0; i < 30; i++ {
+		if _, _, err := d.Lookup(string(origin), fmt.Sprintf("k%d", i)); err == nil {
+			found++
+		}
+	}
+	if found < 24 { // 80% despite 40% of the network being gone
+		t.Fatalf("only %d/30 keys survived 40%% churn with 4 replicas", found)
+	}
+}
+
+func TestPartitionIsolatesLookups(t *testing.T) {
+	net := simnet.New(simnet.Config{Seed: 3})
+	names := make([]simnet.NodeID, 20)
+	for i := range names {
+		names[i] = simnet.NodeID(fmt.Sprintf("node-%d", i))
+	}
+	d, err := New(net, names, Config{ReplicationFactor: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := d.Store(string(names[0]), "k", []byte("v")); err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	// Partition the origin away from everyone else.
+	net.SetPartition(names[5], 1)
+	if _, _, err := d.Lookup(string(names[5]), "k"); err == nil {
+		// Only acceptable if node-5 itself holds the key locally.
+		kid := hashID("k")
+		if d.byID[d.successorID(kid)].name != names[5] {
+			t.Fatal("partitioned node resolved a remote key")
+		}
+	}
+	// Heal the partition.
+	net.SetPartition(names[5], 0)
+	if _, _, err := d.Lookup(string(names[5]), "k"); err != nil {
+		t.Fatalf("lookup after healing: %v", err)
+	}
+}

@@ -1,0 +1,111 @@
+package dht
+
+import (
+	"fmt"
+	"sort"
+
+	"godosn/internal/overlay"
+	"godosn/internal/overlay/simnet"
+)
+
+// This file implements dynamic membership: nodes joining and leaving the
+// ring after construction, with key handoff and routing-state rebuild. The
+// simulator rebuilds finger tables from the global view (the conventional
+// shortcut for Chord's stabilization protocol); what is preserved is the
+// observable behaviour — keys stay resolvable across membership changes.
+
+// Join adds a node to the ring: it registers with the network, takes over
+// the key range it now succeeds, and routing state is refreshed.
+func (d *DHT) Join(name simnet.NodeID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.names[name]; ok {
+		return fmt.Errorf("dht: %s already joined", name)
+	}
+	id := hashID(string(name))
+	for {
+		if _, dup := d.byID[id]; !dup {
+			break
+		}
+		id++
+	}
+	n := &node{id: id, name: name, data: make(map[string][]byte)}
+	if err := d.net.Register(name, d.handlerFor(n)); err != nil {
+		return fmt.Errorf("dht: registering %s: %w", name, err)
+	}
+	d.byID[id] = n
+	d.names[name] = n
+	d.ring = append(d.ring, id)
+	sort.Slice(d.ring, func(i, j int) bool { return d.ring[i] < d.ring[j] })
+
+	// Key handoff: the new node takes keys from its successor that now
+	// hash into its range (predecessor, id].
+	succID := d.successorID(id + 1)
+	if succ := d.byID[succID]; succ != nil && succ != n {
+		pred := d.predecessorID(id)
+		succ.mu.Lock()
+		for key, value := range succ.data {
+			if inInterval(hashID(key), pred, id) {
+				n.mu.Lock()
+				n.data[key] = value
+				n.mu.Unlock()
+				delete(succ.data, key)
+			}
+		}
+		succ.mu.Unlock()
+	}
+	d.rebuildFingers()
+	return nil
+}
+
+// Leave removes a node gracefully: its keys are handed to its successor and
+// routing state is refreshed. Ungraceful departures are modeled with
+// simnet.SetOnline instead (no handoff — that is what replication is for).
+func (d *DHT) Leave(name simnet.NodeID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, ok := d.names[name]
+	if !ok {
+		return fmt.Errorf("dht: %s not in ring", name)
+	}
+	if len(d.ring) == 1 {
+		return overlay.ErrNoNodes
+	}
+	// Remove from the ring first so the successor computation skips it.
+	idx := sort.Search(len(d.ring), func(i int) bool { return d.ring[i] >= n.id })
+	d.ring = append(d.ring[:idx], d.ring[idx+1:]...)
+	delete(d.byID, n.id)
+	delete(d.names, name)
+
+	succID := d.successorID(n.id)
+	if succ := d.byID[succID]; succ != nil {
+		n.mu.Lock()
+		succ.mu.Lock()
+		for key, value := range n.data {
+			succ.data[key] = value
+		}
+		succ.mu.Unlock()
+		n.data = make(map[string][]byte)
+		n.mu.Unlock()
+	}
+	d.net.SetOnline(name, false)
+	d.rebuildFingers()
+	return nil
+}
+
+// predecessorID returns the first ring node id counter-clockwise from
+// target (exclusive).
+func (d *DHT) predecessorID(target uint64) uint64 {
+	i := sort.Search(len(d.ring), func(i int) bool { return d.ring[i] >= target })
+	if i == 0 {
+		return d.ring[len(d.ring)-1]
+	}
+	return d.ring[i-1]
+}
+
+// Size returns the current ring size.
+func (d *DHT) Size() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.ring)
+}

@@ -1,0 +1,44 @@
+// Package overlay defines the common contract implemented by the DOSN
+// overlay organizations of the paper's Section II-B: structured (DHT),
+// unstructured (gossip/flooding), semi-structured (super-peers), hybrid, and
+// server federation.
+//
+// Each implementation lives in a subpackage and runs on
+// internal/overlay/simnet. Experiments E6/E7 (DESIGN.md) drive them through
+// this interface to compare lookup cost and availability under churn.
+package overlay
+
+import (
+	"errors"
+	"time"
+)
+
+// Errors shared by overlay implementations.
+var (
+	ErrNotFound    = errors.New("overlay: key not found")
+	ErrUnavailable = errors.New("overlay: no replica reachable")
+	ErrNoNodes     = errors.New("overlay: overlay has no nodes")
+)
+
+// OpStats reports the cost of one overlay operation.
+type OpStats struct {
+	// Hops is the number of RPC edges traversed.
+	Hops int
+	// Messages is the number of simulated messages exchanged.
+	Messages int
+	// Bytes is the simulated traffic volume.
+	Bytes int
+	// Latency is the simulated end-to-end delay.
+	Latency time.Duration
+}
+
+// KV is the storage interface every overlay provides: store a value under a
+// key from the perspective of an originating node, and look it up again.
+type KV interface {
+	// Name identifies the overlay organization (for experiment output).
+	Name() string
+	// Store places the value in the overlay, originating at node origin.
+	Store(origin string, key string, value []byte) (OpStats, error)
+	// Lookup resolves the key, originating at node origin.
+	Lookup(origin string, key string) ([]byte, OpStats, error)
+}

@@ -1,0 +1,279 @@
+// Package simnet provides a deterministic in-memory simulated network on
+// which the DOSN overlays (internal/overlay/...) run.
+//
+// The paper's Section II classifies DOSN architectures by how their control
+// and storage overlays are organized; comparing them (experiment E6/E7 in
+// DESIGN.md) requires a common substrate that accounts for messages, hops
+// and latency, and that can model node churn. A real testbed is substituted
+// by this simulator (DESIGN.md §2): nodes are in-process handlers, RPCs are
+// synchronous calls with a seeded latency model, and failures (offline
+// nodes, message loss, partitions) are injected deterministically.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// NodeID identifies a node in the simulated network.
+type NodeID string
+
+// Errors returned by this package.
+var (
+	ErrUnknownNode   = errors.New("simnet: unknown node")
+	ErrNodeOffline   = errors.New("simnet: node offline")
+	ErrDropped       = errors.New("simnet: message dropped")
+	ErrPartitioned   = errors.New("simnet: nodes partitioned")
+	ErrDuplicateNode = errors.New("simnet: node already registered")
+)
+
+// Message is an application-level message; payloads stay in memory.
+type Message struct {
+	// Kind routes the message to handler logic.
+	Kind string
+	// Payload is the message body; handlers type-assert it.
+	Payload any
+	// Size is the simulated wire size in bytes, used for traffic accounting.
+	Size int
+}
+
+// Handler processes incoming RPCs on a node.
+type Handler interface {
+	// HandleRPC processes a request and returns a reply. The trace must be
+	// passed along for any nested RPCs the handler issues.
+	HandleRPC(tr *Trace, from NodeID, msg Message) (Message, error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(tr *Trace, from NodeID, msg Message) (Message, error)
+
+// HandleRPC implements Handler.
+func (f HandlerFunc) HandleRPC(tr *Trace, from NodeID, msg Message) (Message, error) {
+	return f(tr, from, msg)
+}
+
+var _ Handler = (HandlerFunc)(nil)
+
+// Trace accumulates the cost of one logical operation (e.g. a DHT lookup)
+// across all RPCs it triggers.
+type Trace struct {
+	// Hops counts RPC edges traversed.
+	Hops int
+	// Messages counts individual messages (request + reply each count 1).
+	Messages int
+	// Bytes sums simulated payload sizes.
+	Bytes int
+	// Latency sums simulated one-way delays along the RPC chain.
+	Latency time.Duration
+}
+
+// Add merges another trace's costs (for fan-out operations).
+func (t *Trace) Add(other *Trace) {
+	t.Hops += other.Hops
+	t.Messages += other.Messages
+	t.Bytes += other.Bytes
+	t.Latency += other.Latency
+}
+
+// Config parameterizes the simulated network.
+type Config struct {
+	// Seed makes loss and latency jitter deterministic.
+	Seed int64
+	// BaseLatency is the fixed one-way delay between any two nodes.
+	BaseLatency time.Duration
+	// JitterLatency is the maximum additional random one-way delay.
+	JitterLatency time.Duration
+	// LossRate is the probability in [0,1) that a message is dropped.
+	LossRate float64
+}
+
+// DefaultConfig returns a deterministic lossless network configuration.
+func DefaultConfig(seed int64) Config {
+	return Config{Seed: seed, BaseLatency: 10 * time.Millisecond, JitterLatency: 5 * time.Millisecond}
+}
+
+// Network is the simulated network. It is safe for concurrent use.
+type Network struct {
+	mu       sync.Mutex
+	cfg      Config
+	rng      *rand.Rand
+	nodes    map[NodeID]Handler
+	offline  map[NodeID]bool
+	partOf   map[NodeID]int // partition group; 0 = default
+	totals   Trace
+	rpcCount int
+}
+
+// New creates an empty network.
+func New(cfg Config) *Network {
+	return &Network{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		nodes:   make(map[NodeID]Handler),
+		offline: make(map[NodeID]bool),
+		partOf:  make(map[NodeID]int),
+	}
+}
+
+// Register adds a node with its RPC handler.
+func (n *Network) Register(id NodeID, h Handler) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[id]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateNode, id)
+	}
+	n.nodes[id] = h
+	return nil
+}
+
+// SetOnline marks a node online or offline (churn injection).
+func (n *Network) SetOnline(id NodeID, online bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.offline[id] = !online
+}
+
+// Online reports whether a node is registered and online.
+func (n *Network) Online(id NodeID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.nodes[id]
+	return ok && !n.offline[id]
+}
+
+// SetPartition assigns a node to a partition group; nodes in different
+// groups cannot exchange messages. Group 0 is the default connected group.
+func (n *Network) SetPartition(id NodeID, group int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partOf[id] = group
+}
+
+// Nodes returns all registered node IDs (online and offline).
+func (n *Network) Nodes() []NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]NodeID, 0, len(n.nodes))
+	for id := range n.nodes {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Totals returns the accumulated network-wide traffic counters.
+func (n *Network) Totals() Trace {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.totals
+}
+
+// ResetTotals zeroes the network-wide counters (between experiment runs).
+func (n *Network) ResetTotals() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.totals = Trace{}
+	n.rpcCount = 0
+}
+
+// RPCCount returns the number of RPC invocations since the last reset.
+func (n *Network) RPCCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rpcCount
+}
+
+// admit checks deliverability and charges one message to the trace and
+// totals. It returns the handler to invoke.
+func (n *Network) admit(tr *Trace, from, to NodeID, size int) (Handler, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.nodes[to]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, to)
+	}
+	if n.offline[to] {
+		return nil, fmt.Errorf("%w: %s", ErrNodeOffline, to)
+	}
+	if n.offline[from] {
+		return nil, fmt.Errorf("%w: %s (sender)", ErrNodeOffline, from)
+	}
+	if n.partOf[from] != n.partOf[to] {
+		return nil, fmt.Errorf("%w: %s / %s", ErrPartitioned, from, to)
+	}
+	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+		return nil, fmt.Errorf("%w: %s -> %s", ErrDropped, from, to)
+	}
+	delay := n.cfg.BaseLatency
+	if n.cfg.JitterLatency > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(n.cfg.JitterLatency)))
+	}
+	tr.Messages++
+	tr.Bytes += size
+	tr.Latency += delay
+	n.totals.Messages++
+	n.totals.Bytes += size
+	n.totals.Latency += delay
+	return h, nil
+}
+
+// RPC sends a request from one node to another and returns the reply. Both
+// directions are charged to the trace; the hop count increases by one.
+func (n *Network) RPC(tr *Trace, from, to NodeID, msg Message) (Message, error) {
+	if tr == nil {
+		tr = &Trace{}
+	}
+	h, err := n.admit(tr, from, to, msg.Size)
+	if err != nil {
+		return Message{}, err
+	}
+	n.mu.Lock()
+	n.rpcCount++
+	tr.Hops++
+	n.totals.Hops++
+	n.mu.Unlock()
+
+	reply, err := h.HandleRPC(tr, from, msg)
+	if err != nil {
+		return Message{}, fmt.Errorf("simnet: rpc %s->%s %q: %w", from, to, msg.Kind, err)
+	}
+	// Charge the reply direction.
+	if _, aerr := n.admit(tr, to, from, reply.Size); aerr != nil {
+		return Message{}, aerr
+	}
+	return reply, nil
+}
+
+// Cast sends a one-way message (no reply, still handled synchronously).
+// Errors from the handler are returned; delivery failures likewise.
+func (n *Network) Cast(tr *Trace, from, to NodeID, msg Message) error {
+	if tr == nil {
+		tr = &Trace{}
+	}
+	h, err := n.admit(tr, from, to, msg.Size)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.rpcCount++
+	tr.Hops++
+	n.totals.Hops++
+	n.mu.Unlock()
+	if _, err := h.HandleRPC(tr, from, msg); err != nil {
+		return fmt.Errorf("simnet: cast %s->%s %q: %w", from, to, msg.Kind, err)
+	}
+	return nil
+}
+
+// Rand returns a deterministic sub-RNG for a consumer, derived from the
+// network seed and the given label, so overlay-internal randomness stays
+// reproducible and independent of call order elsewhere.
+func (n *Network) Rand(label string) *rand.Rand {
+	var h int64 = 1125899906842597
+	for _, c := range label {
+		h = h*31 + int64(c)
+	}
+	return rand.New(rand.NewSource(n.cfg.Seed ^ h))
+}

@@ -1,0 +1,210 @@
+// Package blindsub implements Hummingbird-style content-private publish/
+// subscribe (paper Sections III-F and V-A).
+//
+// Two mechanisms from the paper are provided:
+//
+//  1. Blind-signature subscription (V-A): "a signature of a message's
+//     keyword is used as a key to encrypt the message ... anyone who gets
+//     the signature on that keyword can also decrypt the message. ... Each
+//     subscriber will get the signature on the main keyword (hashtag) of
+//     each tweet, by the use of the blind signature, while his interest
+//     will not be revealed to the publisher."
+//
+//  2. OPRF key dissemination (III-F): "the symmetric key is derived by
+//     applying a combination of a pseudo random function (PRF) and a hash
+//     function on a particular part of message (hashtag). For the key
+//     dissemination an oblivious pseudo random function protocol must be
+//     followed" — the subscriber learns the key for its chosen hashtag
+//     without the publisher learning which hashtag was requested.
+//
+// In both, the published object carries only an opaque matching tag and an
+// encrypted body: the storage/server never sees hashtags or content.
+package blindsub
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"godosn/internal/crypto/blindsig"
+	"godosn/internal/crypto/oprf"
+	"godosn/internal/crypto/prf"
+	"godosn/internal/crypto/symmetric"
+)
+
+// Errors returned by this package.
+var (
+	ErrNoMatch = errors.New("blindsub: tweet does not match subscription")
+)
+
+// Tweet is a published message: an opaque tag for matching plus the sealed
+// body. Neither reveals the hashtag or content to the storage provider.
+type Tweet struct {
+	// Tag is the public matching token derived from the hashtag key.
+	Tag [32]byte
+	// Body is the hashtag-key-encrypted content.
+	Body []byte
+}
+
+// Size returns the approximate wire size in bytes.
+func (t *Tweet) Size() int { return len(t.Tag) + len(t.Body) }
+
+// tagOf derives the public matching tag from a hashtag key.
+func tagOf(key []byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("godosn/blindsub/tag-v1"))
+	h.Write(key)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// keyFromBytes normalizes derived key material to an AES key.
+func keyFromBytes(material []byte) (symmetric.Key, error) {
+	key, err := prf.Derive(material, "godosn/blindsub/key-v1", symmetric.KeySize)
+	if err != nil {
+		return nil, fmt.Errorf("blindsub: deriving key: %w", err)
+	}
+	return key, nil
+}
+
+// Publisher issues hashtag keys (as the blind signer) and publishes tweets.
+type Publisher struct {
+	signer *blindsig.Signer
+}
+
+// NewPublisher creates a publisher with a fresh blind-signing key.
+func NewPublisher(rsaBits int) (*Publisher, error) {
+	signer, err := blindsig.NewSigner(rsaBits)
+	if err != nil {
+		return nil, fmt.Errorf("blindsub: creating publisher: %w", err)
+	}
+	return &Publisher{signer: signer}, nil
+}
+
+// Public returns the publisher's blind-signature public key, which
+// subscribers need for blinding and verification.
+func (p *Publisher) Public() *blindsig.PublicKey { return p.signer.Public() }
+
+// hashtagKey is the publisher's own derivation of a hashtag's message key:
+// the deterministic signature on the hashtag, hashed down to key material.
+func (p *Publisher) hashtagKey(hashtag string) ([]byte, error) {
+	sig := p.signer.Sign([]byte(hashtag))
+	return keyFromBytes(blindsig.SignatureKey(sig))
+}
+
+// Publish seals content under the hashtag's key and tags it for matching.
+func (p *Publisher) Publish(hashtag string, content []byte) (*Tweet, error) {
+	key, err := p.hashtagKey(hashtag)
+	if err != nil {
+		return nil, err
+	}
+	body, err := symmetric.Seal(key, content, nil)
+	if err != nil {
+		return nil, fmt.Errorf("blindsub: sealing tweet: %w", err)
+	}
+	return &Tweet{Tag: tagOf(key), Body: body}, nil
+}
+
+// Subscription is a subscriber's capability for one hashtag.
+type Subscription struct {
+	// Hashtag is the subscribed keyword (known only to the subscriber).
+	Hashtag string
+
+	key symmetric.Key
+	tag [32]byte
+}
+
+// Matches reports whether a tweet belongs to this subscription.
+func (s *Subscription) Matches(t *Tweet) bool { return t.Tag == s.tag }
+
+// Open decrypts a matching tweet.
+func (s *Subscription) Open(t *Tweet) ([]byte, error) {
+	if !s.Matches(t) {
+		return nil, ErrNoMatch
+	}
+	pt, err := symmetric.Open(s.key, t.Body, nil)
+	if err != nil {
+		return nil, fmt.Errorf("blindsub: opening tweet: %w", err)
+	}
+	return pt, nil
+}
+
+// Subscribe runs the blind-signature protocol against the publisher and
+// returns the subscription. The value sent to the publisher is the blinded
+// element only.
+func Subscribe(p *Publisher, hashtag string) (*Subscription, error) {
+	pub := p.Public()
+	blinded, state, err := pub.Blind([]byte(hashtag))
+	if err != nil {
+		return nil, fmt.Errorf("blindsub: blinding: %w", err)
+	}
+	// Protocol message to the publisher: the blinded element only — the
+	// publisher cannot tell which hashtag is being subscribed to (V-A).
+	blindSig := p.signer.SignBlinded(blinded)
+	sig := state.Unblind(blindSig)
+	if err := pub.Verify([]byte(hashtag), sig); err != nil {
+		return nil, fmt.Errorf("blindsub: publisher returned bad signature: %w", err)
+	}
+	key, err := keyFromBytes(blindsig.SignatureKey(sig))
+	if err != nil {
+		return nil, err
+	}
+	return &Subscription{Hashtag: hashtag, key: key, tag: tagOf(key)}, nil
+}
+
+// OPRFKeyOwner is a user whose per-hashtag keys are derived from a PRF
+// secret and disseminated obliviously to friends (the Hummingbird III-F
+// flow).
+type OPRFKeyOwner struct {
+	secret *oprf.Secret
+}
+
+// NewOPRFKeyOwner creates an owner with a fresh OPRF secret.
+func NewOPRFKeyOwner() (*OPRFKeyOwner, error) {
+	s, err := oprf.NewSecret()
+	if err != nil {
+		return nil, fmt.Errorf("blindsub: creating OPRF owner: %w", err)
+	}
+	return &OPRFKeyOwner{secret: s}, nil
+}
+
+// Publish seals content under the owner's key for the hashtag.
+func (o *OPRFKeyOwner) Publish(hashtag string, content []byte) (*Tweet, error) {
+	key, err := keyFromBytes(o.secret.EvaluateDirect([]byte(hashtag)))
+	if err != nil {
+		return nil, err
+	}
+	body, err := symmetric.Seal(key, content, nil)
+	if err != nil {
+		return nil, fmt.Errorf("blindsub: sealing tweet: %w", err)
+	}
+	return &Tweet{Tag: tagOf(key), Body: body}, nil
+}
+
+// Evaluate services a friend's oblivious evaluation request.
+func (o *OPRFKeyOwner) Evaluate(blinded oprf.BlindedElement) (oprf.EvaluatedElement, error) {
+	return o.secret.Evaluate(blinded)
+}
+
+// SubscribeOPRF obtains the key for hashtag from the owner without revealing
+// the hashtag, via the OPRF protocol.
+func SubscribeOPRF(owner *OPRFKeyOwner, hashtag string) (*Subscription, error) {
+	blinded, state, err := oprf.Blind([]byte(hashtag))
+	if err != nil {
+		return nil, fmt.Errorf("blindsub: OPRF blind: %w", err)
+	}
+	evaluated, err := owner.Evaluate(blinded)
+	if err != nil {
+		return nil, fmt.Errorf("blindsub: OPRF evaluate: %w", err)
+	}
+	material, err := state.Finalize(evaluated)
+	if err != nil {
+		return nil, fmt.Errorf("blindsub: OPRF finalize: %w", err)
+	}
+	key, err := keyFromBytes(material)
+	if err != nil {
+		return nil, err
+	}
+	return &Subscription{Hashtag: hashtag, key: key, tag: tagOf(key)}, nil
+}

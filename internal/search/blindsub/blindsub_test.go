@@ -1,0 +1,137 @@
+package blindsub
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// RSA keygen is slow; share one publisher across tests.
+var (
+	pubOnce       sync.Once
+	testPublisher *Publisher
+)
+
+func publisher(t *testing.T) *Publisher {
+	t.Helper()
+	pubOnce.Do(func() {
+		p, err := NewPublisher(1024)
+		if err != nil {
+			t.Fatalf("NewPublisher: %v", err)
+		}
+		testPublisher = p
+	})
+	return testPublisher
+}
+
+func TestSubscribeAndRead(t *testing.T) {
+	p := publisher(t)
+	tweet, err := p.Publish("#dosn", []byte("decentralize all the things"))
+	if err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	sub, err := Subscribe(p, "#dosn")
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	if !sub.Matches(tweet) {
+		t.Fatal("subscription does not match its hashtag's tweet")
+	}
+	got, err := sub.Open(tweet)
+	if err != nil || string(got) != "decentralize all the things" {
+		t.Fatalf("Open: %q, %v", got, err)
+	}
+}
+
+func TestNonSubscriberCannotRead(t *testing.T) {
+	p := publisher(t)
+	tweet, _ := p.Publish("#secret", []byte("hidden"))
+	other, err := Subscribe(p, "#public")
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	if other.Matches(tweet) {
+		t.Fatal("wrong-hashtag subscription matched")
+	}
+	if _, err := other.Open(tweet); !errors.Is(err, ErrNoMatch) {
+		t.Fatalf("Open: %v", err)
+	}
+}
+
+func TestTagsHideHashtags(t *testing.T) {
+	p := publisher(t)
+	t1, _ := p.Publish("#alpha", []byte("m"))
+	t2, _ := p.Publish("#beta", []byte("m"))
+	t3, _ := p.Publish("#alpha", []byte("m2"))
+	if t1.Tag == t2.Tag {
+		t.Fatal("different hashtags share a tag")
+	}
+	if t1.Tag != t3.Tag {
+		t.Fatal("same hashtag gave different tags (matching broken)")
+	}
+	if t1.Size() <= 0 {
+		t.Fatal("non-positive size")
+	}
+}
+
+func TestSubscriptionFiltersStream(t *testing.T) {
+	p := publisher(t)
+	stream := []*Tweet{}
+	for _, msg := range []struct{ tag, body string }{
+		{"#go", "go 1"}, {"#rust", "rs 1"}, {"#go", "go 2"}, {"#zig", "zg 1"},
+	} {
+		tw, err := p.Publish(msg.tag, []byte(msg.body))
+		if err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+		stream = append(stream, tw)
+	}
+	sub, _ := Subscribe(p, "#go")
+	var got []string
+	for _, tw := range stream {
+		if sub.Matches(tw) {
+			pt, err := sub.Open(tw)
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			got = append(got, string(pt))
+		}
+	}
+	if len(got) != 2 || got[0] != "go 1" || got[1] != "go 2" {
+		t.Fatalf("filtered stream = %v", got)
+	}
+}
+
+func TestOPRFSubscription(t *testing.T) {
+	owner, err := NewOPRFKeyOwner()
+	if err != nil {
+		t.Fatalf("NewOPRFKeyOwner: %v", err)
+	}
+	tweet, err := owner.Publish("#party", []byte("friday at my place"))
+	if err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	sub, err := SubscribeOPRF(owner, "#party")
+	if err != nil {
+		t.Fatalf("SubscribeOPRF: %v", err)
+	}
+	got, err := sub.Open(tweet)
+	if err != nil || string(got) != "friday at my place" {
+		t.Fatalf("Open: %q, %v", got, err)
+	}
+	// Wrong hashtag gets a different key.
+	wrong, _ := SubscribeOPRF(owner, "#work")
+	if wrong.Matches(tweet) {
+		t.Fatal("wrong hashtag matched")
+	}
+}
+
+func TestOPRFOwnersIndependent(t *testing.T) {
+	o1, _ := NewOPRFKeyOwner()
+	o2, _ := NewOPRFKeyOwner()
+	tweet, _ := o1.Publish("#x", []byte("m"))
+	subOther, _ := SubscribeOPRF(o2, "#x")
+	if subOther.Matches(tweet) {
+		t.Fatal("key crossed OPRF owners")
+	}
+}

@@ -1,0 +1,108 @@
+// Package friendnet implements searcher privacy via a trusted friends
+// network (paper Section V-B, the Safebook approach): "each user connects
+// directly to trusted friends to forward messages. It will cause a
+// concentric circle of friends around each user, which makes it possible to
+// communicate with the user without revealing identity or even IP address."
+//
+// A query travels hop-by-hop along a friend chain; each relay learns only
+// its predecessor and successor, and the destination sees the last relay as
+// the requester. The package records every node's observations so tests and
+// experiments can verify exactly who learned what.
+package friendnet
+
+import (
+	"errors"
+	"fmt"
+
+	"godosn/internal/social/graph"
+)
+
+// Errors returned by this package.
+var (
+	ErrNoRoute  = errors.New("friendnet: no friend route to target")
+	ErrNotFound = errors.New("friendnet: target has no such resource")
+)
+
+// Observation is what one participant learned from relaying a query.
+type Observation struct {
+	// Node is the observer.
+	Node string
+	// SawRequestFrom is the identity the node received the query from.
+	SawRequestFrom string
+	// ForwardedTo is where the node sent it next ("" at the destination).
+	ForwardedTo string
+}
+
+// Result is a completed friend-routed query.
+type Result struct {
+	// Value is the resource value returned by the target.
+	Value string
+	// Hops is the number of relay edges used.
+	Hops int
+	// Observations lists what every on-path node saw, in path order.
+	Observations []Observation
+}
+
+// Network executes friend-routed queries over a social graph.
+type Network struct {
+	graph *graph.Graph
+	// resources maps owner -> resource name -> value.
+	resources map[string]map[string]string
+}
+
+// New creates a friend-routing network over the social graph.
+func New(g *graph.Graph) *Network {
+	return &Network{graph: g, resources: make(map[string]map[string]string)}
+}
+
+// Publish registers a resource at its owner.
+func (n *Network) Publish(owner, resource, value string) {
+	if n.resources[owner] == nil {
+		n.resources[owner] = make(map[string]string)
+	}
+	n.resources[owner][resource] = value
+}
+
+// Query routes a request from searcher to target along the best trust chain
+// and returns the result plus the full observation record. maxLen bounds the
+// chain (0 = unbounded).
+func (n *Network) Query(searcher, target, resource string, maxLen int) (*Result, error) {
+	path, err := n.graph.BestTrustPath(searcher, target, maxLen)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoRoute, err)
+	}
+	chain := path.Users
+	res := &Result{Hops: len(chain) - 1}
+	// Hop-by-hop relay: node i sees only node i-1 (and forwards to i+1).
+	for i := 1; i < len(chain); i++ {
+		obs := Observation{
+			Node:           chain[i],
+			SawRequestFrom: chain[i-1],
+		}
+		if i+1 < len(chain) {
+			obs.ForwardedTo = chain[i+1]
+		}
+		res.Observations = append(res.Observations, obs)
+	}
+	value, ok := n.resources[target][resource]
+	if !ok {
+		return res, fmt.Errorf("%w: %s@%s", ErrNotFound, resource, target)
+	}
+	res.Value = value
+	return res, nil
+}
+
+// SearcherVisibleTo reports whether the given node could identify the true
+// searcher from its observation of the query: only the first relay (the
+// searcher's direct trusted friend) sees the searcher's identity — which is
+// exactly the relaxation the paper describes ("some relaxation considered
+// that friends of a user are trusted parties").
+func SearcherVisibleTo(res *Result, searcher string) []string {
+	var nodes []string
+	for _, obs := range res.Observations {
+		if obs.SawRequestFrom == searcher {
+			nodes = append(nodes, obs.Node)
+		}
+	}
+	return nodes
+}

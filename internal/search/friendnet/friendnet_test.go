@@ -1,0 +1,100 @@
+package friendnet
+
+import (
+	"errors"
+	"testing"
+
+	"godosn/internal/social/graph"
+)
+
+// chainGraph builds alice - bob - carol - dave.
+func chainGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	for _, u := range []string{"alice", "bob", "carol", "dave"} {
+		g.AddUser(u)
+	}
+	g.Befriend("alice", "bob", 0.9)
+	g.Befriend("bob", "carol", 0.9)
+	g.Befriend("carol", "dave", 0.9)
+	return g
+}
+
+func TestQueryRoutesAlongFriends(t *testing.T) {
+	n := New(chainGraph(t))
+	n.Publish("dave", "profile", "dave's profile data")
+	res, err := n.Query("alice", "dave", "profile", 0)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if res.Value != "dave's profile data" {
+		t.Fatalf("Value = %q", res.Value)
+	}
+	if res.Hops != 3 {
+		t.Fatalf("Hops = %d", res.Hops)
+	}
+}
+
+func TestOnlyFirstRelaySeesSearcher(t *testing.T) {
+	// The core privacy property of the concentric-circles design: beyond
+	// the searcher's own trusted friend, no node (including the target)
+	// sees the searcher's identity.
+	n := New(chainGraph(t))
+	n.Publish("dave", "profile", "x")
+	res, err := n.Query("alice", "dave", "profile", 0)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	sawAlice := SearcherVisibleTo(res, "alice")
+	if len(sawAlice) != 1 || sawAlice[0] != "bob" {
+		t.Fatalf("searcher visible to %v, want [bob] only", sawAlice)
+	}
+	// The destination saw the request arriving from carol.
+	last := res.Observations[len(res.Observations)-1]
+	if last.Node != "dave" || last.SawRequestFrom != "carol" {
+		t.Fatalf("destination observation %+v", last)
+	}
+}
+
+func TestQueryNoRoute(t *testing.T) {
+	g := graph.New()
+	g.AddUser("alice")
+	g.AddUser("island")
+	n := New(g)
+	n.Publish("island", "r", "v")
+	if _, err := n.Query("alice", "island", "r", 0); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("got %v, want ErrNoRoute", err)
+	}
+}
+
+func TestQueryMaxLen(t *testing.T) {
+	n := New(chainGraph(t))
+	n.Publish("dave", "r", "v")
+	if _, err := n.Query("alice", "dave", "r", 2); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("3-hop route under maxLen 2: %v", err)
+	}
+	if _, err := n.Query("alice", "dave", "r", 3); err != nil {
+		t.Fatalf("route under maxLen 3: %v", err)
+	}
+}
+
+func TestQueryMissingResource(t *testing.T) {
+	n := New(chainGraph(t))
+	if _, err := n.Query("alice", "dave", "nothing", 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("got %v, want ErrNotFound", err)
+	}
+}
+
+func TestDirectFriendQuery(t *testing.T) {
+	n := New(chainGraph(t))
+	n.Publish("bob", "r", "v")
+	res, err := n.Query("alice", "bob", "r", 0)
+	if err != nil || res.Hops != 1 {
+		t.Fatalf("direct query: %+v, %v", res, err)
+	}
+	// With a direct friend the friend necessarily sees the searcher — the
+	// "relaxation" the paper accepts for trusted friends.
+	if saw := SearcherVisibleTo(res, "alice"); len(saw) != 1 || saw[0] != "bob" {
+		t.Fatalf("visibility %v", saw)
+	}
+}

@@ -1,0 +1,143 @@
+// Package proxy implements alias-based searcher privacy (paper Section V-B):
+// "the real identity of users will be replaced by aliases via the proxy
+// server. Since the proxy server knows all the aliases of their users, it
+// can forward messages correctly. Servers cannot see the real names of other
+// servers' users. However, the security of this approach can be under the
+// risk by collusion of proxy servers."
+//
+// The package models the information flow explicitly: the directory (the
+// searched service) records which identity it observed per query, so
+// experiments can measure leakage with and without proxy collusion.
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Errors returned by this package.
+var (
+	ErrUnknownAlias = errors.New("proxy: unknown alias")
+	ErrUnknownUser  = errors.New("proxy: user not registered with this proxy")
+	ErrNotFound     = errors.New("proxy: no result")
+)
+
+// Directory is the searched service: it resolves queries and logs the
+// identity it observed for each (the provider's view of the searcher).
+type Directory struct {
+	mu      sync.Mutex
+	entries map[string]string // query term -> result
+	// ObservedSearchers records, per query term, the identities the
+	// directory saw asking. With a proxy in front these are aliases.
+	observed map[string][]string
+}
+
+// NewDirectory creates an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{
+		entries:  make(map[string]string),
+		observed: make(map[string][]string),
+	}
+}
+
+// Add publishes an entry (e.g. "carol:profile" -> location).
+func (d *Directory) Add(term, result string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.entries[term] = result
+}
+
+// Query resolves a term, logging the identity that asked.
+func (d *Directory) Query(asker, term string) (string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.observed[term] = append(d.observed[term], asker)
+	r, ok := d.entries[term]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrNotFound, term)
+	}
+	return r, nil
+}
+
+// Observed returns the searcher identities the directory saw for a term.
+func (d *Directory) Observed(term string) []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]string(nil), d.observed[term]...)
+}
+
+// Server is a proxy that maps real identities to stable aliases and
+// forwards queries under the alias.
+type Server struct {
+	name string
+
+	mu      sync.Mutex
+	aliases map[string]string // real -> alias
+	reverse map[string]string // alias -> real
+	counter int
+}
+
+// NewServer creates a proxy server.
+func NewServer(name string) *Server {
+	return &Server{
+		name:    name,
+		aliases: make(map[string]string),
+		reverse: make(map[string]string),
+	}
+}
+
+// Register enrolls a user, assigning a stable opaque alias.
+func (s *Server) Register(realName string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if a, ok := s.aliases[realName]; ok {
+		return a
+	}
+	s.counter++
+	alias := fmt.Sprintf("%s-alias-%04d", s.name, s.counter)
+	s.aliases[realName] = alias
+	s.reverse[alias] = realName
+	return alias
+}
+
+// Search forwards the user's query to the directory under the alias: the
+// directory observes the alias, never the real identity.
+func (s *Server) Search(realName, term string, dir *Directory) (string, error) {
+	s.mu.Lock()
+	alias, ok := s.aliases[realName]
+	s.mu.Unlock()
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrUnknownUser, realName)
+	}
+	return dir.Query(alias, term)
+}
+
+// Deanonymize resolves an alias back to a real identity — the capability a
+// proxy holds, and the one collusion exposes.
+func (s *Server) Deanonymize(alias string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	real, ok := s.reverse[alias]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrUnknownAlias, alias)
+	}
+	return real, nil
+}
+
+// Collude models proxy collusion (the risk the paper flags): given the
+// directory's observations for a term and a set of colluding proxies, it
+// returns every real searcher identity recoverable by joining their alias
+// tables.
+func Collude(dir *Directory, term string, colluders ...*Server) []string {
+	var exposed []string
+	for _, alias := range dir.Observed(term) {
+		for _, p := range colluders {
+			if real, err := p.Deanonymize(alias); err == nil {
+				exposed = append(exposed, real)
+				break
+			}
+		}
+	}
+	return exposed
+}

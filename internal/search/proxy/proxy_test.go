@@ -1,0 +1,99 @@
+package proxy
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestProxyHidesSearcher(t *testing.T) {
+	dir := NewDirectory()
+	dir.Add("carol", "carol@node-17")
+	p := NewServer("proxy1")
+	p.Register("alice")
+
+	got, err := p.Search("alice", "carol", dir)
+	if err != nil || got != "carol@node-17" {
+		t.Fatalf("Search: %q, %v", got, err)
+	}
+	// The directory observed an alias, never "alice".
+	for _, seen := range dir.Observed("carol") {
+		if seen == "alice" {
+			t.Fatal("directory saw the real searcher identity")
+		}
+	}
+}
+
+func TestAliasStable(t *testing.T) {
+	p := NewServer("p")
+	a1 := p.Register("alice")
+	a2 := p.Register("alice")
+	if a1 != a2 {
+		t.Fatal("alias not stable across registrations")
+	}
+	b := p.Register("bob")
+	if a1 == b {
+		t.Fatal("two users share an alias")
+	}
+}
+
+func TestUnregisteredUserRejected(t *testing.T) {
+	dir := NewDirectory()
+	p := NewServer("p")
+	if _, err := p.Search("stranger", "x", dir); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("got %v, want ErrUnknownUser", err)
+	}
+}
+
+func TestQueryMiss(t *testing.T) {
+	dir := NewDirectory()
+	p := NewServer("p")
+	p.Register("alice")
+	if _, err := p.Search("alice", "nobody", dir); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("got %v, want ErrNotFound", err)
+	}
+	// Even failed queries are observed (metadata leak surface).
+	if len(dir.Observed("nobody")) != 1 {
+		t.Fatal("failed query not observed")
+	}
+}
+
+func TestDeanonymize(t *testing.T) {
+	p := NewServer("p")
+	alias := p.Register("alice")
+	real, err := p.Deanonymize(alias)
+	if err != nil || real != "alice" {
+		t.Fatalf("Deanonymize: %q, %v", real, err)
+	}
+	if _, err := p.Deanonymize("bogus"); !errors.Is(err, ErrUnknownAlias) {
+		t.Fatalf("got %v, want ErrUnknownAlias", err)
+	}
+}
+
+func TestCollusionExposesSearchers(t *testing.T) {
+	// The paper: "the security of this approach can be under the risk by
+	// collusion of proxy servers."
+	dir := NewDirectory()
+	dir.Add("carol", "carol@node")
+	p1 := NewServer("p1")
+	p2 := NewServer("p2")
+	p1.Register("alice")
+	p2.Register("bob")
+	p1.Search("alice", "carol", dir)
+	p2.Search("bob", "carol", dir)
+
+	// Without collusion the directory knows only aliases.
+	exposedNone := Collude(dir, "carol")
+	if len(exposedNone) != 0 {
+		t.Fatalf("exposed without colluders: %v", exposedNone)
+	}
+	// One colluding proxy exposes its own users only.
+	exposedOne := Collude(dir, "carol", p1)
+	if len(exposedOne) != 1 || exposedOne[0] != "alice" {
+		t.Fatalf("one colluder exposed %v", exposedOne)
+	}
+	// Full collusion exposes everyone.
+	exposedAll := Collude(dir, "carol", p1, p2)
+	if len(exposedAll) != 2 {
+		t.Fatalf("full collusion exposed %v", exposedAll)
+	}
+}

@@ -1,0 +1,108 @@
+package trustrank
+
+import (
+	"testing"
+
+	"godosn/internal/social/graph"
+)
+
+func rankGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	for _, u := range []string{"alice", "bob", "sara", "tom", "stranger"} {
+		g.AddUser(u)
+	}
+	g.Befriend("alice", "bob", 0.9)
+	g.Befriend("bob", "sara", 0.9) // alice->sara chain trust 0.81
+	g.Befriend("bob", "tom", 0.3)  // alice->tom chain trust 0.27
+	return g
+}
+
+func TestRankPrefersTrustedChain(t *testing.T) {
+	r := New(rankGraph(t), DefaultConfig())
+	ranked := r.Rank("alice", []string{"tom", "sara"})
+	if len(ranked) != 2 {
+		t.Fatalf("ranked = %d", len(ranked))
+	}
+	if ranked[0].User != "sara" {
+		t.Fatalf("top result %q, want sara (higher chain trust)", ranked[0].User)
+	}
+	if ranked[0].ChainTrust <= ranked[1].ChainTrust {
+		t.Fatal("chain trusts not ordered")
+	}
+	if len(ranked[0].Chain) != 3 {
+		t.Fatalf("chain = %v", ranked[0].Chain)
+	}
+}
+
+func TestUnreachableCandidateScoresZero(t *testing.T) {
+	r := New(rankGraph(t), DefaultConfig())
+	ranked := r.Rank("alice", []string{"stranger", "sara"})
+	if ranked[0].User != "sara" {
+		t.Fatalf("top = %q", ranked[0].User)
+	}
+	if ranked[1].User != "stranger" || ranked[1].Score != 0 {
+		t.Fatalf("unreachable candidate: %+v", ranked[1])
+	}
+}
+
+func TestPopularityBreaksTrustTies(t *testing.T) {
+	g := graph.New()
+	for _, u := range []string{"alice", "x", "y"} {
+		g.AddUser(u)
+	}
+	g.Befriend("alice", "x", 0.8)
+	g.Befriend("alice", "y", 0.8)
+	r := New(g, DefaultConfig())
+	r.SetPopularity("x", 10)
+	r.SetPopularity("y", 1000)
+	ranked := r.Rank("alice", []string{"x", "y"})
+	if ranked[0].User != "y" {
+		t.Fatalf("top = %q, want the popular candidate", ranked[0].User)
+	}
+}
+
+func TestTrustDominatesWhenWeighted(t *testing.T) {
+	g := graph.New()
+	for _, u := range []string{"alice", "trusted", "popular"} {
+		g.AddUser(u)
+	}
+	g.Befriend("alice", "trusted", 0.95)
+	g.Befriend("alice", "popular", 0.2)
+	r := New(g, Config{TrustWeight: 3, PopularityWeight: 0.5, MaxChainLength: 4})
+	r.SetPopularity("trusted", 10)
+	r.SetPopularity("popular", 1000)
+	ranked := r.Rank("alice", []string{"trusted", "popular"})
+	if ranked[0].User != "trusted" {
+		t.Fatalf("top = %q, want the trusted candidate", ranked[0].User)
+	}
+}
+
+func TestMaxChainLengthExcludesLongChains(t *testing.T) {
+	g := graph.New()
+	for _, u := range []string{"a", "b", "c", "d"} {
+		g.AddUser(u)
+	}
+	g.Befriend("a", "b", 0.9)
+	g.Befriend("b", "c", 0.9)
+	g.Befriend("c", "d", 0.9)
+	r := New(g, Config{TrustWeight: 1, PopularityWeight: 1, MaxChainLength: 2})
+	ranked := r.Rank("a", []string{"d"})
+	if ranked[0].Score != 0 {
+		t.Fatalf("candidate beyond max chain ranked: %+v", ranked[0])
+	}
+}
+
+func TestDeterministicTieOrder(t *testing.T) {
+	g := graph.New()
+	for _, u := range []string{"a", "m", "z"} {
+		g.AddUser(u)
+	}
+	g.Befriend("a", "m", 0.5)
+	g.Befriend("a", "z", 0.5)
+	r := New(g, DefaultConfig())
+	ranked := r.Rank("a", []string{"z", "m"})
+	if ranked[0].User != "m" {
+		t.Fatalf("tie order = %q first", ranked[0].User)
+	}
+}

@@ -1,0 +1,184 @@
+// Package content provides the user-facing OSN object model: profiles with
+// per-field audience control, posts, comments and feeds.
+//
+// This is the functionality layer the paper's Section VI enumerates
+// ("profile creation, access control management, commenting and social
+// search"), assembled from the privacy and integrity mechanisms underneath:
+// every non-public field or post travels as a privacy.Envelope, and posts
+// carry integrity metadata from internal/social/integrity.
+package content
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"godosn/internal/social/identity"
+	"godosn/internal/social/privacy"
+)
+
+// Errors returned by this package.
+var (
+	ErrNoSuchField = errors.New("content: no such profile field")
+	ErrNoAudience  = errors.New("content: field has no audience group")
+)
+
+// Visibility classifies who may read a profile field.
+type Visibility int
+
+// Field visibilities. Public fields are stored in clear; Substituted fields
+// show fakes to outsiders (Section III-A); Restricted fields are encrypted
+// to an audience group.
+const (
+	Public Visibility = iota + 1
+	Substituted
+	Restricted
+)
+
+// Field is one profile attribute.
+type Field struct {
+	// Name is the field key, e.g. "birthday".
+	Name string
+	// Visibility classifies the field.
+	Visibility Visibility
+	// Clear holds the value for Public fields.
+	Clear []byte
+	// Envelope holds the protected value for Substituted/Restricted fields.
+	Envelope privacy.Envelope
+	// Audience is the group guarding the field (nil for Public).
+	Audience privacy.Group
+}
+
+// Profile is a user's attribute set with per-field audiences — the
+// fine-grained access control the paper credits Persona with ("it gave users
+// this autonomy to decide who can see their private data ... with
+// fine-grained policies").
+type Profile struct {
+	// Owner is the profile's user.
+	Owner string
+
+	fields map[string]*Field
+}
+
+// NewProfile creates an empty profile.
+func NewProfile(owner string) *Profile {
+	return &Profile{Owner: owner, fields: make(map[string]*Field)}
+}
+
+// SetPublic stores a field in clear.
+func (p *Profile) SetPublic(name string, value []byte) {
+	p.fields[name] = &Field{Name: name, Visibility: Public, Clear: append([]byte(nil), value...)}
+}
+
+// SetRestricted stores a field encrypted to the audience group.
+func (p *Profile) SetRestricted(name string, value []byte, audience privacy.Group) error {
+	env, err := audience.Encrypt(value)
+	if err != nil {
+		return fmt.Errorf("content: restricting field %q: %w", name, err)
+	}
+	vis := Restricted
+	if audience.Scheme() == privacy.SchemeSubstitution {
+		vis = Substituted
+	}
+	p.fields[name] = &Field{Name: name, Visibility: vis, Envelope: env, Audience: audience}
+	return nil
+}
+
+// FieldNames lists the profile's fields sorted.
+func (p *Profile) FieldNames() []string {
+	out := make([]string, 0, len(p.fields))
+	for n := range p.fields {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// View returns the field value as seen by the given user: clear for public
+// fields, the real value for audience members, the fake for outsiders on
+// substituted fields, and an error for outsiders on restricted fields.
+func (p *Profile) View(viewer *identity.User, name string) ([]byte, error) {
+	f, ok := p.fields[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchField, name)
+	}
+	switch f.Visibility {
+	case Public:
+		return append([]byte(nil), f.Clear...), nil
+	case Substituted:
+		if f.Audience == nil {
+			return nil, ErrNoAudience
+		}
+		if real, err := f.Audience.Decrypt(viewer, f.Envelope); err == nil {
+			return real, nil
+		}
+		// Outsiders get the plausible fake, exactly what the provider sees.
+		return privacy.FakeView(f.Envelope)
+	case Restricted:
+		if f.Audience == nil {
+			return nil, ErrNoAudience
+		}
+		return f.Audience.Decrypt(viewer, f.Envelope)
+	default:
+		return nil, fmt.Errorf("content: field %q has invalid visibility", name)
+	}
+}
+
+// Post is one feed item: an envelope plus ordering metadata.
+type Post struct {
+	// Author is the post owner.
+	Author string
+	// Seq is the author-local sequence number.
+	Seq uint64
+	// CreatedAt is the simulated creation time.
+	CreatedAt time.Time
+	// Envelope is the protected body.
+	Envelope privacy.Envelope
+}
+
+// Feed assembles and orders posts from multiple authors — the read side of
+// the OSN. Ordering is by (CreatedAt, Author, Seq), deterministic for tests.
+type Feed struct {
+	posts []Post
+}
+
+// Add inserts posts into the feed.
+func (f *Feed) Add(posts ...Post) {
+	f.posts = append(f.posts, posts...)
+}
+
+// Items returns the ordered feed.
+func (f *Feed) Items() []Post {
+	out := append([]Post(nil), f.posts...)
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].CreatedAt.Equal(out[j].CreatedAt) {
+			return out[i].CreatedAt.Before(out[j].CreatedAt)
+		}
+		if out[i].Author != out[j].Author {
+			return out[i].Author < out[j].Author
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// Len returns the feed size.
+func (f *Feed) Len() int { return len(f.posts) }
+
+// ReadAll decrypts every feed item the viewer can open, returning plaintexts
+// in feed order and skipping items the viewer has no access to (resolve maps
+// group name to the viewer's handle on that group).
+func (f *Feed) ReadAll(viewer *identity.User, resolve func(group string) privacy.Group) [][]byte {
+	var out [][]byte
+	for _, p := range f.Items() {
+		g := resolve(p.Envelope.Group)
+		if g == nil {
+			continue
+		}
+		if pt, err := g.Decrypt(viewer, p.Envelope); err == nil {
+			out = append(out, pt)
+		}
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+// Package identity manages DOSN users, their key material, and out-of-band
+// key distribution.
+//
+// The paper (Section IV-A) notes that signature-based integrity assumes "the
+// public key distribution problem is solved", with keys distributed
+// "out-of-band like physical meeting [PeerSoN, Frientegrity] or transferring
+// the keys via e-mail [Vis-a-vis]". The Registry type models that trusted
+// out-of-band channel: users deposit their public keys once, and all parties
+// read verification/encryption keys from it.
+package identity
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"godosn/internal/crypto/pubkey"
+)
+
+// Errors returned by this package.
+var (
+	ErrUnknownUser   = errors.New("identity: unknown user")
+	ErrDuplicateUser = errors.New("identity: user already registered")
+)
+
+// User is a DOSN participant holding both key pairs: signing (integrity) and
+// encryption (privacy).
+type User struct {
+	// Name is the user's unique handle.
+	Name string
+
+	signing    *pubkey.SigningKeyPair
+	encryption *pubkey.EncryptionKeyPair
+}
+
+// NewUser creates a user with fresh key material.
+func NewUser(name string) (*User, error) {
+	sk, err := pubkey.NewSigningKeyPair()
+	if err != nil {
+		return nil, fmt.Errorf("identity: creating %q signing key: %w", name, err)
+	}
+	ek, err := pubkey.NewEncryptionKeyPair()
+	if err != nil {
+		return nil, fmt.Errorf("identity: creating %q encryption key: %w", name, err)
+	}
+	return &User{Name: name, signing: sk, encryption: ek}, nil
+}
+
+// Sign signs a message as this user.
+func (u *User) Sign(message []byte) []byte {
+	return u.signing.Sign(message)
+}
+
+// SigningKeyPair exposes the signing keypair for integrity subsystems that
+// need to own a chain/wall signer.
+func (u *User) SigningKeyPair() *pubkey.SigningKeyPair { return u.signing }
+
+// Verification returns the user's public verification key.
+func (u *User) Verification() pubkey.VerificationKey {
+	return u.signing.Verification()
+}
+
+// EncryptionPublic returns the user's public encryption key.
+func (u *User) EncryptionPublic() *pubkey.EncryptionPublicKey {
+	return u.encryption.Public()
+}
+
+// Decrypt decrypts a ciphertext addressed to this user.
+func (u *User) Decrypt(ciphertext []byte) ([]byte, error) {
+	pt, err := u.encryption.Decrypt(ciphertext)
+	if err != nil {
+		return nil, fmt.Errorf("identity: %q decrypting: %w", u.Name, err)
+	}
+	return pt, nil
+}
+
+// PublicIdentity is the publishable key bundle of a user.
+type PublicIdentity struct {
+	// Name is the user's handle.
+	Name string
+	// Verification verifies the user's signatures.
+	Verification pubkey.VerificationKey
+	// Encryption encrypts messages to the user.
+	Encryption *pubkey.EncryptionPublicKey
+}
+
+// Registry is the out-of-band key distribution directory. It is safe for
+// concurrent use.
+type Registry struct {
+	mu    sync.RWMutex
+	users map[string]PublicIdentity
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{users: make(map[string]PublicIdentity)}
+}
+
+// Register deposits a user's public identity (the "physical meeting").
+func (r *Registry) Register(u *User) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.users[u.Name]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateUser, u.Name)
+	}
+	r.users[u.Name] = PublicIdentity{
+		Name:         u.Name,
+		Verification: u.Verification(),
+		Encryption:   u.EncryptionPublic(),
+	}
+	return nil
+}
+
+// Lookup returns a user's public identity.
+func (r *Registry) Lookup(name string) (PublicIdentity, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	id, ok := r.users[name]
+	if !ok {
+		return PublicIdentity{}, fmt.Errorf("%w: %s", ErrUnknownUser, name)
+	}
+	return id, nil
+}
+
+// VerifySignature checks a signature by the named user.
+func (r *Registry) VerifySignature(name string, message, sig []byte) error {
+	id, err := r.Lookup(name)
+	if err != nil {
+		return err
+	}
+	if err := pubkey.Verify(id.Verification, message, sig); err != nil {
+		return fmt.Errorf("identity: signature by %q: %w", name, err)
+	}
+	return nil
+}
+
+// EncryptTo encrypts a message to the named user.
+func (r *Registry) EncryptTo(name string, plaintext []byte) ([]byte, error) {
+	id, err := r.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	ct, err := pubkey.Encrypt(id.Encryption, plaintext)
+	if err != nil {
+		return nil, fmt.Errorf("identity: encrypting to %q: %w", name, err)
+	}
+	return ct, nil
+}
+
+// Names lists registered users in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.users))
+	for n := range r.users {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,95 @@
+package identity
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRegistryRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	alice, err := NewUser("alice")
+	if err != nil {
+		t.Fatalf("NewUser: %v", err)
+	}
+	if err := reg.Register(alice); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	id, err := reg.Lookup("alice")
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if id.Name != "alice" {
+		t.Fatalf("Name = %q", id.Name)
+	}
+}
+
+func TestDuplicateRegister(t *testing.T) {
+	reg := NewRegistry()
+	alice, _ := NewUser("alice")
+	reg.Register(alice)
+	other, _ := NewUser("alice")
+	if err := reg.Register(other); !errors.Is(err, ErrDuplicateUser) {
+		t.Fatalf("got %v, want ErrDuplicateUser", err)
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	reg := NewRegistry()
+	if _, err := reg.Lookup("ghost"); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("got %v, want ErrUnknownUser", err)
+	}
+}
+
+func TestSignVerifyThroughRegistry(t *testing.T) {
+	reg := NewRegistry()
+	alice, _ := NewUser("alice")
+	bob, _ := NewUser("bob")
+	reg.Register(alice)
+	reg.Register(bob)
+	msg := []byte("I am alice")
+	sig := alice.Sign(msg)
+	if err := reg.VerifySignature("alice", msg, sig); err != nil {
+		t.Fatalf("VerifySignature: %v", err)
+	}
+	// Impersonation: bob's signature does not verify as alice.
+	if err := reg.VerifySignature("alice", msg, bob.Sign(msg)); err == nil {
+		t.Fatal("impersonated signature verified")
+	}
+	if err := reg.VerifySignature("ghost", msg, sig); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("unknown signer: %v", err)
+	}
+}
+
+func TestEncryptToThroughRegistry(t *testing.T) {
+	reg := NewRegistry()
+	alice, _ := NewUser("alice")
+	bob, _ := NewUser("bob")
+	reg.Register(alice)
+	reg.Register(bob)
+	ct, err := reg.EncryptTo("bob", []byte("for bob only"))
+	if err != nil {
+		t.Fatalf("EncryptTo: %v", err)
+	}
+	pt, err := bob.Decrypt(ct)
+	if err != nil || string(pt) != "for bob only" {
+		t.Fatalf("Decrypt: %v", err)
+	}
+	if _, err := alice.Decrypt(ct); err == nil {
+		t.Fatal("alice decrypted bob's message")
+	}
+	if _, err := reg.EncryptTo("ghost", nil); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("unknown recipient: %v", err)
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	reg := NewRegistry()
+	for _, n := range []string{"carol", "alice", "bob"} {
+		u, _ := NewUser(n)
+		reg.Register(u)
+	}
+	names := reg.Names()
+	if len(names) != 3 || names[0] != "alice" || names[2] != "carol" {
+		t.Fatalf("Names = %v", names)
+	}
+}

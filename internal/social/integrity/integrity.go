@@ -1,0 +1,266 @@
+// Package integrity implements the data-integrity rows of the paper's
+// Table I (Section IV), organized around the paper's party-invitation
+// scenario:
+//
+//   - Integrity of the data owner and content: signed posts (IV-A).
+//   - Historical integrity: hash-chained timelines with cross-publisher
+//     anchors, and fork-consistent walls on untrusted storage (IV-B).
+//   - Integrity of data relations: per-post comment signing keys so a
+//     comment provably belongs to its post and its author was authorized
+//     (IV-C, the Cachet mechanism).
+package integrity
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"godosn/internal/crypto/hashchain"
+	"godosn/internal/crypto/pubkey"
+	"godosn/internal/social/identity"
+	"godosn/internal/social/privacy"
+)
+
+// Errors returned by this package.
+var (
+	ErrForgedOwner     = errors.New("integrity: post owner signature invalid")
+	ErrTamperedContent = errors.New("integrity: post content does not match signature")
+	ErrWrongRecipient  = errors.New("integrity: message addressed to a different recipient")
+	ErrExpired         = errors.New("integrity: message outside its validity window")
+	ErrCommentOrphan   = errors.New("integrity: comment does not belong to this post")
+	ErrUnauthorized    = errors.New("integrity: commenter not authorized")
+)
+
+// SignedMessage is a direct message carrying owner, content, recipient and
+// validity metadata — enough to answer all four questions of the paper's
+// scenario ("How Alice can be sure that the sender is Bob? Is the content
+// valid? Is this invitation valid for an upcoming event? Is this message
+// issued for Alice?").
+type SignedMessage struct {
+	// From is the claimed sender.
+	From string
+	// To is the intended recipient (data-relations integrity).
+	To string
+	// Content is the message body.
+	Content []byte
+	// IssuedAt and ExpiresAt bound the message's validity (historical
+	// integrity in the "weaker assumption" sense of delivery windows).
+	IssuedAt  time.Time
+	ExpiresAt time.Time
+	// Signature covers all fields above.
+	Signature []byte
+}
+
+func (m *SignedMessage) digest() []byte {
+	var buf bytes.Buffer
+	buf.WriteString("godosn/integrity/message-v1\x00")
+	buf.WriteString(m.From)
+	buf.WriteByte(0)
+	buf.WriteString(m.To)
+	buf.WriteByte(0)
+	var ts [8]byte
+	binary.BigEndian.PutUint64(ts[:], uint64(m.IssuedAt.UnixNano()))
+	buf.Write(ts[:])
+	binary.BigEndian.PutUint64(ts[:], uint64(m.ExpiresAt.UnixNano()))
+	buf.Write(ts[:])
+	buf.Write(m.Content)
+	return buf.Bytes()
+}
+
+// NewSignedMessage creates and signs a message from the sender.
+func NewSignedMessage(from *identity.User, to string, content []byte, issuedAt time.Time, validity time.Duration) *SignedMessage {
+	m := &SignedMessage{
+		From:      from.Name,
+		To:        to,
+		Content:   append([]byte(nil), content...),
+		IssuedAt:  issuedAt,
+		ExpiresAt: issuedAt.Add(validity),
+	}
+	m.Signature = from.Sign(m.digest())
+	return m
+}
+
+// VerifyMessage checks all four integrity aspects for a recipient at a given
+// time, resolving the sender's key through the out-of-band registry.
+func VerifyMessage(reg *identity.Registry, m *SignedMessage, recipient string, now time.Time) error {
+	if err := reg.VerifySignature(m.From, m.digest(), m.Signature); err != nil {
+		return fmt.Errorf("%w: %v", ErrForgedOwner, err)
+	}
+	if m.To != recipient {
+		return fmt.Errorf("%w: addressed to %q", ErrWrongRecipient, m.To)
+	}
+	if now.Before(m.IssuedAt) || now.After(m.ExpiresAt) {
+		return fmt.Errorf("%w: valid %v..%v", ErrExpired, m.IssuedAt, m.ExpiresAt)
+	}
+	return nil
+}
+
+// Timeline is a user's hash-chained publication history ("the digital
+// signature must be applied on each entry published by a user, and includes
+// the hash of at least one of his prior posts", Section IV-B).
+type Timeline struct {
+	user  *identity.User
+	chain *hashchain.Chain
+}
+
+// NewTimeline creates an empty timeline for the user.
+func NewTimeline(user *identity.User) *Timeline {
+	return &Timeline{user: user, chain: hashchain.New(user.Name, user.SigningKeyPair())}
+}
+
+// Publish appends a signed, chained entry; anchors entangle this timeline
+// with other publishers' histories.
+func (t *Timeline) Publish(payload []byte, anchors ...hashchain.Anchor) (*hashchain.Entry, error) {
+	e, err := t.chain.Append(payload, anchors...)
+	if err != nil {
+		return nil, fmt.Errorf("integrity: publishing on %q timeline: %w", t.user.Name, err)
+	}
+	return e, nil
+}
+
+// AnchorFor returns an anchor other publishers can embed to provably order
+// their entries after this timeline's head.
+func (t *Timeline) AnchorFor() (hashchain.Anchor, error) {
+	return hashchain.AnchorTo(t.chain)
+}
+
+// Entries returns the timeline's entries.
+func (t *Timeline) Entries() []*hashchain.Entry { return t.chain.Entries() }
+
+// Len returns the number of entries.
+func (t *Timeline) Len() int { return t.chain.Len() }
+
+// Owner returns the timeline's publisher name.
+func (t *Timeline) Owner() string { return t.user.Name }
+
+// VerifyTimeline checks a fetched copy of a user's timeline against their
+// registered key: signatures, ordering, linkage.
+func VerifyTimeline(reg *identity.Registry, owner string, entries []*hashchain.Entry) error {
+	id, err := reg.Lookup(owner)
+	if err != nil {
+		return err
+	}
+	if idx, err := hashchain.Verify(entries, id.Verification); err != nil {
+		return fmt.Errorf("integrity: timeline of %q invalid at entry %d: %w", owner, idx, err)
+	}
+	return nil
+}
+
+// CommentKeyPost is a post carrying the Cachet data-relations mechanism
+// (Section IV-C): "embed a proper signing key for signing the comments of
+// that post. The signing key is encrypted in a way that only authorized
+// users can decrypt ... Corresponding verification key is also located in
+// the content of the post."
+type CommentKeyPost struct {
+	// Author is the post owner.
+	Author string
+	// Content is the post body (possibly an encrypted envelope elsewhere).
+	Content []byte
+	// CommentVerification is the public key verifying this post's comments.
+	CommentVerification pubkey.VerificationKey
+	// SealedCommentKey is the comment *signing* key, encrypted to the
+	// authorized commenter group.
+	SealedCommentKey privacy.Envelope
+	// Signature is the author's signature binding all of the above.
+	Signature []byte
+}
+
+func (p *CommentKeyPost) digest() []byte {
+	var buf bytes.Buffer
+	buf.WriteString("godosn/integrity/ckpost-v1\x00")
+	buf.WriteString(p.Author)
+	buf.WriteByte(0)
+	buf.Write(p.Content)
+	buf.Write(p.CommentVerification)
+	return buf.Bytes()
+}
+
+// NewCommentKeyPost creates a post whose comment privilege is granted to the
+// members of commenters (any privacy.Group).
+func NewCommentKeyPost(author *identity.User, content []byte, commenters privacy.Group) (*CommentKeyPost, error) {
+	ckp, err := pubkey.NewSigningKeyPair()
+	if err != nil {
+		return nil, fmt.Errorf("integrity: creating comment key: %w", err)
+	}
+	// The signing key travels encrypted to the commenter group. Ed25519
+	// private keys are their seed||public form; we ship the seed.
+	sealed, err := commenters.Encrypt(ckp.Seed())
+	if err != nil {
+		return nil, fmt.Errorf("integrity: sealing comment key: %w", err)
+	}
+	p := &CommentKeyPost{
+		Author:              author.Name,
+		Content:             append([]byte(nil), content...),
+		CommentVerification: ckp.Verification(),
+		SealedCommentKey:    sealed,
+	}
+	p.Signature = author.Sign(p.digest())
+	return p, nil
+}
+
+// VerifyPost checks the post's own owner/content integrity.
+func VerifyPost(reg *identity.Registry, p *CommentKeyPost) error {
+	if err := reg.VerifySignature(p.Author, p.digest(), p.Signature); err != nil {
+		return fmt.Errorf("%w: %v", ErrForgedOwner, err)
+	}
+	return nil
+}
+
+// Comment is a reply bound to a specific post via the post's comment key.
+type Comment struct {
+	// Commenter is the comment author.
+	Commenter string
+	// Content is the comment body.
+	Content []byte
+	// Signature is made with the post's comment signing key, proving both
+	// the post-comment relation and the commenter's privilege.
+	Signature []byte
+	// AuthorSig is the commenter's own signature (owner integrity of the
+	// comment itself).
+	AuthorSig []byte
+}
+
+func commentDigest(commenter string, content []byte) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("godosn/integrity/comment-v1\x00")
+	buf.WriteString(commenter)
+	buf.WriteByte(0)
+	buf.Write(content)
+	return buf.Bytes()
+}
+
+// WriteComment creates a comment as user, unlocking the post's comment key
+// through the commenter group.
+func WriteComment(user *identity.User, post *CommentKeyPost, commenters privacy.Group, content []byte) (*Comment, error) {
+	seed, err := commenters.Decrypt(user, post.SealedCommentKey)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnauthorized, user.Name, err)
+	}
+	ckp, err := pubkey.SigningKeyPairFromSeed(seed)
+	if err != nil {
+		return nil, fmt.Errorf("integrity: restoring comment key: %w", err)
+	}
+	c := &Comment{
+		Commenter: user.Name,
+		Content:   append([]byte(nil), content...),
+	}
+	d := commentDigest(c.Commenter, c.Content)
+	c.Signature = ckp.Sign(d)
+	c.AuthorSig = user.Sign(d)
+	return c, nil
+}
+
+// VerifyComment checks that the comment belongs to the post (comment-key
+// signature), and that its claimed author wrote it (author signature).
+func VerifyComment(reg *identity.Registry, post *CommentKeyPost, c *Comment) error {
+	d := commentDigest(c.Commenter, c.Content)
+	if err := pubkey.Verify(post.CommentVerification, d, c.Signature); err != nil {
+		return fmt.Errorf("%w: %v", ErrCommentOrphan, err)
+	}
+	if err := reg.VerifySignature(c.Commenter, d, c.AuthorSig); err != nil {
+		return fmt.Errorf("%w: %v", ErrForgedOwner, err)
+	}
+	return nil
+}

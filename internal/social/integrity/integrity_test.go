@@ -1,0 +1,198 @@
+package integrity
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"godosn/internal/crypto/hashchain"
+	"godosn/internal/social/identity"
+	"godosn/internal/social/privacy"
+)
+
+type fixture struct {
+	registry *identity.Registry
+	users    map[string]*identity.User
+}
+
+func newFixture(t *testing.T, names ...string) *fixture {
+	t.Helper()
+	f := &fixture{registry: identity.NewRegistry(), users: map[string]*identity.User{}}
+	for _, n := range names {
+		u, err := identity.NewUser(n)
+		if err != nil {
+			t.Fatalf("NewUser: %v", err)
+		}
+		if err := f.registry.Register(u); err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+		f.users[n] = u
+	}
+	return f
+}
+
+var t0 = time.Date(2015, 6, 29, 12, 0, 0, 0, time.UTC) // ICDCS 2015
+
+func TestPartyInvitationScenario(t *testing.T) {
+	// The Section IV scenario: Bob invites Alice to a Friday party.
+	f := newFixture(t, "alice", "bob", "mallory")
+	bob := f.users["bob"]
+	inv := NewSignedMessage(bob, "alice", []byte("Come to my party held at my home on Friday"), t0, 7*24*time.Hour)
+
+	// Integrity of data owner + content: verifies as-is.
+	if err := VerifyMessage(f.registry, inv, "alice", t0.Add(time.Hour)); err != nil {
+		t.Fatalf("valid invitation rejected: %v", err)
+	}
+	// Owner integrity: Mallory cannot forge Bob's invitation.
+	forged := NewSignedMessage(f.users["mallory"], "alice", []byte("party!"), t0, time.Hour)
+	forged.From = "bob"
+	if err := VerifyMessage(f.registry, forged, "alice", t0); !errors.Is(err, ErrForgedOwner) {
+		t.Fatalf("forged owner: %v", err)
+	}
+	// Content integrity: tampering breaks the signature.
+	tampered := *inv
+	tampered.Content = []byte("Come to my party on Saturday")
+	if err := VerifyMessage(f.registry, &tampered, "alice", t0); !errors.Is(err, ErrForgedOwner) {
+		t.Fatalf("tampered content: %v", err)
+	}
+	// Historical integrity: the invitation expires.
+	if err := VerifyMessage(f.registry, inv, "alice", t0.Add(30*24*time.Hour)); !errors.Is(err, ErrExpired) {
+		t.Fatalf("expired invitation: %v", err)
+	}
+	if err := VerifyMessage(f.registry, inv, "alice", t0.Add(-time.Hour)); !errors.Is(err, ErrExpired) {
+		t.Fatalf("not-yet-valid invitation: %v", err)
+	}
+	// Data-relations integrity: the invitation is for Alice, not Carol.
+	if err := VerifyMessage(f.registry, inv, "carol", t0); !errors.Is(err, ErrWrongRecipient) {
+		t.Fatalf("misdirected invitation: %v", err)
+	}
+}
+
+func TestTimelinePublishVerify(t *testing.T) {
+	f := newFixture(t, "alice")
+	tl := NewTimeline(f.users["alice"])
+	for i := 0; i < 5; i++ {
+		if _, err := tl.Publish([]byte{byte(i)}); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+	}
+	if tl.Len() != 5 || tl.Owner() != "alice" {
+		t.Fatalf("timeline state: len=%d owner=%s", tl.Len(), tl.Owner())
+	}
+	if err := VerifyTimeline(f.registry, "alice", tl.Entries()); err != nil {
+		t.Fatalf("VerifyTimeline: %v", err)
+	}
+}
+
+func TestTimelineAnchoring(t *testing.T) {
+	f := newFixture(t, "alice", "bob")
+	alice := NewTimeline(f.users["alice"])
+	bob := NewTimeline(f.users["bob"])
+	alice.Publish([]byte("alice post"))
+	anchor, err := alice.AnchorFor()
+	if err != nil {
+		t.Fatalf("AnchorFor: %v", err)
+	}
+	bob.Publish([]byte("bob replies"), anchor)
+	resolve := func(author string) []*hashchain.Entry {
+		if author == "alice" {
+			return alice.Entries()
+		}
+		return bob.Entries()
+	}
+	if err := hashchain.VerifyAnchors(bob.Entries(), resolve); err != nil {
+		t.Fatalf("VerifyAnchors: %v", err)
+	}
+	if !hashchain.HappensBefore("alice", 0, "bob", 0, resolve) {
+		t.Fatal("cross-timeline order not provable")
+	}
+}
+
+func TestVerifyTimelineUnknownOwner(t *testing.T) {
+	f := newFixture(t, "alice")
+	tl := NewTimeline(f.users["alice"])
+	tl.Publish([]byte("x"))
+	if err := VerifyTimeline(f.registry, "ghost", tl.Entries()); err == nil {
+		t.Fatal("verified timeline of unregistered owner")
+	}
+}
+
+func commenterGroup(t *testing.T, members ...string) privacy.Group {
+	t.Helper()
+	g, err := privacy.NewSymmetricGroup("commenters")
+	if err != nil {
+		t.Fatalf("NewSymmetricGroup: %v", err)
+	}
+	for _, m := range members {
+		if err := g.Add(m); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	return g
+}
+
+func TestCommentKeyPostRoundTrip(t *testing.T) {
+	f := newFixture(t, "alice", "bob", "eve")
+	commenters := commenterGroup(t, "alice", "bob")
+	post, err := NewCommentKeyPost(f.users["alice"], []byte("my post"), commenters)
+	if err != nil {
+		t.Fatalf("NewCommentKeyPost: %v", err)
+	}
+	if err := VerifyPost(f.registry, post); err != nil {
+		t.Fatalf("VerifyPost: %v", err)
+	}
+	comment, err := WriteComment(f.users["bob"], post, commenters, []byte("nice!"))
+	if err != nil {
+		t.Fatalf("WriteComment: %v", err)
+	}
+	if err := VerifyComment(f.registry, post, comment); err != nil {
+		t.Fatalf("VerifyComment: %v", err)
+	}
+}
+
+func TestUnauthorizedCommenterRejected(t *testing.T) {
+	f := newFixture(t, "alice", "eve")
+	commenters := commenterGroup(t, "alice")
+	post, _ := NewCommentKeyPost(f.users["alice"], []byte("post"), commenters)
+	if _, err := WriteComment(f.users["eve"], post, commenters, []byte("spam")); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("unauthorized comment: %v", err)
+	}
+}
+
+func TestCommentDoesNotTransferBetweenPosts(t *testing.T) {
+	// Data-relations integrity: a comment signed for post A must not verify
+	// against post B (each post embeds a distinct comment key).
+	f := newFixture(t, "alice", "bob")
+	commenters := commenterGroup(t, "alice", "bob")
+	postA, _ := NewCommentKeyPost(f.users["alice"], []byte("post A"), commenters)
+	postB, _ := NewCommentKeyPost(f.users["alice"], []byte("post B"), commenters)
+	comment, err := WriteComment(f.users["bob"], postA, commenters, []byte("on A"))
+	if err != nil {
+		t.Fatalf("WriteComment: %v", err)
+	}
+	if err := VerifyComment(f.registry, postB, comment); !errors.Is(err, ErrCommentOrphan) {
+		t.Fatalf("comment transferred across posts: %v", err)
+	}
+}
+
+func TestCommentAuthorForgeryRejected(t *testing.T) {
+	f := newFixture(t, "alice", "bob", "carol")
+	commenters := commenterGroup(t, "alice", "bob", "carol")
+	post, _ := NewCommentKeyPost(f.users["alice"], []byte("post"), commenters)
+	comment, _ := WriteComment(f.users["bob"], post, commenters, []byte("hi"))
+	// Bob claims Carol wrote it.
+	comment.Commenter = "carol"
+	if err := VerifyComment(f.registry, post, comment); err == nil {
+		t.Fatal("author forgery verified")
+	}
+}
+
+func TestTamperedPostRejected(t *testing.T) {
+	f := newFixture(t, "alice")
+	commenters := commenterGroup(t, "alice")
+	post, _ := NewCommentKeyPost(f.users["alice"], []byte("original"), commenters)
+	post.Content = []byte("rewritten")
+	if err := VerifyPost(f.registry, post); !errors.Is(err, ErrForgedOwner) {
+		t.Fatalf("tampered post: %v", err)
+	}
+}

@@ -1,0 +1,110 @@
+package integrity
+
+import (
+	"fmt"
+
+	"godosn/internal/crypto/historytree"
+	"godosn/internal/crypto/merkle"
+	"godosn/internal/crypto/pubkey"
+)
+
+// Wall is a user's shared object (e.g. profile wall) hosted on an untrusted
+// storage node, protected by the Frientegrity-style object history tree of
+// Section IV-B: the storage signs every state, readers hold fork-consistent
+// views, and equivocation between readers is detectable evidence.
+type Wall struct {
+	// Owner is the wall's user.
+	Owner string
+	// ObjectID is the history-tree object identifier.
+	ObjectID string
+
+	storage *historytree.Server
+}
+
+// NewWall creates a wall for owner on the given (untrusted) storage server.
+func NewWall(owner string, storage *historytree.Server) *Wall {
+	return &Wall{
+		Owner:    owner,
+		ObjectID: "wall:" + owner,
+		storage:  storage,
+	}
+}
+
+// Append records an operation (a serialized post/comment envelope) and
+// returns the storage's new signed commitment.
+func (w *Wall) Append(op []byte) (*historytree.Commitment, error) {
+	c, err := w.storage.Append(w.ObjectID, op)
+	if err != nil {
+		return nil, fmt.Errorf("integrity: appending to %s: %w", w.ObjectID, err)
+	}
+	return c, nil
+}
+
+// Reader is one client's fork-consistent view of a wall.
+type Reader struct {
+	// Name identifies the reading client (for evidence reporting).
+	Name string
+
+	wall *Wall
+	view *historytree.View
+}
+
+// NewReader starts a fork-consistent view of the wall, trusting the storage
+// server key vk for commitment signatures (not for honesty).
+func (w *Wall) NewReader(name string, vk pubkey.VerificationKey) *Reader {
+	return &Reader{Name: name, wall: w, view: historytree.NewView(w.ObjectID, vk)}
+}
+
+// Sync advances the reader to the storage's latest commitment, demanding a
+// consistency proof. It returns *historytree.ForkEvidence (as error) when
+// the storage provably equivocated.
+func (r *Reader) Sync() error {
+	latest, err := r.wall.storage.Latest(r.wall.ObjectID)
+	if err != nil {
+		return fmt.Errorf("integrity: fetching latest commitment: %w", err)
+	}
+	var proof *merkle.ConsistencyProof
+	if cur := r.view.Latest(); cur != nil && latest.Version > cur.Version {
+		proof, err = r.wall.storage.ProveConsistency(r.wall.ObjectID, cur.Version, latest.Version)
+		if err != nil {
+			return fmt.Errorf("integrity: fetching consistency proof: %w", err)
+		}
+	}
+	if err := r.view.Advance(latest, proof); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Commitment returns the reader's latest verified commitment (nil before the
+// first Sync).
+func (r *Reader) Commitment() *historytree.Commitment { return r.view.Latest() }
+
+// Read fetches the wall operations up to the reader's verified version and
+// checks each against the committed root via membership proofs.
+func (r *Reader) Read() ([][]byte, error) {
+	c := r.view.Latest()
+	if c == nil {
+		return nil, fmt.Errorf("integrity: reader %q has not synced", r.Name)
+	}
+	ops := make([][]byte, c.Version)
+	for i := 0; i < c.Version; i++ {
+		op, proof, err := r.wall.storage.ProveMembership(r.wall.ObjectID, c.Version, i)
+		if err != nil {
+			return nil, fmt.Errorf("integrity: membership proof for op %d: %w", i, err)
+		}
+		if err := merkle.VerifyProof(c.Root, merkle.LeafHash(op), proof); err != nil {
+			return nil, fmt.Errorf("integrity: op %d does not match committed root: %w", i, err)
+		}
+		ops[i] = op
+	}
+	return ops, nil
+}
+
+// CrossCheck exchanges the two readers' views — the paper's "if the clients
+// who have been equivocated ... communicate to each other, they will
+// discover the provider's misbehaviour". It returns *historytree.ForkEvidence
+// (as error) on provable equivocation.
+func CrossCheck(a, b *Reader, vk pubkey.VerificationKey) error {
+	return historytree.CheckCommitments(a.Commitment(), b.Commitment(), vk)
+}

@@ -1,0 +1,256 @@
+package privacy
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"godosn/internal/crypto/abe"
+	"godosn/internal/crypto/ibe"
+)
+
+// This file implements the wire codec for envelopes: what a DOSN actually
+// replicates to other peers is serialized ciphertext, and "the replica nodes
+// are indeed another kind of service provider" (paper Section I) must be
+// able to store and forward envelopes they cannot read. Marshal/Unmarshal
+// cover every scheme's payload with a tagged, length-prefixed binary format.
+
+// codec framing constants.
+const (
+	codecMagic   = "gdsn"
+	codecVersion = byte(1)
+)
+
+// payload type tags.
+const (
+	tagBytes = byte(1) // symmetric, hybrid: raw AEAD ciphertext
+	tagSub   = byte(2) // substitution: fake + sealed index
+	tagPK    = byte(3) // public-key: per-member wraps + body
+	tagABE   = byte(4) // CP-ABE ciphertext
+	tagKPABE = byte(5) // KP-ABE ciphertext
+	tagIBBE  = byte(6) // IBBE broadcast
+)
+
+// ErrCodec indicates malformed or unsupported envelope bytes.
+var ErrCodec = errors.New("privacy: envelope codec error")
+
+// Marshal serializes an envelope for replication. The result contains only
+// ciphertext and public routing metadata.
+func Marshal(env Envelope) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(codecMagic)
+	buf.WriteByte(codecVersion)
+	writeString(&buf, string(env.Scheme))
+	writeString(&buf, env.Group)
+	var epoch [8]byte
+	binary.BigEndian.PutUint64(epoch[:], env.Epoch)
+	buf.Write(epoch[:])
+
+	switch p := env.Payload.(type) {
+	case []byte:
+		buf.WriteByte(tagBytes)
+		writeBytes(&buf, p)
+	case subPayload:
+		buf.WriteByte(tagSub)
+		writeBytes(&buf, p.fake)
+		writeBytes(&buf, p.sealedIndex)
+	case pkPayload:
+		buf.WriteByte(tagPK)
+		writeUint32(&buf, uint32(len(p.wraps)))
+		for _, member := range sortedKeys(p.wraps) {
+			writeString(&buf, member)
+			writeBytes(&buf, p.wraps[member])
+		}
+		writeBytes(&buf, p.body)
+	case *abe.Ciphertext:
+		buf.WriteByte(tagABE)
+		var e [8]byte
+		binary.BigEndian.PutUint64(e[:], p.Epoch)
+		buf.Write(e[:])
+		writeString(&buf, p.Policy.String())
+		writeUint32(&buf, uint32(len(p.Shares)))
+		for _, idx := range sortedShareIdx(p.Shares) {
+			writeUint32(&buf, idx)
+			writeBytes(&buf, p.Shares[idx])
+		}
+		writeBytes(&buf, p.Body)
+	case *abe.KPCiphertext:
+		buf.WriteByte(tagKPABE)
+		var e [8]byte
+		binary.BigEndian.PutUint64(e[:], p.Epoch)
+		buf.Write(e[:])
+		writeUint32(&buf, uint32(len(p.Attributes)))
+		for _, a := range p.Attributes {
+			writeString(&buf, a)
+		}
+		writeUint32(&buf, uint32(len(p.Wraps)))
+		for _, attr := range sortedKeys(p.Wraps) {
+			writeString(&buf, attr)
+			writeBytes(&buf, p.Wraps[attr])
+		}
+		writeBytes(&buf, p.Body)
+	case *ibe.Broadcast:
+		buf.WriteByte(tagIBBE)
+		if len(p.Recipients) != len(p.WrappedKeys) {
+			return nil, fmt.Errorf("%w: inconsistent broadcast", ErrCodec)
+		}
+		writeUint32(&buf, uint32(len(p.Recipients)))
+		for i, r := range p.Recipients {
+			writeString(&buf, r)
+			writeBytes(&buf, p.WrappedKeys[i])
+		}
+		writeBytes(&buf, p.Body)
+	default:
+		return nil, fmt.Errorf("%w: unsupported payload %T", ErrCodec, env.Payload)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal reverses Marshal. The envelope's WireSize is set to the actual
+// serialized length.
+func Unmarshal(data []byte) (Envelope, error) {
+	r := &reader{data: data}
+	if string(r.take(4)) != codecMagic {
+		return Envelope{}, fmt.Errorf("%w: bad magic", ErrCodec)
+	}
+	if v := r.takeByte(); v != codecVersion {
+		return Envelope{}, fmt.Errorf("%w: unsupported version %d", ErrCodec, v)
+	}
+	env := Envelope{WireSize: len(data)}
+	env.Scheme = Scheme(r.str())
+	env.Group = r.str()
+	env.Epoch = binary.BigEndian.Uint64(r.take(8))
+
+	switch tag := r.takeByte(); tag {
+	case tagBytes:
+		env.Payload = r.bytes()
+	case tagSub:
+		env.Payload = subPayload{fake: r.bytes(), sealedIndex: r.bytes()}
+	case tagPK:
+		n := r.uint32()
+		p := pkPayload{wraps: make(map[string][]byte, n)}
+		for i := uint32(0); i < n && r.err == nil; i++ {
+			member := r.str()
+			p.wraps[member] = r.bytes()
+		}
+		p.body = r.bytes()
+		env.Payload = p
+	case tagABE:
+		ct := &abe.Ciphertext{Shares: make(map[uint32][]byte)}
+		ct.Epoch = binary.BigEndian.Uint64(r.take(8))
+		policy, err := abe.ParsePolicy(r.str())
+		if err != nil {
+			return Envelope{}, fmt.Errorf("%w: policy: %v", ErrCodec, err)
+		}
+		ct.Policy = policy
+		n := r.uint32()
+		for i := uint32(0); i < n && r.err == nil; i++ {
+			idx := r.uint32()
+			ct.Shares[idx] = r.bytes()
+		}
+		ct.Body = r.bytes()
+		env.Payload = ct
+	case tagKPABE:
+		ct := &abe.KPCiphertext{Wraps: make(map[string][]byte)}
+		ct.Epoch = binary.BigEndian.Uint64(r.take(8))
+		n := r.uint32()
+		for i := uint32(0); i < n && r.err == nil; i++ {
+			ct.Attributes = append(ct.Attributes, r.str())
+		}
+		n = r.uint32()
+		for i := uint32(0); i < n && r.err == nil; i++ {
+			attr := r.str()
+			ct.Wraps[attr] = r.bytes()
+		}
+		ct.Body = r.bytes()
+		env.Payload = ct
+	case tagIBBE:
+		b := &ibe.Broadcast{}
+		n := r.uint32()
+		for i := uint32(0); i < n && r.err == nil; i++ {
+			b.Recipients = append(b.Recipients, r.str())
+			b.WrappedKeys = append(b.WrappedKeys, r.bytes())
+		}
+		b.Body = r.bytes()
+		env.Payload = b
+	default:
+		return Envelope{}, fmt.Errorf("%w: unknown payload tag %d", ErrCodec, tag)
+	}
+	if r.err != nil {
+		return Envelope{}, r.err
+	}
+	if len(r.data) != 0 {
+		return Envelope{}, fmt.Errorf("%w: %d trailing bytes", ErrCodec, len(r.data))
+	}
+	return env, nil
+}
+
+// --- encoding helpers --------------------------------------------------------
+
+func writeUint32(buf *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	buf.Write(b[:])
+}
+
+func writeBytes(buf *bytes.Buffer, b []byte) {
+	writeUint32(buf, uint32(len(b)))
+	buf.Write(b)
+}
+
+func writeString(buf *bytes.Buffer, s string) {
+	writeBytes(buf, []byte(s))
+}
+
+func sortedKeys(m map[string][]byte) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedShareIdx(m map[uint32][]byte) []uint32 {
+	out := make([]uint32, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// reader is a bounds-checked sequential decoder.
+type reader struct {
+	data []byte
+	err  error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil || len(r.data) < n {
+		r.err = fmt.Errorf("%w: truncated", ErrCodec)
+		return make([]byte, n)
+	}
+	out := r.data[:n]
+	r.data = r.data[n:]
+	return out
+}
+
+func (r *reader) takeByte() byte { return r.take(1)[0] }
+
+func (r *reader) uint32() uint32 {
+	return binary.BigEndian.Uint32(r.take(4))
+}
+
+func (r *reader) bytes() []byte {
+	n := r.uint32()
+	if r.err != nil || uint32(len(r.data)) < n {
+		r.err = fmt.Errorf("%w: truncated", ErrCodec)
+		return nil
+	}
+	return append([]byte(nil), r.take(int(n))...)
+}
+
+func (r *reader) str() string { return string(r.bytes()) }

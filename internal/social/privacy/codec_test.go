@@ -1,0 +1,161 @@
+package privacy
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// TestCodecRoundTripAllSchemes serializes and deserializes an envelope from
+// every scheme and confirms the restored envelope still decrypts for a
+// member and still refuses a non-member.
+func TestCodecRoundTripAllSchemes(t *testing.T) {
+	for _, sc := range allSchemes() {
+		t.Run(sc.name, func(t *testing.T) {
+			f := newFixture(t, "alice", "bob", "eve")
+			g := sc.build(t, f)
+			g.Add("alice")
+			g.Add("bob")
+			env, err := g.Encrypt([]byte("replicate me"))
+			if err != nil {
+				t.Fatalf("Encrypt: %v", err)
+			}
+			wire, err := Marshal(env)
+			if err != nil {
+				t.Fatalf("Marshal: %v", err)
+			}
+			restored, err := Unmarshal(wire)
+			if err != nil {
+				t.Fatalf("Unmarshal: %v", err)
+			}
+			if restored.Scheme != env.Scheme || restored.Group != env.Group || restored.Epoch != env.Epoch {
+				t.Fatalf("metadata drift: %+v", restored)
+			}
+			if restored.WireSize != len(wire) {
+				t.Fatalf("WireSize = %d, want %d", restored.WireSize, len(wire))
+			}
+			pt, err := g.Decrypt(f.users["alice"], restored)
+			if err != nil {
+				t.Fatalf("Decrypt restored: %v", err)
+			}
+			if string(pt) != "replicate me" {
+				t.Fatalf("got %q", pt)
+			}
+			if _, err := g.Decrypt(f.users["eve"], restored); err == nil {
+				t.Fatal("non-member decrypted restored envelope")
+			}
+		})
+	}
+}
+
+func TestCodecKPABE(t *testing.T) {
+	g, f := newKPFixture(t)
+	g.Grant("alice", "(family)")
+	env, err := g.EncryptLabeled([]string{"family", "photos"}, []byte("kp content"))
+	if err != nil {
+		t.Fatalf("EncryptLabeled: %v", err)
+	}
+	wire, err := Marshal(env)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	restored, err := Unmarshal(wire)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	pt, err := g.Decrypt(f.users["alice"], restored)
+	if err != nil || string(pt) != "kp content" {
+		t.Fatalf("Decrypt: %q, %v", pt, err)
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("x"),
+		[]byte("nope" + string(make([]byte, 40))),
+		[]byte(codecMagic), // magic only
+	}
+	for i, data := range cases {
+		if _, err := Unmarshal(data); err == nil {
+			t.Errorf("case %d: garbage unmarshaled", i)
+		}
+	}
+}
+
+func TestCodecRejectsTruncationAndTrailing(t *testing.T) {
+	g, _ := NewSymmetricGroup("g")
+	g.Add("a")
+	env, _ := g.Encrypt([]byte("payload"))
+	wire, err := Marshal(env)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	for cut := 1; cut < len(wire); cut += 7 {
+		if _, err := Unmarshal(wire[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := Unmarshal(append(append([]byte(nil), wire...), 0xFF)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestCodecTamperDetectedAtDecrypt(t *testing.T) {
+	// The codec itself carries no MAC (the AEAD inside does): flipping
+	// ciphertext bits must surface at decryption.
+	f := newFixture(t, "alice")
+	g, _ := NewSymmetricGroup("g")
+	g.Add("alice")
+	env, _ := g.Encrypt([]byte("payload"))
+	wire, _ := Marshal(env)
+	wire[len(wire)-1] ^= 1
+	restored, err := Unmarshal(wire)
+	if err != nil {
+		return // structural rejection is fine too
+	}
+	if _, err := g.Decrypt(f.users["alice"], restored); err == nil {
+		t.Fatal("tampered ciphertext decrypted")
+	}
+}
+
+func TestQuickCodecNeverPanics(t *testing.T) {
+	// Random byte strings must be rejected gracefully, never panic.
+	fn := func(data []byte) bool {
+		_, err := Unmarshal(data)
+		return err != nil || true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func FuzzUnmarshal(f *testing.F) {
+	g, _ := NewSymmetricGroup("g")
+	g.Add("a")
+	env, _ := g.Encrypt([]byte("seed"))
+	if wire, err := Marshal(env); err == nil {
+		f.Add(wire)
+	}
+	f.Add([]byte(codecMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Anything that parses must re-marshal without error.
+		re, err := Marshal(env)
+		if err != nil {
+			t.Fatalf("re-marshal of parsed envelope failed: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			// Canonical ordering may normalize byte layout; re-parse and
+			// compare metadata instead of raw bytes.
+			env2, err := Unmarshal(re)
+			if err != nil || env2.Scheme != env.Scheme || env2.Group != env.Group {
+				t.Fatalf("canonicalization broke the envelope")
+			}
+		}
+	})
+}

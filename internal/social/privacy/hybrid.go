@@ -1,0 +1,234 @@
+package privacy
+
+import (
+	"fmt"
+
+	"godosn/internal/crypto/pad"
+	"godosn/internal/crypto/pubkey"
+	"godosn/internal/crypto/symmetric"
+	"godosn/internal/social/identity"
+)
+
+// HybridGroup implements Table I's "hybrid encryption" row (Section III-F):
+// "combines the convenience of a public-key encryption with the high speed
+// of a symmetric-key encryption ... access control management is performed
+// in two phases: symmetric encryption of data by the use of a symmetric key
+// [and] applying public key encryption under the public keys of all group's
+// members to encrypt that symmetric key."
+//
+// Unlike PublicKeyGroup, the per-member public-key work happens once per key
+// epoch (at Add/Remove), not once per message: each message is a single fast
+// symmetric operation. Following Frientegrity (Section III-F), the group's
+// ACL is "organized in a persistent authenticated dictionary (PAD) ...
+// making it possible to access in logarithmic time": membership lives in a
+// pad.Dict whose signed root lets untrusted replicas prove membership.
+type HybridGroup struct {
+	name     string
+	epoch    uint64
+	registry *identity.Registry
+	owner    *pubkey.SigningKeyPair
+
+	dataKey symmetric.Key
+	// keyWraps holds the per-member wrap of the current epoch's data key.
+	keyWraps map[string][]byte
+	members  memberSet
+
+	// acl is the PAD version holding current membership entries.
+	acl     *pad.Dict
+	aclSig  []byte
+	archive []Envelope
+	// plaintexts backs archive re-encryption on revocation.
+	plaintexts [][]byte
+}
+
+var _ Group = (*HybridGroup)(nil)
+
+// NewHybridGroup creates a hybrid group owned by the given signer (whose
+// signature authenticates the ACL root).
+func NewHybridGroup(name string, registry *identity.Registry, owner *pubkey.SigningKeyPair) (*HybridGroup, error) {
+	key, err := symmetric.NewKey()
+	if err != nil {
+		return nil, fmt.Errorf("privacy: creating hybrid group %q: %w", name, err)
+	}
+	g := &HybridGroup{
+		name:     name,
+		epoch:    1,
+		registry: registry,
+		owner:    owner,
+		dataKey:  key,
+		keyWraps: make(map[string][]byte),
+		members:  newMemberSet(),
+		acl:      pad.New(),
+	}
+	g.signACL()
+	return g, nil
+}
+
+// Scheme implements Group.
+func (g *HybridGroup) Scheme() Scheme { return SchemeHybrid }
+
+// Name implements Group.
+func (g *HybridGroup) Name() string { return g.name }
+
+// Members implements Group.
+func (g *HybridGroup) Members() []string { return g.members.sorted() }
+
+// Epoch returns the current key epoch.
+func (g *HybridGroup) Epoch() uint64 { return g.epoch }
+
+func (g *HybridGroup) signACL() {
+	root := g.acl.Root()
+	g.aclSig = g.owner.Sign(root[:])
+}
+
+// wrapFor wraps the current data key to one member.
+func (g *HybridGroup) wrapFor(member string) error {
+	wrap, err := g.registry.EncryptTo(member, g.dataKey)
+	if err != nil {
+		return fmt.Errorf("privacy: wrapping data key for %q: %w", member, err)
+	}
+	g.keyWraps[member] = wrap
+	return nil
+}
+
+// Add implements Group: one public-key wrap for the new member, and an ACL
+// insertion (a new PAD version, signed).
+func (g *HybridGroup) Add(member string) error {
+	if g.members.has(member) {
+		return fmt.Errorf("%w: %s", ErrAlreadyMember, member)
+	}
+	if err := g.wrapFor(member); err != nil {
+		return err
+	}
+	if err := g.members.add(member); err != nil {
+		return err
+	}
+	g.acl = g.acl.Insert([]byte(member), []byte("member"))
+	g.signACL()
+	return nil
+}
+
+// Remove implements Group: rotate the data key, re-wrap it for the remaining
+// members (the public-key phase), re-encrypt the archive (the symmetric
+// phase), and update the signed ACL.
+func (g *HybridGroup) Remove(member string) (RevocationReport, error) {
+	if err := g.members.remove(member); err != nil {
+		return RevocationReport{}, err
+	}
+	delete(g.keyWraps, member)
+	g.acl = g.acl.Delete([]byte(member))
+	g.signACL()
+
+	newKey, err := symmetric.NewKey()
+	if err != nil {
+		return RevocationReport{}, fmt.Errorf("privacy: rotating data key: %w", err)
+	}
+	g.dataKey = newKey
+	g.epoch++
+	report := RevocationReport{}
+	for _, m := range g.members.sorted() {
+		if err := g.wrapFor(m); err != nil {
+			return report, err
+		}
+		report.RekeyedMembers++
+		report.PublicKeyOps++
+	}
+	for i, pt := range g.plaintexts {
+		env, err := g.seal(pt)
+		if err != nil {
+			return report, err
+		}
+		g.archive[i] = env
+		report.ReencryptedEnvelopes++
+	}
+	return report, nil
+}
+
+func (g *HybridGroup) ad() []byte {
+	return []byte(fmt.Sprintf("hybrid/%s/%d", g.name, g.epoch))
+}
+
+func (g *HybridGroup) seal(plaintext []byte) (Envelope, error) {
+	ct, err := symmetric.Seal(g.dataKey, plaintext, g.ad())
+	if err != nil {
+		return Envelope{}, fmt.Errorf("privacy: sealing for %q: %w", g.name, err)
+	}
+	return Envelope{
+		Scheme:   SchemeHybrid,
+		Group:    g.name,
+		Epoch:    g.epoch,
+		Payload:  ct,
+		WireSize: len(ct),
+	}, nil
+}
+
+// Encrypt implements Group: a single symmetric operation per message.
+func (g *HybridGroup) Encrypt(plaintext []byte) (Envelope, error) {
+	if g.members.len() == 0 {
+		return Envelope{}, ErrNoMembers
+	}
+	env, err := g.seal(plaintext)
+	if err != nil {
+		return Envelope{}, err
+	}
+	g.archive = append(g.archive, env)
+	g.plaintexts = append(g.plaintexts, append([]byte(nil), plaintext...))
+	return env, nil
+}
+
+// Decrypt implements Group: the member unwraps its data-key copy (public-key
+// phase, cached per epoch) and opens the body (symmetric phase).
+func (g *HybridGroup) Decrypt(user *identity.User, env Envelope) ([]byte, error) {
+	if err := checkEnvelope(g, env); err != nil {
+		return nil, err
+	}
+	wrap, ok := g.keyWraps[user.Name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotMember, user.Name)
+	}
+	if env.Epoch != g.epoch {
+		return nil, fmt.Errorf("%w: envelope epoch %d, key epoch %d", ErrStaleEpoch, env.Epoch, g.epoch)
+	}
+	key, err := user.Decrypt(wrap)
+	if err != nil {
+		return nil, fmt.Errorf("privacy: unwrapping data key: %w", err)
+	}
+	ct, ok := env.Payload.([]byte)
+	if !ok {
+		return nil, fmt.Errorf("privacy: malformed hybrid payload")
+	}
+	pt, err := symmetric.Open(key, ct, g.ad())
+	if err != nil {
+		return nil, fmt.Errorf("privacy: opening body: %w", err)
+	}
+	return pt, nil
+}
+
+// Archive implements Group.
+func (g *HybridGroup) Archive() []Envelope {
+	return append([]Envelope(nil), g.archive...)
+}
+
+// ACLRoot returns the signed PAD root replicas use to authenticate
+// membership answers.
+func (g *HybridGroup) ACLRoot() ([32]byte, []byte) {
+	return g.acl.Root(), append([]byte(nil), g.aclSig...)
+}
+
+// ProveMembership produces a PAD proof that member is (or is not) in the
+// ACL, verifiable against the signed root — Frientegrity's logarithmic ACL
+// access served by an untrusted replica.
+func (g *HybridGroup) ProveMembership(member string) *pad.Proof {
+	return g.acl.Prove([]byte(member))
+}
+
+// VerifyMembership checks a PAD membership proof against a signed root.
+func VerifyMembership(root [32]byte, rootSig []byte, ownerVK pubkey.VerificationKey, member string, proof *pad.Proof) error {
+	if err := pubkey.Verify(ownerVK, root[:], rootSig); err != nil {
+		return fmt.Errorf("privacy: ACL root signature: %w", err)
+	}
+	if err := pad.VerifyProof(root, []byte(member), proof); err != nil {
+		return fmt.Errorf("privacy: ACL proof: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+// Package store provides a content-addressed encrypted object store: the
+// unit of storage the DOSN replicates across peers.
+//
+// In DOSNs "users replicate or cache data in other users of the OSN" (paper
+// Section I); what is replicated must be ciphertext, since "the replica
+// nodes are indeed another kind of service provider in a small scale". An
+// Object therefore couples an opaque encrypted payload with its
+// content-address (hash), so replicas can serve and verify data they cannot
+// read.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Errors returned by this package.
+var (
+	ErrNotFound  = errors.New("store: object not found")
+	ErrCorrupted = errors.New("store: object does not match its address")
+)
+
+// Ref is the content address of an object (hex SHA-256 of its bytes).
+type Ref string
+
+// RefOf computes the content address of a payload.
+func RefOf(data []byte) Ref {
+	h := sha256.Sum256(data)
+	return Ref(hex.EncodeToString(h[:]))
+}
+
+// Object is an immutable, content-addressed blob — typically a ciphertext
+// produced by one of the privacy schemes.
+type Object struct {
+	// Ref is the content address.
+	Ref Ref
+	// Data is the (usually encrypted) payload.
+	Data []byte
+}
+
+// NewObject wraps a payload with its content address.
+func NewObject(data []byte) Object {
+	d := append([]byte(nil), data...)
+	return Object{Ref: RefOf(d), Data: d}
+}
+
+// Verify checks the object against its content address.
+func (o Object) Verify() error {
+	if RefOf(o.Data) != o.Ref {
+		return ErrCorrupted
+	}
+	return nil
+}
+
+// Store is an in-memory content-addressed store. It is safe for concurrent
+// use; the zero value is NOT ready — use NewStore.
+type Store struct {
+	mu      sync.RWMutex
+	objects map[Ref][]byte
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{objects: make(map[Ref][]byte)}
+}
+
+// Put stores an object after verifying its address. Putting an existing
+// object is a no-op.
+func (s *Store) Put(o Object) error {
+	if err := o.Verify(); err != nil {
+		return fmt.Errorf("store: put: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.objects[o.Ref]; !ok {
+		s.objects[o.Ref] = append([]byte(nil), o.Data...)
+	}
+	return nil
+}
+
+// Get retrieves an object by address.
+func (s *Store) Get(ref Ref) (Object, error) {
+	s.mu.RLock()
+	data, ok := s.objects[ref]
+	s.mu.RUnlock()
+	if !ok {
+		return Object{}, fmt.Errorf("%w: %s", ErrNotFound, ref)
+	}
+	return Object{Ref: ref, Data: append([]byte(nil), data...)}, nil
+}
+
+// Has reports whether the store holds the address.
+func (s *Store) Has(ref Ref) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.objects[ref]
+	return ok
+}
+
+// Delete removes an object. Deleting an absent object is a no-op, mirroring
+// the "data retention" caveat: a replica that ignores deletes is modeled by
+// simply not calling this.
+func (s *Store) Delete(ref Ref) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.objects, ref)
+}
+
+// Len returns the number of stored objects.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.objects)
+}
+
+// Refs lists all stored addresses in deterministic order.
+func (s *Store) Refs() []Ref {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Ref, 0, len(s.objects))
+	for r := range s.objects {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,103 @@
+package store
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGet(t *testing.T) {
+	s := NewStore()
+	obj := NewObject([]byte("ciphertext blob"))
+	if err := s.Put(obj); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := s.Get(obj.Ref)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if string(got.Data) != "ciphertext blob" {
+		t.Fatalf("got %q", got.Data)
+	}
+	if !s.Has(obj.Ref) {
+		t.Fatal("Has = false")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Get(Ref("deadbeef")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("got %v, want ErrNotFound", err)
+	}
+}
+
+func TestPutRejectsCorruptedObject(t *testing.T) {
+	s := NewStore()
+	obj := NewObject([]byte("data"))
+	obj.Data = []byte("tampered")
+	if err := s.Put(obj); !errors.Is(err, ErrCorrupted) {
+		t.Fatalf("got %v, want ErrCorrupted", err)
+	}
+}
+
+func TestPutIdempotent(t *testing.T) {
+	s := NewStore()
+	obj := NewObject([]byte("x"))
+	s.Put(obj)
+	s.Put(obj)
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after double put", s.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := NewStore()
+	obj := NewObject([]byte("x"))
+	s.Put(obj)
+	s.Delete(obj.Ref)
+	if s.Has(obj.Ref) {
+		t.Fatal("deleted object still present")
+	}
+	s.Delete(obj.Ref) // no-op
+}
+
+func TestRefsSorted(t *testing.T) {
+	s := NewStore()
+	for _, d := range []string{"c", "a", "b", "zz"} {
+		s.Put(NewObject([]byte(d)))
+	}
+	refs := s.Refs()
+	if len(refs) != 4 {
+		t.Fatalf("Refs len = %d", len(refs))
+	}
+	for i := 1; i < len(refs); i++ {
+		if refs[i-1] >= refs[i] {
+			t.Fatal("Refs not sorted")
+		}
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := NewStore()
+	obj := NewObject([]byte("original"))
+	s.Put(obj)
+	got, _ := s.Get(obj.Ref)
+	got.Data[0] = 'X'
+	again, _ := s.Get(obj.Ref)
+	if string(again.Data) != "original" {
+		t.Fatal("Get exposed internal buffer")
+	}
+}
+
+func TestQuickContentAddressing(t *testing.T) {
+	f := func(data []byte) bool {
+		obj := NewObject(data)
+		return obj.Verify() == nil && obj.Ref == RefOf(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
