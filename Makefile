@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-quick experiments experiments-quick examples clean
+.PHONY: all ci build vet test race bench bench-quick experiments experiments-quick examples clean
 
 all: build vet test
+
+# Full verification gate: compile, vet, tests, then the race detector over
+# the concurrent paths (simnet RPC, resilience decorator, breaker).
+ci: build vet test race
 
 build:
 	$(GO) build ./...
@@ -25,7 +29,7 @@ bench:
 bench-quick:
 	$(GO) test -bench=. -benchtime=10x -run='^$$' .
 
-# Regenerate the E1–E16 experiment tables (EXPERIMENTS.md).
+# Regenerate the E1–E17 experiment tables (EXPERIMENTS.md).
 experiments:
 	$(GO) run ./cmd/dosnbench
 

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	dosnd -users 20 -overlay dht -seed 7
+//	dosnd -users 20 -overlay dht -resilient -loss 0.15
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"os"
 
 	"godosn/internal/core"
+	"godosn/internal/resilience"
 	"godosn/internal/social/privacy"
 )
 
@@ -26,8 +28,14 @@ func run() int {
 		usersFlag   = flag.Int("users", 12, "number of users")
 		overlayFlag = flag.String("overlay", "dht", "overlay: dht|gossip|superpeer|hybrid|federation")
 		seedFlag    = flag.Int64("seed", 7, "deterministic seed")
+		resilFlag   = flag.Bool("resilient", false, "wrap the overlay in the resilience layer (retries, hedged reads, breaker)")
+		lossFlag    = flag.Float64("loss", 0, "message loss rate injected after boot (0..1)")
 	)
 	flag.Parse()
+	if *lossFlag < 0 || *lossFlag >= 1 {
+		fmt.Fprintln(os.Stderr, "dosnd: -loss must be in [0,1)")
+		return 2
+	}
 
 	kind, ok := map[string]core.OverlayKind{
 		"dht":        core.OverlayDHT,
@@ -60,17 +68,26 @@ func run() int {
 			})
 		}
 	}
-	net, err := core.NewNetwork(core.Config{
+	cfg := core.Config{
 		Seed:        *seedFlag,
 		Overlay:     kind,
 		Users:       users,
 		Friendships: friendships,
-	})
+	}
+	if *resilFlag {
+		rcfg := resilience.DefaultConfig(0) // 0: inherit the network seed
+		cfg.Resilience = &rcfg
+	}
+	net, err := core.NewNetwork(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dosnd: building network: %v\n", err)
 		return 1
 	}
-	fmt.Printf("booted %d-user DOSN on %s overlay\n", len(users), net.OverlayKind())
+	fmt.Printf("booted %d-user DOSN on %s overlay (kv: %s)\n", len(users), net.OverlayKind(), net.KV.Name())
+	if *lossFlag > 0 {
+		net.Sim.SetLossRate(*lossFlag)
+		fmt.Printf("injected %.0f%% message loss\n", *lossFlag*100)
+	}
 
 	alice, bob, carol := net.MustNode(users[0]), net.MustNode(users[1]), net.MustNode(users[2])
 
@@ -137,6 +154,10 @@ func run() int {
 	}
 	fmt.Printf("%s searched for new friends (trust-ranked): %v\n", alice.Name(), found[:limit])
 
+	if m, ok := net.ResilienceMetrics(); ok {
+		fmt.Printf("resilience: %d ops, %d retries, %d hedges, %d breaker skips, %d failures\n",
+			m.Ops, m.Retries, m.Hedges, m.BreakerSkips, m.Failures)
+	}
 	fmt.Println("session complete")
 	return 0
 }

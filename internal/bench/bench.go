@@ -1,5 +1,5 @@
 // Package bench is the experiment harness: it regenerates, as printed
-// tables, every experiment in DESIGN.md's per-experiment index (E1–E10).
+// tables, every experiment in DESIGN.md's per-experiment index (E1–E17).
 //
 // The paper is a survey with one classification table and no measurements;
 // each experiment here quantifies one slice of that classification or one
@@ -109,6 +109,7 @@ func All() []Experiment {
 		{ID: "e14", Description: "PAD ACL logarithmic access vs linear list scan", Run: E14ACLAccess},
 		{ID: "e15", Description: "Vis-a-vis location tree region-query scalability", Run: E15LocationTree},
 		{ID: "e16", Description: "replica placement policy ablation (random/friends/proxies)", Run: E16PlacementAblation},
+		{ID: "e17", Description: "resilience layer: availability and cost under loss + churn", Run: E17Resilience},
 	}
 }
 

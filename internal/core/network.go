@@ -27,6 +27,7 @@ import (
 	"godosn/internal/overlay/loctree"
 	"godosn/internal/overlay/simnet"
 	"godosn/internal/overlay/superpeer"
+	"godosn/internal/resilience"
 	"godosn/internal/search/trustrank"
 	"godosn/internal/social/graph"
 	"godosn/internal/social/identity"
@@ -83,6 +84,11 @@ type Config struct {
 	Friendships []Friendship
 	// ReplicationFactor configures DHT-style replication (default 2).
 	ReplicationFactor int
+	// Resilience, when non-nil, wraps the overlay in the recovery layer
+	// (typed-fault retries, hedged replica reads, circuit breaking): all
+	// node traffic then goes through the decorator. Use
+	// resilience.DefaultConfig(seed) as a starting point.
+	Resilience *resilience.Config
 }
 
 // Friendship is one social edge.
@@ -178,6 +184,13 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Resilience != nil {
+		rcfg := *cfg.Resilience
+		if rcfg.Seed == 0 {
+			rcfg.Seed = cfg.Seed
+		}
+		kv = resilience.Wrap(kv, rcfg)
+	}
 	n.KV = kv
 	for _, u := range cfg.Users {
 		if _, err := n.addUser(u); err != nil {
@@ -272,10 +285,34 @@ func (n *Network) Befriend(a, b string, trust float64) error {
 	return n.Graph.Befriend(a, b, trust)
 }
 
-// SetOnline injects churn for a user's overlay node.
-func (n *Network) SetOnline(name string, online bool) {
-	n.Sim.SetOnline(simnet.NodeID(name), online)
-	if n.kind == OverlayHybrid {
-		n.Sim.SetOnline(hybrid.CacheIdentity(simnet.NodeID(name)), online)
+// SetOnline injects churn for a user's overlay node. Unknown overlay nodes
+// are rejected (simnet validates registration).
+func (n *Network) SetOnline(name string, online bool) error {
+	if err := n.Sim.SetOnline(simnet.NodeID(name), online); err != nil {
+		return err
 	}
+	if n.kind == OverlayHybrid {
+		return n.Sim.SetOnline(hybrid.CacheIdentity(simnet.NodeID(name)), online)
+	}
+	return nil
+}
+
+// Heal runs one anti-entropy repair pass on the overlay, re-replicating
+// keys left under-replicated by churn. It reports ErrNoHealer (via the
+// resilience layer) or an unsupported-overlay error when the architecture
+// has no repair pass.
+func (n *Network) Heal() (overlay.HealReport, error) {
+	if h, ok := n.KV.(overlay.Healer); ok {
+		return h.Heal()
+	}
+	return overlay.HealReport{}, fmt.Errorf("core: overlay %s cannot heal", n.KV.Name())
+}
+
+// ResilienceMetrics returns the recovery-layer counters, or false when the
+// network was built without the resilience layer.
+func (n *Network) ResilienceMetrics() (resilience.Metrics, bool) {
+	if rk, ok := n.KV.(*resilience.KV); ok {
+		return rk.Metrics(), true
+	}
+	return resilience.Metrics{}, false
 }

@@ -12,6 +12,7 @@ package dht
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -88,6 +89,7 @@ func New(net *simnet.Network, nodes []simnet.NodeID, cfg Config) (*DHT, error) {
 		if err := net.Register(name, d.handlerFor(n)); err != nil {
 			return nil, fmt.Errorf("dht: registering %s: %w", name, err)
 		}
+		registerCrashHook(net, n)
 	}
 	sort.Slice(d.ring, func(i, j int) bool { return d.ring[i] < d.ring[j] })
 	d.rebuildFingers()
@@ -240,7 +242,7 @@ func (d *DHT) findSuccessor(tr *simnet.Trace, origin simnet.NodeID, key uint64) 
 	cur := d.names[origin]
 	d.mu.RUnlock()
 	if cur == nil {
-		return 0, fmt.Errorf("dht: origin %s not in overlay", origin)
+		return 0, fmt.Errorf("dht: %w: %s", overlay.ErrUnknownOrigin, origin)
 	}
 	// Local shortcut: origin answers from its own routing state first.
 	d.mu.RLock()
@@ -305,6 +307,7 @@ func (d *DHT) Store(origin, key string, value []byte) (overlay.OpStats, error) {
 	replicas := d.successorsOf(root, d.replica)
 	d.mu.RUnlock()
 	stored := 0
+	var lastErr, ackLost error
 	for _, rid := range replicas {
 		d.mu.RLock()
 		rn := d.byID[rid]
@@ -316,9 +319,24 @@ func (d *DHT) Store(origin, key string, value []byte) (overlay.OpStats, error) {
 		})
 		if err == nil {
 			stored++
+		} else {
+			lastErr = err
+			if ackLost == nil && errors.Is(err, simnet.ErrReplyLost) {
+				ackLost = err
+			}
 		}
 	}
 	if stored == 0 {
+		// No ack at all. If any store's reply was lost the write may still
+		// have been applied — surface that so retry logic treats the
+		// operation as possibly landed (stores are idempotent, so
+		// retrying is safe).
+		if ackLost != nil {
+			return stats(tr), fmt.Errorf("dht: store unacked, may have been applied: %w", ackLost)
+		}
+		if lastErr != nil {
+			return stats(tr), fmt.Errorf("%w: %w", overlay.ErrUnavailable, lastErr)
+		}
 		return stats(tr), overlay.ErrUnavailable
 	}
 	return stats(tr), nil

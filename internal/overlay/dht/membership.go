@@ -33,6 +33,7 @@ func (d *DHT) Join(name simnet.NodeID) error {
 	if err := d.net.Register(name, d.handlerFor(n)); err != nil {
 		return fmt.Errorf("dht: registering %s: %w", name, err)
 	}
+	registerCrashHook(d.net, n)
 	d.byID[id] = n
 	d.names[name] = n
 	d.ring = append(d.ring, id)

@@ -1,0 +1,212 @@
+package dht
+
+import (
+	"fmt"
+	"sort"
+
+	"godosn/internal/overlay"
+	"godosn/internal/overlay/simnet"
+)
+
+// This file implements the DHT's fault-tolerance surface: crash semantics
+// (volatile storage lost on simnet.Crash), per-replica addressing for
+// hedged reads (overlay.ReplicaKV), and anti-entropy self-healing
+// (overlay.Healer) that re-replicates under-replicated keys after churn.
+
+var (
+	_ overlay.ReplicaKV = (*DHT)(nil)
+	_ overlay.Healer    = (*DHT)(nil)
+)
+
+// registerCrashHook wires a node's volatile storage to simnet crash
+// injection: a crash-restart loses every key the node held.
+func registerCrashHook(net *simnet.Network, n *node) {
+	_ = net.OnCrash(n.name, func() {
+		n.mu.Lock()
+		n.data = make(map[string][]byte)
+		n.mu.Unlock()
+	})
+}
+
+// ReplicasFor implements overlay.ReplicaKV: it routes to the key's root and
+// returns the canonical replica set followed by additional currently-online
+// successors, so hedged reads have live candidates even when canonical
+// replicas are down. At most 2× the replication factor names are returned.
+func (d *DHT) ReplicasFor(origin, key string) ([]string, overlay.OpStats, error) {
+	tr := &simnet.Trace{}
+	root, err := d.findSuccessor(tr, simnet.NodeID(origin), hashID(key))
+	if err != nil {
+		return nil, stats(tr), err
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	names := make([]string, 0, 2*d.replica)
+	seen := make(map[uint64]bool, 2*d.replica)
+	for _, rid := range d.successorsOf(root, d.replica) {
+		seen[rid] = true
+		names = append(names, string(d.byID[rid].name))
+	}
+	// Extend past the canonical set until d.replica online candidates are
+	// found (or the ring is exhausted), mirroring where Heal re-replicates.
+	online := 0
+	for _, name := range names {
+		if d.net.Online(simnet.NodeID(name)) {
+			online++
+		}
+	}
+	i := sort.Search(len(d.ring), func(i int) bool { return d.ring[i] >= root })
+	for walked := 0; walked < len(d.ring) && online < d.replica && len(names) < 2*d.replica; walked++ {
+		if i == len(d.ring) {
+			i = 0
+		}
+		rid := d.ring[i]
+		i++
+		if seen[rid] {
+			continue
+		}
+		seen[rid] = true
+		n := d.byID[rid]
+		if d.net.Online(n.name) {
+			names = append(names, string(n.name))
+			online++
+		}
+	}
+	return names, stats(tr), nil
+}
+
+// LookupFrom implements overlay.ReplicaKV: a single direct fetch from one
+// named replica, without walking the rest of the replica set.
+func (d *DHT) LookupFrom(origin, key, replica string) ([]byte, overlay.OpStats, error) {
+	tr := &simnet.Trace{}
+	d.mu.RLock()
+	rn := d.names[simnet.NodeID(replica)]
+	d.mu.RUnlock()
+	if rn == nil {
+		return nil, stats(tr), fmt.Errorf("dht: %w: replica %s", simnet.ErrUnknownNode, replica)
+	}
+	reply, err := d.net.RPC(tr, simnet.NodeID(origin), rn.name, simnet.Message{
+		Kind:    kindFetch,
+		Payload: fetchReq{Key: key},
+		Size:    len(key),
+	})
+	if err != nil {
+		return nil, stats(tr), err
+	}
+	resp, ok := reply.Payload.(fetchResp)
+	if !ok {
+		return nil, stats(tr), fmt.Errorf("dht: bad fetch reply")
+	}
+	if !resp.Found {
+		return nil, stats(tr), overlay.ErrNotFound
+	}
+	return resp.Value, stats(tr), nil
+}
+
+// liveTargets returns the first k online successors of the key's root,
+// walking past offline canonical replicas — the set Heal replicates to and
+// ReplicasFor extends into.
+func (d *DHT) liveTargets(root uint64, k int) []*node {
+	out := make([]*node, 0, k)
+	i := sort.Search(len(d.ring), func(i int) bool { return d.ring[i] >= root })
+	for walked := 0; walked < len(d.ring) && len(out) < k; walked++ {
+		if i == len(d.ring) {
+			i = 0
+		}
+		n := d.byID[d.ring[i]]
+		i++
+		if d.net.Online(n.name) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Heal implements overlay.Healer: one anti-entropy pass. Every online
+// node's local store is scanned (a node-local operation, free of network
+// cost); each key whose live replica set is incomplete is pushed, by an
+// online holder, to the online successors missing it. Re-replication RPCs
+// are charged to the report's stats.
+func (d *DHT) Heal() (overlay.HealReport, error) {
+	d.mu.RLock()
+	// Snapshot key -> online holders from node-local scans.
+	holders := make(map[string][]*node)
+	for _, rid := range d.ring {
+		n := d.byID[rid]
+		if !d.net.Online(n.name) {
+			continue
+		}
+		n.mu.Lock()
+		for key := range n.data {
+			holders[key] = append(holders[key], n)
+		}
+		n.mu.Unlock()
+	}
+	d.mu.RUnlock()
+
+	keys := make([]string, 0, len(holders))
+	for key := range holders {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys) // deterministic pass order
+
+	tr := &simnet.Trace{}
+	report := overlay.HealReport{KeysScanned: len(keys)}
+	for _, key := range keys {
+		hs := holders[key]
+		hasCopy := make(map[simnet.NodeID]bool, len(hs))
+		for _, h := range hs {
+			hasCopy[h.name] = true
+		}
+		d.mu.RLock()
+		targets := d.liveTargets(hashID(key), d.replica)
+		d.mu.RUnlock()
+		src := hs[0]
+		src.mu.Lock()
+		value := append([]byte(nil), src.data[key]...)
+		src.mu.Unlock()
+		missing := 0
+		for _, target := range targets {
+			if hasCopy[target.name] {
+				continue
+			}
+			// The holder pushes the copy; a drop leaves the key for the
+			// next pass rather than failing the whole heal.
+			_, err := d.net.RPC(tr, src.name, target.name, simnet.Message{
+				Kind:    kindStore,
+				Payload: storeReq{Key: key, Value: value},
+				Size:    len(key) + len(value),
+			})
+			if err == nil {
+				report.Repaired++
+			} else {
+				missing++
+			}
+		}
+		if missing > 0 {
+			report.Unrepairable++
+		}
+	}
+	report.Stats = stats(tr)
+	return report, nil
+}
+
+// LiveCopies reports how many online nodes currently hold key — test and
+// experiment introspection, free of network cost.
+func (d *DHT) LiveCopies(key string) int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	count := 0
+	for _, rid := range d.ring {
+		n := d.byID[rid]
+		if !d.net.Online(n.name) {
+			continue
+		}
+		n.mu.Lock()
+		_, ok := n.data[key]
+		n.mu.Unlock()
+		if ok {
+			count++
+		}
+	}
+	return count
+}

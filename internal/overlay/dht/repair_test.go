@@ -1,0 +1,259 @@
+package dht
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"godosn/internal/overlay"
+	"godosn/internal/overlay/simnet"
+	"godosn/internal/resilience"
+)
+
+// replicaNames returns the canonical replica set of a key.
+func replicaNames(d *DHT, key string) []simnet.NodeID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	ids := d.successorsOf(hashID(key), d.replica)
+	out := make([]simnet.NodeID, len(ids))
+	for i, id := range ids {
+		out[i] = d.byID[id].name
+	}
+	return out
+}
+
+func TestStoreIdempotentUnderAckLoss(t *testing.T) {
+	// A store whose ack is lost HAS been applied. Retrying it must be
+	// safe: the same key/value lands again on the same replicas, and the
+	// final state is exactly one copy per replica with the right bytes.
+	sawAckLost := false
+	for seed := int64(0); seed < 60; seed++ {
+		net := simnet.New(simnet.Config{Seed: seed, LossRate: 0.35})
+		names := make([]simnet.NodeID, 16)
+		for i := range names {
+			names[i] = simnet.NodeID(fmt.Sprintf("node-%d", i))
+		}
+		d, err := New(net, names, Config{ReplicationFactor: 3})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		value := []byte("payload")
+		var lastErr error
+		stored := false
+		for attempt := 0; attempt < 8 && !stored; attempt++ {
+			_, lastErr = d.Store(string(names[0]), "k", value)
+			switch f := resilience.Classify(lastErr); f {
+			case resilience.FaultNone:
+				stored = true
+			case resilience.FaultAckLost:
+				sawAckLost = true // applied-but-unacked: retry must be safe
+			case resilience.FaultTransient:
+			default:
+				t.Fatalf("seed %d: unexpected fault class %v for %v", seed, f, lastErr)
+			}
+		}
+		if !stored {
+			continue // pathologically lossy seed; the sweep has plenty more
+		}
+		// However many times the store (re-)landed, state must be exact.
+		net.SetLossRate(0)
+		got, _, err := d.Lookup(string(names[1]), "k")
+		if err != nil {
+			t.Fatalf("seed %d: lookup after retried store: %v", seed, err)
+		}
+		if !bytes.Equal(got, value) {
+			t.Fatalf("seed %d: value corrupted by retries: %q", seed, got)
+		}
+		for _, name := range replicaNames(d, "k") {
+			d.mu.RLock()
+			n := d.names[name]
+			d.mu.RUnlock()
+			n.mu.Lock()
+			v, ok := n.data["k"]
+			n.mu.Unlock()
+			if ok && !bytes.Equal(v, value) {
+				t.Fatalf("seed %d: replica %s holds corrupted copy %q", seed, name, v)
+			}
+		}
+	}
+	if !sawAckLost {
+		t.Fatal("seed sweep never produced an ack-lost store; the test proves nothing")
+	}
+}
+
+func TestHealRestoresReplicationAfterPartitionHeals(t *testing.T) {
+	// Keys stored during a partition reach only the reachable part of
+	// their replica set. After the partition heals, an anti-entropy pass
+	// must restore the full replication factor.
+	net := simnet.New(simnet.Config{Seed: 17})
+	names := make([]simnet.NodeID, 30)
+	for i := range names {
+		names[i] = simnet.NodeID(fmt.Sprintf("node-%d", i))
+	}
+	d, err := New(net, names, Config{ReplicationFactor: 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Partition a third of the ring away from the store origin.
+	for i := 20; i < 30; i++ {
+		if err := net.SetPartition(names[i], 1); err != nil {
+			t.Fatalf("SetPartition: %v", err)
+		}
+	}
+	stored := []string{}
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if _, err := d.Store(string(names[0]), key, []byte("v")); err == nil {
+			stored = append(stored, key)
+		}
+	}
+	if len(stored) == 0 {
+		t.Fatal("no store succeeded from the majority partition")
+	}
+	underReplicated := 0
+	for _, key := range stored {
+		if d.LiveCopies(key) < 3 {
+			underReplicated++
+		}
+	}
+	if underReplicated == 0 {
+		t.Fatal("partition produced no under-replicated keys; test setup is wrong")
+	}
+	// Heal the partition, then run the repair pass.
+	for i := 20; i < 30; i++ {
+		if err := net.SetPartition(names[i], 0); err != nil {
+			t.Fatalf("SetPartition: %v", err)
+		}
+	}
+	report, err := d.Heal()
+	if err != nil {
+		t.Fatalf("Heal: %v", err)
+	}
+	if report.Repaired == 0 {
+		t.Fatal("heal pass repaired nothing despite under-replicated keys")
+	}
+	for _, key := range stored {
+		if got := d.LiveCopies(key); got < 3 {
+			t.Fatalf("key %s has %d live copies after heal, want >= 3", key, got)
+		}
+	}
+}
+
+func TestHealRepairsCrashRestartStateLoss(t *testing.T) {
+	net := simnet.New(simnet.Config{Seed: 23})
+	names := make([]simnet.NodeID, 24)
+	for i := range names {
+		names[i] = simnet.NodeID(fmt.Sprintf("node-%d", i))
+	}
+	d, err := New(net, names, Config{ReplicationFactor: 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := d.Store(string(names[0]), "k", []byte("v")); err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	if got := d.LiveCopies("k"); got != 3 {
+		t.Fatalf("fresh store has %d live copies, want 3", got)
+	}
+	victim := replicaNames(d, "k")[0]
+	if err := net.Crash(victim); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	if err := net.SetOnline(victim, true); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	if got := d.LiveCopies("k"); got != 2 {
+		t.Fatalf("after crash-restart %d live copies, want 2 (state lost)", got)
+	}
+	report, err := d.Heal()
+	if err != nil {
+		t.Fatalf("Heal: %v", err)
+	}
+	if report.Repaired < 1 {
+		t.Fatalf("heal repaired %d copies, want >= 1", report.Repaired)
+	}
+	if got := d.LiveCopies("k"); got != 3 {
+		t.Fatalf("after heal %d live copies, want 3", got)
+	}
+	// The restored copy must serve reads from the repaired replica.
+	v, _, err := d.LookupFrom(string(names[1]), "k", string(victim))
+	if err != nil || !bytes.Equal(v, []byte("v")) {
+		t.Fatalf("repaired replica does not serve the key: %v %q", err, v)
+	}
+}
+
+func TestHealPushesToLiveSuccessorsWhileReplicasDown(t *testing.T) {
+	// While canonical replicas are offline, heal re-replicates onto the
+	// next online successors, and ReplicasFor extends into them — the
+	// path that keeps lookups succeeding mid-churn.
+	net := simnet.New(simnet.Config{Seed: 29})
+	names := make([]simnet.NodeID, 24)
+	for i := range names {
+		names[i] = simnet.NodeID(fmt.Sprintf("node-%d", i))
+	}
+	d, err := New(net, names, Config{ReplicationFactor: 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := d.Store(string(names[0]), "k", []byte("v")); err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	replicas := replicaNames(d, "k")
+	var origin simnet.NodeID
+pick:
+	for _, name := range names {
+		for _, r := range replicas {
+			if name == r {
+				continue pick
+			}
+		}
+		origin = name
+		break
+	}
+	// Take two of three canonical replicas down; heal must push copies to
+	// live successors beyond the canonical set.
+	for _, r := range replicas[:2] {
+		if err := net.SetOnline(r, false); err != nil {
+			t.Fatalf("SetOnline: %v", err)
+		}
+	}
+	if _, err := d.Heal(); err != nil {
+		t.Fatalf("Heal: %v", err)
+	}
+	if got := d.LiveCopies("k"); got < 3 {
+		t.Fatalf("heal left %d live copies with 2 canonical replicas down, want >= 3", got)
+	}
+	cands, _, err := d.ReplicasFor(string(origin), "k")
+	if err != nil {
+		t.Fatalf("ReplicasFor: %v", err)
+	}
+	foundLive := false
+	for _, c := range cands {
+		if !net.Online(simnet.NodeID(c)) {
+			continue
+		}
+		if v, _, err := d.LookupFrom(string(origin), "k", c); err == nil && bytes.Equal(v, []byte("v")) {
+			foundLive = true
+			break
+		}
+	}
+	if !foundLive {
+		t.Fatal("no online ReplicasFor candidate serves the key after heal")
+	}
+}
+
+func TestLookupFromErrors(t *testing.T) {
+	net := simnet.New(simnet.Config{Seed: 31})
+	names := []simnet.NodeID{"a", "b", "c"}
+	d, err := New(net, names, Config{ReplicationFactor: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, _, err := d.LookupFrom("a", "k", "nope"); !errors.Is(err, simnet.ErrUnknownNode) {
+		t.Fatalf("LookupFrom unknown replica: got %v", err)
+	}
+	if _, _, err := d.LookupFrom("a", "missing", "b"); !errors.Is(err, overlay.ErrNotFound) {
+		t.Fatalf("LookupFrom missing key: got %v", err)
+	}
+}

@@ -152,7 +152,7 @@ func (f *Federation) home(origin simnet.NodeID) (simnet.NodeID, error) {
 	defer f.mu.RUnlock()
 	h, ok := f.homes[origin]
 	if !ok {
-		return "", fmt.Errorf("federation: origin %s not in federation", origin)
+		return "", fmt.Errorf("federation: %w: %s", overlay.ErrUnknownOrigin, origin)
 	}
 	return h, nil
 }

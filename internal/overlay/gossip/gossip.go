@@ -193,7 +193,7 @@ func (g *Gossip) Store(origin, key string, value []byte) (overlay.OpStats, error
 	n, ok := g.nodes[simnet.NodeID(origin)]
 	g.mu.RUnlock()
 	if !ok {
-		return overlay.OpStats{}, fmt.Errorf("gossip: origin %s not in overlay", origin)
+		return overlay.OpStats{}, fmt.Errorf("gossip: %w: %s", overlay.ErrUnknownOrigin, origin)
 	}
 	n.mu.Lock()
 	n.data[key] = append([]byte(nil), value...)
@@ -207,7 +207,7 @@ func (g *Gossip) Lookup(origin, key string) ([]byte, overlay.OpStats, error) {
 	n, ok := g.nodes[simnet.NodeID(origin)]
 	g.mu.RUnlock()
 	if !ok {
-		return nil, overlay.OpStats{}, fmt.Errorf("gossip: origin %s not in overlay", origin)
+		return nil, overlay.OpStats{}, fmt.Errorf("gossip: %w: %s", overlay.ErrUnknownOrigin, origin)
 	}
 	// Local hit first.
 	n.mu.Lock()

@@ -154,7 +154,7 @@ func (o *Overlay) Lookup(origin, key string) ([]byte, overlay.OpStats, error) {
 	n := o.nodes[simnet.NodeID(origin)]
 	o.mu.RUnlock()
 	if n == nil {
-		return nil, overlay.OpStats{}, fmt.Errorf("hybrid: origin %s not in overlay", origin)
+		return nil, overlay.OpStats{}, fmt.Errorf("hybrid: %w: %s", overlay.ErrUnknownOrigin, origin)
 	}
 	// Local cache.
 	n.mu.Lock()
@@ -200,6 +200,28 @@ func (o *Overlay) Lookup(origin, key string) ([]byte, overlay.OpStats, error) {
 	o.cachePut(n, key, value)
 	return value, total, nil
 }
+
+// ReplicasFor implements overlay.ReplicaKV by delegating to the DHT base
+// layer: hedged reads bypass the social caches and race the replica set.
+func (o *Overlay) ReplicasFor(origin, key string) ([]string, overlay.OpStats, error) {
+	return o.dht.ReplicasFor(origin, key)
+}
+
+// LookupFrom implements overlay.ReplicaKV via the DHT base layer.
+func (o *Overlay) LookupFrom(origin, key, replica string) ([]byte, overlay.OpStats, error) {
+	return o.dht.LookupFrom(origin, key, replica)
+}
+
+// Heal implements overlay.Healer: the DHT base layer re-replicates; the
+// gossip caches are best-effort and need no repair.
+func (o *Overlay) Heal() (overlay.HealReport, error) {
+	return o.dht.Heal()
+}
+
+var (
+	_ overlay.ReplicaKV = (*Overlay)(nil)
+	_ overlay.Healer    = (*Overlay)(nil)
+)
 
 func stats(tr *simnet.Trace) overlay.OpStats {
 	return overlay.OpStats{Hops: tr.Hops, Messages: tr.Messages, Bytes: tr.Bytes, Latency: tr.Latency}

@@ -1,0 +1,150 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file implements seeded fault schedules: deterministic churn
+// (up/down windows per node, optionally crash-restart with state loss) and
+// flaky windows (temporarily elevated loss rate), driven in discrete ticks
+// between operations. Experiments advance the schedule themselves so the
+// exact fault pattern is reproducible from the seed alone.
+
+// ChurnConfig parameterizes a FaultSchedule.
+type ChurnConfig struct {
+	// Seed drives the schedule independently of the network's own RNG, so
+	// two systems under test can face an identical fault pattern.
+	Seed int64
+	// Uptime is the steady-state fraction of ticks each node is online,
+	// in (0, 1]. 1 disables churn.
+	Uptime float64
+	// MeanOnline is the mean length, in ticks, of one online window
+	// (geometric; >= 1). Offline window lengths follow from Uptime.
+	MeanOnline int
+	// CrashRestart makes every down transition a Crash (volatile state is
+	// lost via the node's OnCrash hook) instead of a plain offline mark.
+	CrashRestart bool
+	// FlakyFraction is the probability that any given tick falls in a
+	// flaky window, during which the loss rate is raised to FlakyLoss.
+	FlakyFraction float64
+	// FlakyLoss is the loss rate in effect during flaky windows.
+	FlakyLoss float64
+}
+
+// DefaultChurnConfig returns a 70%-uptime schedule with mean online
+// windows of 20 ticks and no flaky windows.
+func DefaultChurnConfig(seed int64) ChurnConfig {
+	return ChurnConfig{Seed: seed, Uptime: 0.7, MeanOnline: 20}
+}
+
+// FaultSchedule applies a deterministic churn/flakiness pattern to a
+// network, one tick at a time. It is not safe for concurrent use; drive it
+// from the experiment loop.
+type FaultSchedule struct {
+	net      *Network
+	cfg      ChurnConfig
+	rng      *rand.Rand
+	nodes    []NodeID
+	online   map[NodeID]bool
+	baseLoss float64
+	pDown    float64
+	pUp      float64
+	ticks    int
+}
+
+// NewFaultSchedule builds a schedule over the given nodes (all must be
+// registered). Nodes excluded from the slice — typically the experiment's
+// client — are never churned.
+func NewFaultSchedule(net *Network, nodes []NodeID, cfg ChurnConfig) (*FaultSchedule, error) {
+	if cfg.Uptime <= 0 || cfg.Uptime > 1 {
+		return nil, fmt.Errorf("simnet: churn uptime %v out of (0,1]", cfg.Uptime)
+	}
+	if cfg.MeanOnline < 1 {
+		cfg.MeanOnline = 1
+	}
+	s := &FaultSchedule{
+		net:      net,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		nodes:    append([]NodeID(nil), nodes...),
+		online:   make(map[NodeID]bool, len(nodes)),
+		baseLoss: net.CurrentLossRate(),
+	}
+	// Two-state Markov chain per node: P(down|online) = 1/MeanOnline and
+	// P(up|offline) chosen so the stationary online fraction equals Uptime.
+	s.pDown = 1 / float64(cfg.MeanOnline)
+	if cfg.Uptime < 1 {
+		s.pUp = s.pDown * cfg.Uptime / (1 - cfg.Uptime)
+		if s.pUp > 1 {
+			s.pUp = 1
+		}
+	}
+	for _, id := range s.nodes {
+		if !net.Online(id) {
+			return nil, fmt.Errorf("simnet: churn over node %s: not registered and online", id)
+		}
+		s.online[id] = true
+	}
+	return s, nil
+}
+
+// Tick advances the schedule by one step, applying up/down transitions and
+// the flaky-window loss rate. It returns the number of state transitions
+// applied this tick.
+func (s *FaultSchedule) Tick() int {
+	s.ticks++
+	transitions := 0
+	if s.cfg.Uptime < 1 {
+		for _, id := range s.nodes {
+			if s.online[id] {
+				if s.rng.Float64() < s.pDown {
+					if s.cfg.CrashRestart {
+						_ = s.net.Crash(id)
+					} else {
+						_ = s.net.SetOnline(id, false)
+					}
+					s.online[id] = false
+					transitions++
+				}
+			} else if s.rng.Float64() < s.pUp {
+				_ = s.net.SetOnline(id, true)
+				s.online[id] = true
+				transitions++
+			}
+		}
+	}
+	if s.cfg.FlakyFraction > 0 {
+		if s.rng.Float64() < s.cfg.FlakyFraction {
+			s.net.SetLossRate(s.cfg.FlakyLoss)
+		} else {
+			s.net.SetLossRate(s.baseLoss)
+		}
+	}
+	return transitions
+}
+
+// Restore brings every scheduled node back online and resets the loss rate
+// to its pre-schedule value (end-of-experiment cleanup).
+func (s *FaultSchedule) Restore() {
+	for _, id := range s.nodes {
+		_ = s.net.SetOnline(id, true)
+		s.online[id] = true
+	}
+	s.net.SetLossRate(s.baseLoss)
+}
+
+// OnlineCount reports how many scheduled nodes the schedule currently
+// holds online.
+func (s *FaultSchedule) OnlineCount() int {
+	c := 0
+	for _, up := range s.online {
+		if up {
+			c++
+		}
+	}
+	return c
+}
+
+// Ticks reports how many ticks have been applied.
+func (s *FaultSchedule) Ticks() int { return s.ticks }

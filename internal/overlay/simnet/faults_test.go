@@ -1,0 +1,206 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// echoCounter registers a handler that counts invocations and echoes.
+func echoCounter(t *testing.T, n *Network, id NodeID) *int {
+	t.Helper()
+	count := new(int)
+	err := n.Register(id, HandlerFunc(func(tr *Trace, from NodeID, msg Message) (Message, error) {
+		*count++
+		return Message{Kind: msg.Kind, Size: 8}, nil
+	}))
+	if err != nil {
+		t.Fatalf("Register(%s): %v", id, err)
+	}
+	return count
+}
+
+func TestSetOnlineUnknownNodeRejected(t *testing.T) {
+	n := New(DefaultConfig(1))
+	if err := n.SetOnline("ghost", false); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("SetOnline on unregistered node: got %v, want ErrUnknownNode", err)
+	}
+	// The rejected call must not leave the node pre-churned: registering it
+	// afterwards yields an online node.
+	echoCounter(t, n, "ghost")
+	if !n.Online("ghost") {
+		t.Fatal("node registered after a rejected SetOnline(false) starts offline")
+	}
+}
+
+func TestSetPartitionUnknownNodeRejected(t *testing.T) {
+	n := New(DefaultConfig(1))
+	if err := n.SetPartition("ghost", 7); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("SetPartition on unregistered node: got %v, want ErrUnknownNode", err)
+	}
+	// Registering afterwards must land the node in the default group.
+	echoCounter(t, n, "a")
+	echoCounter(t, n, "ghost")
+	if _, err := n.RPC(nil, "a", "ghost", Message{Kind: "ping", Size: 4}); err != nil {
+		t.Fatalf("rejected SetPartition leaked state: %v", err)
+	}
+}
+
+func TestReplyLossIsDistinctFromRequestLoss(t *testing.T) {
+	// Under loss, a drop on the reply direction must surface as
+	// ErrReplyLost — the handler has already executed — while a drop on
+	// the request direction must not. Sweep seeds until both cases occur.
+	sawReplyLost, sawRequestLost := false, false
+	for seed := int64(0); seed < 200 && !(sawReplyLost && sawRequestLost); seed++ {
+		n := New(Config{Seed: seed, LossRate: 0.4})
+		count := echoCounter(t, n, "b")
+		echoCounter(t, n, "a")
+		before := *count
+		_, err := n.RPC(nil, "a", "b", Message{Kind: "ping", Size: 4})
+		handled := *count > before
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrReplyLost):
+			sawReplyLost = true
+			if !handled {
+				t.Fatal("ErrReplyLost but the handler never ran")
+			}
+			if !errors.Is(err, ErrDropped) {
+				t.Fatalf("ErrReplyLost must wrap its delivery cause, got %v", err)
+			}
+		case errors.Is(err, ErrDropped):
+			sawRequestLost = true
+			if handled {
+				t.Fatal("request-direction drop reported but the handler ran")
+			}
+		default:
+			t.Fatalf("unexpected error class: %v", err)
+		}
+	}
+	if !sawReplyLost || !sawRequestLost {
+		t.Fatalf("seed sweep did not produce both cases (reply=%v request=%v)", sawReplyLost, sawRequestLost)
+	}
+}
+
+func TestCrashFiresStateLossHook(t *testing.T) {
+	n := New(DefaultConfig(3))
+	echoCounter(t, n, "a")
+	state := map[string]string{"k": "v"}
+	if err := n.OnCrash("a", func() { state = map[string]string{} }); err != nil {
+		t.Fatalf("OnCrash: %v", err)
+	}
+	if err := n.Crash("a"); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	if n.Online("a") {
+		t.Fatal("crashed node still online")
+	}
+	if len(state) != 0 {
+		t.Fatal("crash hook did not clear volatile state")
+	}
+	if err := n.SetOnline("a", true); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	if !n.Online("a") {
+		t.Fatal("restarted node offline")
+	}
+	if err := n.Crash("ghost"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("Crash on unregistered node: got %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestFaultScheduleDeterministicAndOnTarget(t *testing.T) {
+	build := func() (*Network, *FaultSchedule, []NodeID) {
+		n := New(DefaultConfig(5))
+		names := make([]NodeID, 30)
+		for i := range names {
+			names[i] = NodeID(fmt.Sprintf("n%d", i))
+			echoCounter(t, n, names[i])
+		}
+		s, err := NewFaultSchedule(n, names, ChurnConfig{Seed: 42, Uptime: 0.7, MeanOnline: 10})
+		if err != nil {
+			t.Fatalf("NewFaultSchedule: %v", err)
+		}
+		return n, s, names
+	}
+	_, s1, _ := build()
+	n2, s2, names := build()
+	onlineTicks, totalTicks := 0, 0
+	for tick := 0; tick < 400; tick++ {
+		t1 := s1.Tick()
+		t2 := s2.Tick()
+		if t1 != t2 || s1.OnlineCount() != s2.OnlineCount() {
+			t.Fatalf("tick %d: schedules with equal seeds diverged (%d/%d vs %d/%d)",
+				tick, t1, s1.OnlineCount(), t2, s2.OnlineCount())
+		}
+		onlineTicks += s1.OnlineCount()
+		totalTicks += len(names)
+	}
+	frac := float64(onlineTicks) / float64(totalTicks)
+	if frac < 0.6 || frac > 0.8 {
+		t.Fatalf("observed uptime %.2f, want ≈0.7", frac)
+	}
+	s2.Restore()
+	for _, id := range names {
+		if !n2.Online(id) {
+			t.Fatalf("Restore left %s offline", id)
+		}
+	}
+}
+
+func TestFaultScheduleFlakyWindows(t *testing.T) {
+	n := New(Config{Seed: 9, LossRate: 0.01})
+	echoCounter(t, n, "a")
+	s, err := NewFaultSchedule(n, nil, ChurnConfig{Seed: 7, Uptime: 1, MeanOnline: 5, FlakyFraction: 0.5, FlakyLoss: 0.9})
+	if err != nil {
+		t.Fatalf("NewFaultSchedule: %v", err)
+	}
+	sawFlaky, sawBase := false, false
+	for i := 0; i < 100; i++ {
+		s.Tick()
+		switch n.CurrentLossRate() {
+		case 0.9:
+			sawFlaky = true
+		case 0.01:
+			sawBase = true
+		default:
+			t.Fatalf("unexpected loss rate %v", n.CurrentLossRate())
+		}
+	}
+	if !sawFlaky || !sawBase {
+		t.Fatalf("flaky windows never toggled (flaky=%v base=%v)", sawFlaky, sawBase)
+	}
+	s.Restore()
+	if n.CurrentLossRate() != 0.01 {
+		t.Fatalf("Restore did not reset loss rate: %v", n.CurrentLossRate())
+	}
+}
+
+func TestFaultScheduleCrashRestartLosesState(t *testing.T) {
+	n := New(DefaultConfig(11))
+	echoCounter(t, n, "a")
+	crashes := 0
+	if err := n.OnCrash("a", func() { crashes++ }); err != nil {
+		t.Fatalf("OnCrash: %v", err)
+	}
+	s, err := NewFaultSchedule(n, []NodeID{"a"}, ChurnConfig{Seed: 3, Uptime: 0.5, MeanOnline: 3, CrashRestart: true})
+	if err != nil {
+		t.Fatalf("NewFaultSchedule: %v", err)
+	}
+	downs := 0
+	wasUp := true
+	for i := 0; i < 200; i++ {
+		s.Tick()
+		up := n.Online("a")
+		if wasUp && !up {
+			downs++
+		}
+		wasUp = up
+	}
+	if downs == 0 {
+		t.Fatal("schedule never took the node down")
+	}
+	if crashes != downs {
+		t.Fatalf("crash hook fired %d times for %d down transitions", crashes, downs)
+	}
+}

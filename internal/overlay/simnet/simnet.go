@@ -28,6 +28,12 @@ var (
 	ErrDropped       = errors.New("simnet: message dropped")
 	ErrPartitioned   = errors.New("simnet: nodes partitioned")
 	ErrDuplicateNode = errors.New("simnet: node already registered")
+	// ErrReplyLost reports that a request was delivered and handled but the
+	// reply never reached the caller. The handler's side effects have
+	// happened; retry logic must treat the operation as possibly applied
+	// (safe only for idempotent operations). The underlying delivery
+	// failure (drop, offline, partition) is wrapped and inspectable.
+	ErrReplyLost = errors.New("simnet: reply lost")
 )
 
 // Message is an application-level message; payloads stay in memory.
@@ -103,6 +109,7 @@ type Network struct {
 	nodes    map[NodeID]Handler
 	offline  map[NodeID]bool
 	partOf   map[NodeID]int // partition group; 0 = default
+	onCrash  map[NodeID]func()
 	totals   Trace
 	rpcCount int
 }
@@ -115,6 +122,7 @@ func New(cfg Config) *Network {
 		nodes:   make(map[NodeID]Handler),
 		offline: make(map[NodeID]bool),
 		partOf:  make(map[NodeID]int),
+		onCrash: make(map[NodeID]func()),
 	}
 }
 
@@ -129,11 +137,48 @@ func (n *Network) Register(id NodeID, h Handler) error {
 	return nil
 }
 
-// SetOnline marks a node online or offline (churn injection).
-func (n *Network) SetOnline(id NodeID, online bool) {
+// SetOnline marks a registered node online or offline (churn injection).
+// Unregistered nodes are rejected: silently recording liveness for a node
+// that does not exist would leave it pre-churned when it later registers.
+func (n *Network) SetOnline(id NodeID, online bool) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if _, ok := n.nodes[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
 	n.offline[id] = !online
+	return nil
+}
+
+// OnCrash registers a hook invoked when the node crashes (Crash): the hook
+// models volatile-state loss, e.g. a DHT node dropping its stored keys.
+func (n *Network) OnCrash(id NodeID, hook func()) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
+	n.onCrash[id] = hook
+	return nil
+}
+
+// Crash takes a node offline like SetOnline(id, false) and additionally
+// fires its OnCrash hook, modeling a crash-restart failure in which
+// in-memory state is lost. Bring the node back with SetOnline(id, true);
+// it restarts empty.
+func (n *Network) Crash(id NodeID) error {
+	n.mu.Lock()
+	if _, ok := n.nodes[id]; !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
+	n.offline[id] = true
+	hook := n.onCrash[id]
+	n.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+	return nil
 }
 
 // Online reports whether a node is registered and online.
@@ -144,12 +189,32 @@ func (n *Network) Online(id NodeID) bool {
 	return ok && !n.offline[id]
 }
 
-// SetPartition assigns a node to a partition group; nodes in different
-// groups cannot exchange messages. Group 0 is the default connected group.
-func (n *Network) SetPartition(id NodeID, group int) {
+// SetPartition assigns a registered node to a partition group; nodes in
+// different groups cannot exchange messages. Group 0 is the default
+// connected group. Unregistered nodes are rejected (see SetOnline).
+func (n *Network) SetPartition(id NodeID, group int) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if _, ok := n.nodes[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
 	n.partOf[id] = group
+	return nil
+}
+
+// SetLossRate changes the message loss probability at runtime (flaky-window
+// injection by fault schedules).
+func (n *Network) SetLossRate(rate float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cfg.LossRate = rate
+}
+
+// CurrentLossRate reports the loss probability currently in effect.
+func (n *Network) CurrentLossRate() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cfg.LossRate
 }
 
 // Nodes returns all registered node IDs (online and offline).
@@ -239,9 +304,11 @@ func (n *Network) RPC(tr *Trace, from, to NodeID, msg Message) (Message, error) 
 	if err != nil {
 		return Message{}, fmt.Errorf("simnet: rpc %s->%s %q: %w", from, to, msg.Kind, err)
 	}
-	// Charge the reply direction.
+	// Charge the reply direction. A failure here is NOT equivalent to the
+	// request being lost: the handler has already run, so the caller must
+	// learn that the operation may have been applied.
 	if _, aerr := n.admit(tr, to, from, reply.Size); aerr != nil {
-		return Message{}, aerr
+		return Message{}, fmt.Errorf("%w: %s->%s: %w", ErrReplyLost, to, from, aerr)
 	}
 	return reply, nil
 }

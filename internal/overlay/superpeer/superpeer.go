@@ -206,7 +206,7 @@ func (o *Overlay) entrySuper(origin simnet.NodeID) (simnet.NodeID, bool, error) 
 	if l, ok := o.leaves[origin]; ok {
 		return l.super, false, nil
 	}
-	return "", false, fmt.Errorf("superpeer: origin %s not in overlay", origin)
+	return "", false, fmt.Errorf("superpeer: %w: %s", overlay.ErrUnknownOrigin, origin)
 }
 
 // Store implements overlay.KV.

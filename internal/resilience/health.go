@@ -1,0 +1,101 @@
+package resilience
+
+import "sync"
+
+// BreakerConfig parameterizes the per-node circuit breaker.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive failures that opens a node's
+	// circuit (<= 0 disables the breaker: Allow always true).
+	Threshold int
+	// Cooldown is how many Allow calls are refused while open before a
+	// single half-open probe is let through. A failed probe re-opens the
+	// circuit for another cooldown.
+	Cooldown int
+}
+
+// DefaultBreakerConfig opens after 3 consecutive failures and probes after
+// 8 refused calls.
+func DefaultBreakerConfig() BreakerConfig { return BreakerConfig{Threshold: 3, Cooldown: 8} }
+
+// Breaker is a per-node health tracker: a circuit breaker over node names.
+// Nodes observed down are skipped (Allow returns false) until a half-open
+// probe succeeds. It is safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu    sync.Mutex
+	nodes map[string]*breakerState
+}
+
+type breakerState struct {
+	fails int  // consecutive failures
+	open  bool // circuit open: node presumed down
+	skips int  // Allow refusals remaining before a probe
+}
+
+// NewBreaker creates a breaker with the given config.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg, nodes: make(map[string]*breakerState)}
+}
+
+// Allow reports whether the node should be tried. While a circuit is open
+// it refuses Cooldown calls, then admits one half-open probe; the probe's
+// Report decides whether the circuit closes or re-opens.
+func (b *Breaker) Allow(node string) bool {
+	if b.cfg.Threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.nodes[node]
+	if s == nil || !s.open {
+		return true
+	}
+	if s.skips > 0 {
+		s.skips--
+		return false
+	}
+	return true // half-open probe
+}
+
+// Report records an observation of the node. Success closes its circuit
+// and clears the failure count; failure increments it and opens the
+// circuit at the threshold (or re-opens it after a failed probe).
+func (b *Breaker) Report(node string, ok bool) {
+	if b.cfg.Threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.nodes[node]
+	if s == nil {
+		s = &breakerState{}
+		b.nodes[node] = s
+	}
+	if ok {
+		s.fails = 0
+		s.open = false
+		s.skips = 0
+		return
+	}
+	s.fails++
+	if s.fails >= b.cfg.Threshold {
+		s.open = true
+		s.skips = b.cfg.Cooldown
+	}
+}
+
+// Open reports whether the node's circuit is currently open.
+func (b *Breaker) Open(node string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.nodes[node]
+	return s != nil && s.open
+}
+
+// Reset clears all recorded health state.
+func (b *Breaker) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nodes = make(map[string]*breakerState)
+}

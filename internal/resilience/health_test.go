@@ -1,0 +1,107 @@
+package resilience
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestBreakerOpensAtThresholdAndProbes(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: 2})
+	for i := 0; i < 2; i++ {
+		b.Report("n", false)
+		if b.Open("n") {
+			t.Fatalf("circuit open after %d failures, threshold 3", i+1)
+		}
+	}
+	b.Report("n", false)
+	if !b.Open("n") {
+		t.Fatal("circuit not open at threshold")
+	}
+	// Cooldown refusals, then one half-open probe.
+	if b.Allow("n") || b.Allow("n") {
+		t.Fatal("open circuit allowed a call during cooldown")
+	}
+	if !b.Allow("n") {
+		t.Fatal("half-open probe refused after cooldown")
+	}
+	// Failed probe re-opens for another cooldown.
+	b.Report("n", false)
+	if b.Allow("n") {
+		t.Fatal("failed probe did not re-open the circuit")
+	}
+	if b.Allow("n") {
+		t.Fatal("cooldown after failed probe too short")
+	}
+	if !b.Allow("n") {
+		t.Fatal("second probe refused")
+	}
+	// Successful probe closes the circuit.
+	b.Report("n", true)
+	if b.Open("n") {
+		t.Fatal("successful probe left the circuit open")
+	}
+	if !b.Allow("n") {
+		t.Fatal("closed circuit refused a call")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	for i := 0; i < 10; i++ {
+		b.Report("n", false)
+	}
+	if !b.Allow("n") || b.Open("n") {
+		t.Fatal("disabled breaker tracked state")
+	}
+}
+
+func TestBreakerIndependentPerNode(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: 100})
+	b.Report("down", false)
+	if !b.Open("down") {
+		t.Fatal("node not open")
+	}
+	if !b.Allow("up") {
+		t.Fatal("healthy node throttled by another node's circuit")
+	}
+}
+
+func TestBreakerConcurrent(t *testing.T) {
+	// Exercised with -race in CI: concurrent Allow/Report on overlapping
+	// nodes must be safe and converge to a consistent state.
+	b := NewBreaker(DefaultBreakerConfig())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				node := fmt.Sprintf("n%d", i%5)
+				if b.Allow(node) {
+					b.Report(node, i%3 == 0)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := 0; i < 5; i++ {
+		node := fmt.Sprintf("n%d", i)
+		b.Report(node, true)
+		if b.Open(node) {
+			t.Fatalf("%s open after success report", node)
+		}
+	}
+}
+
+func TestBreakerReset(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: 5})
+	b.Report("n", false)
+	if !b.Open("n") {
+		t.Fatal("not open")
+	}
+	b.Reset()
+	if b.Open("n") || !b.Allow("n") {
+		t.Fatal("reset did not clear state")
+	}
+}

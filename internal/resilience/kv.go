@@ -1,0 +1,309 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"godosn/internal/overlay"
+)
+
+// ErrNoHealer reports that the wrapped overlay has no self-healing pass.
+var ErrNoHealer = errors.New("resilience: overlay does not support healing")
+
+// Config parameterizes the resilient KV decorator.
+type Config struct {
+	// Policy is the retry policy for Store and Lookup.
+	Policy Policy
+	// Hedge is the number of additional replicas raced when the primary
+	// read fails or misses (0 disables hedged reads). Only effective when
+	// the wrapped overlay implements overlay.ReplicaKV.
+	Hedge int
+	// Breaker configures the per-node health tracker.
+	Breaker BreakerConfig
+	// Seed drives retry jitter deterministically.
+	Seed int64
+}
+
+// DefaultConfig hedges across 2 extra replicas with the default retry
+// policy and breaker.
+func DefaultConfig(seed int64) Config {
+	return Config{Policy: DefaultPolicy(), Hedge: 2, Breaker: DefaultBreakerConfig(), Seed: seed}
+}
+
+// Metrics counts what the resilience layer did — the measurable overhead
+// of recovery, reported by experiment E17.
+type Metrics struct {
+	// Ops is the number of Store/Lookup calls served.
+	Ops int
+	// Attempts is the total tries across all operations.
+	Attempts int
+	// Retries is Attempts minus first tries.
+	Retries int
+	// Hedges is the number of hedged replica reads issued.
+	Hedges int
+	// BreakerSkips counts replicas skipped because their circuit was open.
+	BreakerSkips int
+	// Failures is the number of operations that still failed.
+	Failures int
+	// Backoff is the total simulated retry delay charged to operations.
+	Backoff time.Duration
+}
+
+// KV decorates an overlay.KV with typed-fault retries, hedged replica
+// reads, and a per-node circuit breaker. All recovery costs (extra
+// messages, backoff delay) are charged to the returned OpStats so
+// experiments compare availability and cost honestly. It is safe for
+// concurrent use when the wrapped overlay is.
+type KV struct {
+	inner    overlay.KV
+	replicas overlay.ReplicaKV // nil when inner cannot address replicas
+	healer   overlay.Healer    // nil when inner cannot self-heal
+	cfg      Config
+	breaker  *Breaker
+	rng      *rand.Rand // jitter source; safe via lockedSource
+
+	mu      sync.Mutex
+	metrics Metrics
+}
+
+var _ overlay.KV = (*KV)(nil)
+
+// lockedSource makes the jitter RNG safe for concurrent operations.
+type lockedSource struct {
+	mu  sync.Mutex
+	src rand.Source64
+}
+
+func (s *lockedSource) Int63() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Int63()
+}
+
+func (s *lockedSource) Uint64() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Uint64()
+}
+
+func (s *lockedSource) Seed(seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.src.Seed(seed)
+}
+
+// Wrap builds the resilient decorator around an overlay. Hedged reads and
+// healing activate automatically when the overlay implements
+// overlay.ReplicaKV / overlay.Healer.
+func Wrap(inner overlay.KV, cfg Config) *KV {
+	if cfg.Policy.MaxAttempts < 1 {
+		cfg.Policy = DefaultPolicy()
+	}
+	k := &KV{
+		inner:   inner,
+		cfg:     cfg,
+		breaker: NewBreaker(cfg.Breaker),
+		rng:     rand.New(&lockedSource{src: rand.NewSource(cfg.Seed).(rand.Source64)}),
+	}
+	if r, ok := inner.(overlay.ReplicaKV); ok {
+		k.replicas = r
+	}
+	if h, ok := inner.(overlay.Healer); ok {
+		k.healer = h
+	}
+	return k
+}
+
+// Name implements overlay.KV.
+func (k *KV) Name() string { return k.inner.Name() + "+resilient" }
+
+// Inner returns the wrapped overlay.
+func (k *KV) Inner() overlay.KV { return k.inner }
+
+// Breaker exposes the per-node health tracker.
+func (k *KV) Breaker() *Breaker { return k.breaker }
+
+// Metrics returns a snapshot of the recovery counters.
+func (k *KV) Metrics() Metrics {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.metrics
+}
+
+// ResetMetrics zeroes the recovery counters (between experiment phases).
+func (k *KV) ResetMetrics() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.metrics = Metrics{}
+}
+
+// record merges one operation's accounting into the metrics.
+func (k *KV) record(out Outcome, hedges, skips int, failed bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.metrics.Ops++
+	k.metrics.Attempts += out.Attempts
+	k.metrics.Retries += out.Attempts - 1
+	k.metrics.Hedges += hedges
+	k.metrics.BreakerSkips += skips
+	if failed {
+		k.metrics.Failures++
+	}
+	k.metrics.Backoff += out.Backoff
+}
+
+// Store implements overlay.KV with retries. DHT-style stores are
+// idempotent (same key, same value), so AckLost faults — the store landed
+// but the ack was dropped — are retried as well; the idempotent-store
+// tests prove this is safe.
+func (k *KV) Store(origin, key string, value []byte) (overlay.OpStats, error) {
+	var total overlay.OpStats
+	out, err := Do(k.cfg.Policy, k.rng, true, func(int) error {
+		st, err := k.inner.Store(origin, key, value)
+		total.Add(st)
+		return err
+	})
+	total.Latency += out.Backoff
+	k.record(out, 0, 0, err != nil)
+	return total, err
+}
+
+// Lookup implements overlay.KV: retries around either the plain overlay
+// lookup or, when the overlay can address replicas, a hedged read that
+// resolves the replica set once and races fetches across it, skipping
+// nodes whose circuit is open.
+func (k *KV) Lookup(origin, key string) ([]byte, overlay.OpStats, error) {
+	var (
+		total  overlay.OpStats
+		value  []byte
+		hedges int
+		skips  int
+	)
+	op := func(int) error {
+		if k.replicas == nil {
+			v, st, err := k.inner.Lookup(origin, key)
+			total.Add(st)
+			value = v
+			return err
+		}
+		v, h, s, err := k.hedgedLookup(origin, key, &total)
+		value = v
+		hedges += h
+		skips += s
+		return err
+	}
+	out, err := Do(k.cfg.Policy, k.rng, true, op)
+	total.Latency += out.Backoff
+	k.record(out, hedges, skips, err != nil)
+	if err != nil {
+		return nil, total, err
+	}
+	return value, total, nil
+}
+
+// hedgedLookup performs one attempt: resolve replicas, read the primary,
+// and on failure or miss race a hedge wave over the next replicas. The
+// wave's reads are concurrent in simulated time: messages and bytes sum,
+// latency contributes only the slowest read.
+func (k *KV) hedgedLookup(origin, key string, total *overlay.OpStats) ([]byte, int, int, error) {
+	names, st, err := k.replicas.ReplicasFor(origin, key)
+	total.Add(st)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	allowed := names[:0:0]
+	skips := 0
+	for _, name := range names {
+		if k.breaker.Allow(name) {
+			allowed = append(allowed, name)
+		} else {
+			skips++
+		}
+	}
+	if len(allowed) == 0 {
+		// Everything is presumed down; trying something beats failing
+		// without a message.
+		allowed = names
+	}
+
+	// Primary read.
+	v, st, err := k.replicas.LookupFrom(origin, key, allowed[0])
+	total.Add(st)
+	k.breaker.Report(allowed[0], replicaHealthy(err))
+	if err == nil {
+		return v, 0, skips, nil
+	}
+	anyTransient := Retryable(Classify(err), true)
+	anyNotFound := errors.Is(err, overlay.ErrNotFound)
+	lastErr := err
+
+	// Hedge wave: race the next replicas in parallel (simulated), first
+	// found value in replica order wins.
+	wave := allowed[1:]
+	if k.cfg.Hedge >= 0 && len(wave) > k.cfg.Hedge {
+		wave = wave[:k.cfg.Hedge]
+	}
+	var (
+		found   []byte
+		ok      bool
+		waveLat time.Duration
+	)
+	for _, name := range wave {
+		v, st, err := k.replicas.LookupFrom(origin, key, name)
+		k.breaker.Report(name, replicaHealthy(err))
+		total.Hops += st.Hops
+		total.Messages += st.Messages
+		total.Bytes += st.Bytes
+		if st.Latency > waveLat {
+			waveLat = st.Latency
+		}
+		switch {
+		case err == nil:
+			if !ok {
+				found, ok = v, true
+			}
+		case errors.Is(err, overlay.ErrNotFound):
+			anyNotFound = true
+		default:
+			if Retryable(Classify(err), true) {
+				anyTransient = true
+			}
+			lastErr = err
+		}
+	}
+	total.Latency += waveLat
+	if ok {
+		return found, len(wave), skips, nil
+	}
+	// No replica produced the value. A transient failure anywhere means a
+	// copy may still be reachable on retry; only a unanimous miss is a
+	// definitive not-found.
+	if anyTransient {
+		return nil, len(wave), skips, fmt.Errorf("resilience: hedged read failed: %w", lastErr)
+	}
+	if anyNotFound {
+		return nil, len(wave), skips, overlay.ErrNotFound
+	}
+	return nil, len(wave), skips, fmt.Errorf("resilience: hedged read failed: %w", overlay.ErrUnavailable)
+}
+
+// replicaHealthy interprets a per-replica fetch error for the breaker: a
+// replica that answered — even with "not found" — is reachable; only
+// delivery failures count against it.
+func replicaHealthy(err error) bool {
+	return err == nil || errors.Is(err, overlay.ErrNotFound)
+}
+
+// Heal runs one anti-entropy repair pass on the wrapped overlay.
+func (k *KV) Heal() (overlay.HealReport, error) {
+	if k.healer == nil {
+		return overlay.HealReport{}, ErrNoHealer
+	}
+	return k.healer.Heal()
+}
+
+// CanHeal reports whether the wrapped overlay supports repair passes.
+func (k *KV) CanHeal() bool { return k.healer != nil }

@@ -1,0 +1,106 @@
+// Package resilience is the recovery layer between the DOSN core and the
+// overlays: it turns the simulator's injectable faults (loss, churn,
+// partitions — internal/overlay/simnet) into faults the framework actually
+// recovers from.
+//
+// The paper's availability argument (Sections I and II-B) is that
+// replication and caching keep profiles reachable while peers churn; every
+// surveyed system pairs that redundancy with a recovery discipline —
+// retries against replicas, failure detection, and background repair. This
+// package supplies those disciplines as composable pieces:
+//
+//   - a typed fault taxonomy (Classify): Transient faults are worth
+//     retrying, Permanent ones are not, and AckLost means the operation may
+//     have been applied even though the caller saw an error — retry-safe
+//     only for idempotent operations;
+//   - deterministic retry policies (Policy, Do): exponential backoff with
+//     seeded jitter, charged to the simulated latency so recovery cost
+//     stays measurable;
+//   - a KV decorator (Wrap) adding retries, hedged reads across the
+//     replica set, and a per-node circuit breaker (Breaker) that skips
+//     nodes observed down until a probe succeeds;
+//   - pass-through to the overlay's anti-entropy self-healing
+//     (overlay.Healer), so repair is driven through the same handle.
+//
+// Experiment E17 measures the layer: availability with and without it,
+// under seeded loss and churn schedules, with the retry/hedging overhead
+// reported in messages and simulated latency.
+package resilience
+
+import (
+	"errors"
+
+	"godosn/internal/overlay"
+	"godosn/internal/overlay/simnet"
+)
+
+// Fault classifies an operation error by what recovery it admits.
+type Fault int
+
+// Fault classes.
+const (
+	// FaultNone means no error.
+	FaultNone Fault = iota
+	// FaultTransient faults (drops, offline nodes, partitions, exhausted
+	// replica sets) may succeed on retry.
+	FaultTransient
+	// FaultAckLost means the request was delivered and handled but the
+	// reply was lost: the operation may have been applied. Retrying is
+	// safe only when the operation is idempotent.
+	FaultAckLost
+	// FaultPermanent faults (missing keys, unknown nodes or origins,
+	// protocol errors) will not be fixed by retrying.
+	FaultPermanent
+)
+
+// String renders the fault class.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultTransient:
+		return "transient"
+	case FaultAckLost:
+		return "ack-lost"
+	case FaultPermanent:
+		return "permanent"
+	default:
+		return "fault(?)"
+	}
+}
+
+// Classify maps any simnet or overlay error onto the fault taxonomy using
+// errors.Is, so wrapped errors classify by their sentinel regardless of
+// message decoration. Unknown errors classify as permanent: retrying a
+// fault we cannot name is how retry storms start.
+func Classify(err error) Fault {
+	switch {
+	case err == nil:
+		return FaultNone
+	// AckLost first: a lost reply wraps its delivery cause (e.g. a drop),
+	// and the reply-was-lost semantics must win over the cause's class.
+	case errors.Is(err, simnet.ErrReplyLost):
+		return FaultAckLost
+	case errors.Is(err, simnet.ErrDropped),
+		errors.Is(err, simnet.ErrNodeOffline),
+		errors.Is(err, simnet.ErrPartitioned),
+		errors.Is(err, overlay.ErrUnavailable):
+		return FaultTransient
+	default:
+		return FaultPermanent
+	}
+}
+
+// Retryable reports whether an operation that failed with fault f should be
+// attempted again; idempotent says whether re-applying the operation is
+// harmless (required for AckLost retries).
+func Retryable(f Fault, idempotent bool) bool {
+	switch f {
+	case FaultTransient:
+		return true
+	case FaultAckLost:
+		return idempotent
+	default:
+		return false
+	}
+}

@@ -1,0 +1,73 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"godosn/internal/overlay"
+	"godosn/internal/overlay/simnet"
+)
+
+func TestClassifyCoversEverySentinel(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want Fault
+	}{
+		{"nil", nil, FaultNone},
+		{"dropped", simnet.ErrDropped, FaultTransient},
+		{"offline", simnet.ErrNodeOffline, FaultTransient},
+		{"partitioned", simnet.ErrPartitioned, FaultTransient},
+		{"reply-lost", simnet.ErrReplyLost, FaultAckLost},
+		{"unknown-node", simnet.ErrUnknownNode, FaultPermanent},
+		{"duplicate-node", simnet.ErrDuplicateNode, FaultPermanent},
+		{"not-found", overlay.ErrNotFound, FaultPermanent},
+		{"unavailable", overlay.ErrUnavailable, FaultTransient},
+		{"no-nodes", overlay.ErrNoNodes, FaultPermanent},
+		{"unknown-origin", overlay.ErrUnknownOrigin, FaultPermanent},
+		{"anonymous", errors.New("some protocol error"), FaultPermanent},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("Classify(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+		// Wrapping must not change the classification — all production
+		// errors arrive decorated.
+		if tc.err != nil {
+			wrapped := fmt.Errorf("overlayX: op failed: %w", tc.err)
+			if got := Classify(wrapped); got != tc.want {
+				t.Errorf("Classify(wrapped %s) = %v, want %v", tc.name, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestClassifyAckLostWinsOverWrappedCause(t *testing.T) {
+	// A lost reply wraps its delivery cause (a drop); the reply-lost
+	// semantics must dominate: the operation may have been applied.
+	err := fmt.Errorf("%w: b->a: %w", simnet.ErrReplyLost, simnet.ErrDropped)
+	if got := Classify(err); got != FaultAckLost {
+		t.Fatalf("Classify(reply-lost wrapping drop) = %v, want FaultAckLost", got)
+	}
+}
+
+func TestRetryable(t *testing.T) {
+	cases := []struct {
+		f          Fault
+		idempotent bool
+		want       bool
+	}{
+		{FaultTransient, false, true},
+		{FaultTransient, true, true},
+		{FaultAckLost, false, false},
+		{FaultAckLost, true, true},
+		{FaultPermanent, true, false},
+		{FaultNone, true, false},
+	}
+	for _, tc := range cases {
+		if got := Retryable(tc.f, tc.idempotent); got != tc.want {
+			t.Errorf("Retryable(%v, idempotent=%v) = %v, want %v", tc.f, tc.idempotent, got, tc.want)
+		}
+	}
+}

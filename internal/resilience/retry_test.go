@@ -1,0 +1,131 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"godosn/internal/overlay"
+	"godosn/internal/overlay/simnet"
+)
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	p := Policy{MaxAttempts: 6, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Multiplier: 2, JitterFrac: 0.5}
+	a := rand.New(rand.NewSource(7))
+	b := rand.New(rand.NewSource(7))
+	for retry := 1; retry <= 6; retry++ {
+		da := p.Backoff(a, retry)
+		db := p.Backoff(b, retry)
+		if da != db {
+			t.Fatalf("retry %d: same seed, different backoff (%v vs %v)", retry, da, db)
+		}
+		if da < 0 || da > 120*time.Millisecond {
+			t.Fatalf("retry %d: backoff %v outside jittered cap", retry, da)
+		}
+	}
+	// Without jitter the sequence is the pure exponential, capped.
+	p.JitterFrac = 0
+	want := []time.Duration{10, 20, 40, 80, 80}
+	for i, w := range want {
+		if got := p.Backoff(nil, i+1); got != w*time.Millisecond {
+			t.Fatalf("retry %d: backoff %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestDoRetriesTransientUntilSuccess(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, Multiplier: 2}
+	calls := 0
+	out, err := Do(p, rand.New(rand.NewSource(1)), false, func(attempt int) error {
+		calls++
+		if attempt < 3 {
+			return fmt.Errorf("net: %w", simnet.ErrDropped)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 || out.Attempts != 3 {
+		t.Fatalf("calls=%d attempts=%d, want 3", calls, out.Attempts)
+	}
+	if out.Backoff != 30*time.Millisecond { // 10 + 20
+		t.Fatalf("backoff %v, want 30ms", out.Backoff)
+	}
+	if out.Fault != FaultNone {
+		t.Fatalf("fault %v, want none", out.Fault)
+	}
+}
+
+func TestDoStopsOnPermanent(t *testing.T) {
+	calls := 0
+	out, err := Do(DefaultPolicy(), rand.New(rand.NewSource(1)), true, func(int) error {
+		calls++
+		return overlay.ErrNotFound
+	})
+	if calls != 1 {
+		t.Fatalf("permanent fault retried: %d calls", calls)
+	}
+	if !errors.Is(err, overlay.ErrNotFound) || out.Fault != FaultPermanent {
+		t.Fatalf("err=%v fault=%v", err, out.Fault)
+	}
+}
+
+func TestDoAckLostRespectsIdempotency(t *testing.T) {
+	ackLost := fmt.Errorf("%w: cause", simnet.ErrReplyLost)
+	calls := 0
+	_, err := Do(Policy{MaxAttempts: 4, BaseDelay: time.Millisecond}, rand.New(rand.NewSource(1)), false, func(int) error {
+		calls++
+		return ackLost
+	})
+	if calls != 1 {
+		t.Fatalf("non-idempotent op retried after ack loss: %d calls", calls)
+	}
+	if !errors.Is(err, simnet.ErrReplyLost) {
+		t.Fatalf("err=%v", err)
+	}
+	calls = 0
+	_, err = Do(Policy{MaxAttempts: 4, BaseDelay: time.Millisecond}, rand.New(rand.NewSource(1)), true, func(int) error {
+		calls++
+		return ackLost
+	})
+	if calls != 4 {
+		t.Fatalf("idempotent op not retried after ack loss: %d calls", calls)
+	}
+	if !errors.Is(err, simnet.ErrReplyLost) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestDoAttemptAndLatencyBudgets(t *testing.T) {
+	// Attempt budget.
+	calls := 0
+	out, err := Do(Policy{MaxAttempts: 3, BaseDelay: time.Millisecond}, rand.New(rand.NewSource(1)), true, func(int) error {
+		calls++
+		return simnet.ErrDropped
+	})
+	if calls != 3 || err == nil || !errors.Is(err, simnet.ErrDropped) {
+		t.Fatalf("calls=%d err=%v", calls, err)
+	}
+	if out.Fault != FaultTransient {
+		t.Fatalf("fault %v", out.Fault)
+	}
+	// Latency budget: second retry (20ms) would exceed 25ms total.
+	calls = 0
+	out, err = Do(Policy{MaxAttempts: 10, BaseDelay: 20 * time.Millisecond, Multiplier: 2, LatencyBudget: 25 * time.Millisecond},
+		rand.New(rand.NewSource(1)), true, func(int) error {
+			calls++
+			return simnet.ErrDropped
+		})
+	if calls != 2 {
+		t.Fatalf("latency budget ignored: %d calls", calls)
+	}
+	if err == nil || !errors.Is(err, simnet.ErrDropped) {
+		t.Fatalf("err=%v", err)
+	}
+	if out.Backoff > 25*time.Millisecond {
+		t.Fatalf("charged backoff %v exceeds budget", out.Backoff)
+	}
+}
