@@ -2,13 +2,20 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test race bench bench-quick experiments experiments-quick examples clean
+.PHONY: all ci build vet test race bench bench-quick bench-hot experiments experiments-quick json-smoke examples clean
 
 all: build vet test
 
-# Full verification gate: compile, vet, tests, then the race detector over
-# the concurrent paths (simnet RPC, resilience decorator, breaker).
-ci: build vet test race
+# Full verification gate: compile, vet, tests, the race detector over the
+# concurrent paths (worker pool, simnet RPC, resilience decorator, breaker),
+# then a smoke check that dosnbench -json emits a valid report.
+ci: build vet test race json-smoke
+
+# Write a quick machine-readable report and re-parse it with the strict
+# validator; fails the gate if the JSON schema ever drifts or breaks.
+json-smoke:
+	$(GO) run ./cmd/dosnbench -quick -exp e3,e18 -json /tmp/godosn-ci.json >/dev/null
+	$(GO) run ./cmd/dosnbench -validate /tmp/godosn-ci.json
 
 build:
 	$(GO) build ./...
@@ -29,7 +36,13 @@ bench:
 bench-quick:
 	$(GO) test -bench=. -benchtime=10x -run='^$$' .
 
-# Regenerate the E1–E17 experiment tables (EXPERIMENTS.md).
+# Hot-path microbenchmarks: per-scheme group Encrypt/Add/Remove (serial vs
+# pool), DHT Put/Get (serial vs fanout), and symmetric seal/open alloc deltas.
+bench-hot:
+	$(GO) test -bench=. -benchmem -run='^$$' \
+		./internal/social/privacy/ ./internal/overlay/dht/ ./internal/crypto/symmetric/
+
+# Regenerate the E1–E18 experiment tables (EXPERIMENTS.md).
 experiments:
 	$(GO) run ./cmd/dosnbench
 

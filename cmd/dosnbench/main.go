@@ -1,12 +1,19 @@
 // Command dosnbench runs the experiment harness: every experiment of
-// DESIGN.md's per-experiment index (E1–E17), printed as aligned tables.
+// DESIGN.md's per-experiment index (E1–E18), printed as aligned tables.
 //
 // Usage:
 //
-//	dosnbench              # run everything (full parameters)
-//	dosnbench -exp e1,e6   # run selected experiments
-//	dosnbench -quick       # reduced parameters (seconds, for smoke runs)
-//	dosnbench -list        # list experiments
+//	dosnbench                   # run everything (full parameters)
+//	dosnbench -exp e1,e6        # run selected experiments
+//	dosnbench -quick            # reduced parameters (seconds, for smoke runs)
+//	dosnbench -parallel 4       # run independent experiments concurrently
+//	dosnbench -json out.json    # also write machine-readable metrics
+//	dosnbench -validate f.json  # smoke-parse a previously written report
+//	dosnbench -list             # list experiments
+//
+// Experiments are independent (own seeds, own simulated networks), and
+// -parallel buffers each experiment's output, so tables print in registry
+// order and byte-identically at any parallelism level.
 package main
 
 import (
@@ -24,11 +31,29 @@ func main() {
 
 func run() int {
 	var (
-		expFlag   = flag.String("exp", "", "comma-separated experiment ids (default: all)")
-		quickFlag = flag.Bool("quick", false, "reduced parameters for a fast smoke run")
-		listFlag  = flag.Bool("list", false, "list available experiments")
+		expFlag      = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		quickFlag    = flag.Bool("quick", false, "reduced parameters for a fast smoke run")
+		listFlag     = flag.Bool("list", false, "list available experiments")
+		parallelFlag = flag.Int("parallel", 1, "number of experiments to run concurrently (0 = all CPUs)")
+		jsonFlag     = flag.String("json", "", "write machine-readable per-experiment metrics to this file")
+		validateFlag = flag.String("validate", "", "validate a -json report file and exit")
 	)
 	flag.Parse()
+
+	if *validateFlag != "" {
+		data, err := os.ReadFile(*validateFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dosnbench: %v\n", err)
+			return 1
+		}
+		report, err := bench.ValidateReport(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dosnbench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("dosnbench: %s is a valid report (%d experiments)\n", *validateFlag, len(report.Experiments))
+		return 0
+	}
 
 	if *listFlag {
 		for _, e := range bench.All() {
@@ -52,14 +77,34 @@ func run() int {
 		}
 	}
 
-	fmt.Printf("godosn experiment harness (%d experiments, quick=%v)\n", len(selected), *quickFlag)
-	for _, e := range selected {
-		table, err := e.Run(*quickFlag)
+	fmt.Printf("godosn experiment harness (%d experiments, quick=%v, parallel=%d)\n", len(selected), *quickFlag, *parallelFlag)
+	results, err := bench.RunSelected(selected, *quickFlag, *parallelFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dosnbench: %v\n", err)
+		return 1
+	}
+	for _, r := range results {
+		fmt.Print(r.Output)
+	}
+
+	if *jsonFlag != "" {
+		f, err := os.Create(*jsonFlag)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dosnbench: %s failed: %v\n", e.ID, err)
+			fmt.Fprintf(os.Stderr, "dosnbench: %v\n", err)
 			return 1
 		}
-		table.Render(os.Stdout)
+		report := bench.BuildReport(results, *quickFlag)
+		werr := report.WriteJSON(f)
+		cerr := f.Close()
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "dosnbench: %v\n", werr)
+			return 1
+		}
+		if cerr != nil {
+			fmt.Fprintf(os.Stderr, "dosnbench: %v\n", cerr)
+			return 1
+		}
+		fmt.Printf("\nwrote %s (%d experiments)\n", *jsonFlag, len(report.Experiments))
 	}
 	return 0
 }

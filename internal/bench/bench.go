@@ -1,5 +1,5 @@
 // Package bench is the experiment harness: it regenerates, as printed
-// tables, every experiment in DESIGN.md's per-experiment index (E1–E17).
+// tables, every experiment in DESIGN.md's per-experiment index (E1–E18).
 //
 // The paper is a survey with one classification table and no measurements;
 // each experiment here quantifies one slice of that classification or one
@@ -26,6 +26,19 @@ type Table struct {
 	Rows [][]string
 	// Notes carry caveats and claim checks.
 	Notes []string
+	// Metrics are machine-readable named values for the -json report, so
+	// the perf trajectory can be tracked across revisions.
+	Metrics []Metric
+}
+
+// Metric is one machine-readable measurement of an experiment.
+type Metric struct {
+	// Name identifies the measurement (e.g. "revoke_speedup").
+	Name string `json:"name"`
+	// Unit is the measurement unit (e.g. "ns/op", "msg", "bytes", "x").
+	Unit string `json:"unit"`
+	// Value is the measured value.
+	Value float64 `json:"value"`
 }
 
 // AddRow appends a data row.
@@ -36,6 +49,11 @@ func (t *Table) AddRow(cells ...string) {
 // AddNote appends a note line.
 func (t *Table) AddNote(format string, args ...any) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// AddMetric records a machine-readable measurement for the -json report.
+func (t *Table) AddMetric(name, unit string, value float64) {
+	t.Metrics = append(t.Metrics, Metric{Name: name, Unit: unit, Value: value})
 }
 
 // Render writes the table in aligned plain text.
@@ -110,6 +128,7 @@ func All() []Experiment {
 		{ID: "e15", Description: "Vis-a-vis location tree region-query scalability", Run: E15LocationTree},
 		{ID: "e16", Description: "replica placement policy ablation (random/friends/proxies)", Run: E16PlacementAblation},
 		{ID: "e17", Description: "resilience layer: availability and cost under loss + churn", Run: E17Resilience},
+		{ID: "e18", Description: "parallel execution: serial vs worker-pool revocation and replica writes", Run: E18Parallelism},
 	}
 }
 

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"godosn/internal/parallel"
+)
+
+// Result is one executed experiment: its table, its rendered output
+// (buffered, so concurrent runs still print in registry order), and the
+// wall-clock time it took.
+type Result struct {
+	// ID is the experiment id (lowercase, e.g. "e18").
+	ID string
+	// Table is the experiment's output table.
+	Table *Table
+	// Output is the rendered table text.
+	Output string
+	// Elapsed is the experiment's wall-clock run time.
+	Elapsed time.Duration
+}
+
+// RunSelected executes the experiments on up to workers goroutines
+// (workers <= 1 runs them serially) and returns results in input order.
+// Each experiment renders into its own buffer, so output is byte-identical
+// at any worker count; every experiment is independent (own seeds, own
+// simulated network), so concurrent execution cannot change its table.
+func RunSelected(selected []Experiment, quick bool, workers int) ([]Result, error) {
+	return parallel.Map(workers, selected, func(_ int, e Experiment) (Result, error) {
+		start := time.Now()
+		table, err := e.Run(quick)
+		if err != nil {
+			return Result{}, fmt.Errorf("%s failed: %w", e.ID, err)
+		}
+		var buf bytes.Buffer
+		table.Render(&buf)
+		return Result{ID: e.ID, Table: table, Output: buf.String(), Elapsed: time.Since(start)}, nil
+	})
+}
+
+// jsonSchema versions the -json report layout.
+const jsonSchema = "godosn/bench/v1"
+
+// JSONReport is the machine-readable form of a harness run, written by
+// `dosnbench -json` so the perf trajectory can be tracked across revisions.
+type JSONReport struct {
+	// Schema identifies the report layout.
+	Schema string `json:"schema"`
+	// Quick records whether reduced parameters were used.
+	Quick bool `json:"quick"`
+	// Experiments holds one entry per executed experiment.
+	Experiments []JSONExperiment `json:"experiments"`
+}
+
+// JSONExperiment is one experiment's machine-readable record.
+type JSONExperiment struct {
+	// ID is the experiment id (e.g. "e18").
+	ID string `json:"id"`
+	// Title is the table title.
+	Title string `json:"title"`
+	// Seconds is the experiment's wall-clock run time.
+	Seconds float64 `json:"seconds"`
+	// Rows is the number of data rows produced.
+	Rows int `json:"rows"`
+	// Metrics are the experiment's named measurements (may be empty).
+	Metrics []Metric `json:"metrics"`
+}
+
+// BuildReport assembles the JSON report for a set of results.
+func BuildReport(results []Result, quick bool) JSONReport {
+	report := JSONReport{Schema: jsonSchema, Quick: quick}
+	for _, r := range results {
+		metrics := r.Table.Metrics
+		if metrics == nil {
+			metrics = []Metric{}
+		}
+		report.Experiments = append(report.Experiments, JSONExperiment{
+			ID:      r.ID,
+			Title:   r.Table.Title,
+			Seconds: r.Elapsed.Seconds(),
+			Rows:    len(r.Table.Rows),
+			Metrics: metrics,
+		})
+	}
+	return report
+}
+
+// WriteJSON encodes the report to w, indented for diffability.
+func (r JSONReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("bench: encoding report: %w", err)
+	}
+	return nil
+}
+
+// ValidateReport parses data as a JSONReport and checks its required
+// fields, backing `dosnbench -validate` (the CI smoke check that -json
+// output stays well-formed).
+func ValidateReport(data []byte) (JSONReport, error) {
+	var report JSONReport
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&report); err != nil {
+		return JSONReport{}, fmt.Errorf("bench: invalid report JSON: %w", err)
+	}
+	if report.Schema != jsonSchema {
+		return JSONReport{}, fmt.Errorf("bench: unexpected schema %q, want %q", report.Schema, jsonSchema)
+	}
+	if len(report.Experiments) == 0 {
+		return JSONReport{}, fmt.Errorf("bench: report has no experiments")
+	}
+	for _, e := range report.Experiments {
+		if e.ID == "" || e.Title == "" {
+			return JSONReport{}, fmt.Errorf("bench: report entry missing id or title: %+v", e)
+		}
+		if e.Rows <= 0 {
+			return JSONReport{}, fmt.Errorf("bench: report entry %s has no rows", e.ID)
+		}
+	}
+	return report, nil
+}

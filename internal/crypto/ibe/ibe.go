@@ -32,6 +32,7 @@ import (
 	"godosn/internal/crypto/prf"
 	"godosn/internal/crypto/pubkey"
 	"godosn/internal/crypto/symmetric"
+	"godosn/internal/parallel"
 )
 
 // Errors returned by this package.
@@ -175,8 +176,16 @@ func (b *Broadcast) Size() int {
 	return n
 }
 
-// EncryptBroadcast encrypts plaintext to every listed identity.
+// EncryptBroadcast encrypts plaintext to every listed identity, fanning the
+// per-recipient session-key wraps out over all CPUs.
 func (p *PKG) EncryptBroadcast(recipients []string, plaintext []byte) (*Broadcast, error) {
+	return p.EncryptBroadcastWorkers(recipients, plaintext, 0)
+}
+
+// EncryptBroadcastWorkers is EncryptBroadcast with an explicit worker bound
+// for the per-recipient wraps (0 = all CPUs, 1 = serial). The broadcast is
+// identical at any setting: wraps are collected in recipient order.
+func (p *PKG) EncryptBroadcastWorkers(recipients []string, plaintext []byte, workers int) (*Broadcast, error) {
 	if len(recipients) == 0 {
 		return nil, ErrNoRecipients
 	}
@@ -184,8 +193,9 @@ func (p *PKG) EncryptBroadcast(recipients []string, plaintext []byte) (*Broadcas
 	if err != nil {
 		return nil, fmt.Errorf("ibe: generating session key: %w", err)
 	}
-	wraps := make([][]byte, len(recipients))
-	for i, id := range recipients {
+	// Each wrap is an independent directory lookup (concurrency-safe) plus
+	// an ECIES encryption — the O(recipients) cost of the broadcast.
+	wraps, err := parallel.Map(workers, recipients, func(_ int, id string) ([]byte, error) {
 		pk, err := p.DirectoryLookup(id)
 		if err != nil {
 			return nil, err
@@ -194,7 +204,10 @@ func (p *PKG) EncryptBroadcast(recipients []string, plaintext []byte) (*Broadcas
 		if err != nil {
 			return nil, fmt.Errorf("ibe: wrapping session key for %q: %w", id, err)
 		}
-		wraps[i] = w
+		return w, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	body, err := symmetric.Seal(session, plaintext, nil)
 	if err != nil {

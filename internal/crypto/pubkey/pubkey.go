@@ -101,13 +101,15 @@ func Encrypt(pk *EncryptionPublicKey, plaintext []byte) ([]byte, error) {
 		return nil, fmt.Errorf("pubkey: deriving key: %w", err)
 	}
 	ephBytes := eph.PublicKey().Bytes()
-	sealed, err := symmetric.Seal(key, plaintext, ephBytes)
+	// Seal directly into the output buffer after the ephemeral key: one
+	// allocation for the whole ciphertext instead of seal-then-copy.
+	out := make([]byte, 0, len(ephBytes)+symmetric.SealedLen(len(plaintext)))
+	out = append(out, ephBytes...)
+	out, err = symmetric.SealTo(out, key, plaintext, ephBytes)
 	if err != nil {
 		return nil, fmt.Errorf("pubkey: sealing payload: %w", err)
 	}
-	out := make([]byte, 0, len(ephBytes)+len(sealed))
-	out = append(out, ephBytes...)
-	return append(out, sealed...), nil
+	return out, nil
 }
 
 // ephPubLen is the length of an uncompressed P-256 point encoding.

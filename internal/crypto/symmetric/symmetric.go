@@ -65,21 +65,46 @@ func (k Key) Valid() bool { return len(k) == KeySize }
 // Seal encrypts and authenticates plaintext under key, binding the optional
 // associated data. The returned ciphertext embeds a random nonce prefix.
 func Seal(key Key, plaintext, associatedData []byte) ([]byte, error) {
+	return SealTo(nil, key, plaintext, associatedData)
+}
+
+// SealTo is Seal appending into dst, for hot paths that reuse a buffer or
+// build a larger message around the ciphertext: when dst has
+// SealedLen(len(plaintext)) spare capacity, SealTo performs no allocation.
+// It returns the extended slice (which may have been reallocated, like
+// append).
+func SealTo(dst []byte, key Key, plaintext, associatedData []byte) ([]byte, error) {
 	aead, err := newAEAD(key)
 	if err != nil {
 		return nil, err
 	}
-	nonce := make([]byte, nonceSize)
+	need := nonceSize + len(plaintext) + aead.Overhead()
+	if free := cap(dst) - len(dst); free < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	// Write the nonce directly into the output to avoid a separate buffer.
+	nonce := dst[len(dst) : len(dst)+nonceSize]
 	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
 		return nil, fmt.Errorf("symmetric: generating nonce: %w", err)
 	}
-	out := make([]byte, 0, nonceSize+len(plaintext)+aead.Overhead())
-	out = append(out, nonce...)
-	return aead.Seal(out, nonce, plaintext, associatedData), nil
+	dst = dst[:len(dst)+nonceSize]
+	return aead.Seal(dst, nonce, plaintext, associatedData), nil
 }
+
+// SealedLen returns the ciphertext length Seal produces for a plaintext of
+// the given length, for sizing SealTo destination buffers.
+func SealedLen(plaintextLen int) int { return plaintextLen + Overhead() }
 
 // Open authenticates and decrypts a ciphertext produced by Seal.
 func Open(key Key, ciphertext, associatedData []byte) ([]byte, error) {
+	return OpenTo(nil, key, ciphertext, associatedData)
+}
+
+// OpenTo is Open appending the plaintext into dst (allocation-free when dst
+// has enough spare capacity). It returns the extended slice.
+func OpenTo(dst []byte, key Key, ciphertext, associatedData []byte) ([]byte, error) {
 	aead, err := newAEAD(key)
 	if err != nil {
 		return nil, err
@@ -88,7 +113,7 @@ func Open(key Key, ciphertext, associatedData []byte) ([]byte, error) {
 		return nil, ErrCiphertextTooShort
 	}
 	nonce, body := ciphertext[:nonceSize], ciphertext[nonceSize:]
-	plaintext, err := aead.Open(nil, nonce, body, associatedData)
+	plaintext, err := aead.Open(dst, nonce, body, associatedData)
 	if err != nil {
 		return nil, fmt.Errorf("symmetric: opening ciphertext: %w", err)
 	}

@@ -16,9 +16,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"godosn/internal/overlay"
 	"godosn/internal/overlay/simnet"
+	"godosn/internal/parallel"
 )
 
 // ringBits is the identifier space size (2^64 ring).
@@ -45,6 +47,7 @@ type node struct {
 type DHT struct {
 	net     *simnet.Network
 	replica int
+	fanout  int
 
 	mu    sync.RWMutex
 	byID  map[uint64]*node
@@ -58,6 +61,17 @@ var _ overlay.KV = (*DHT)(nil)
 type Config struct {
 	// ReplicationFactor is the number of successor replicas per key (>= 1).
 	ReplicationFactor int
+	// FanoutWorkers bounds concurrent replica contact in Store/Lookup.
+	// 0 or 1 (the default) preserves the serial loop: replicas are
+	// contacted one after another and a Lookup stops at the first hit.
+	// With more workers all replicas are contacted concurrently: message,
+	// byte, and hop accounting is unchanged (sums), while the operation's
+	// simulated latency charges the slowest concurrent branch (max) instead
+	// of the serial sum. On a lossy network the assignment of rng-driven
+	// drops to individual messages becomes scheduling-dependent (the
+	// aggregate loss rate is unchanged), so seeded fault experiments should
+	// keep the serial default.
+	FanoutWorkers int
 }
 
 // New creates a DHT over the given nodes and builds routing state.
@@ -68,9 +82,13 @@ func New(net *simnet.Network, nodes []simnet.NodeID, cfg Config) (*DHT, error) {
 	if cfg.ReplicationFactor < 1 {
 		cfg.ReplicationFactor = 1
 	}
+	if cfg.FanoutWorkers < 1 {
+		cfg.FanoutWorkers = 1
+	}
 	d := &DHT{
 		net:     net,
 		replica: cfg.ReplicationFactor,
+		fanout:  cfg.FanoutWorkers,
 		byID:    make(map[uint64]*node, len(nodes)),
 		names:   make(map[simnet.NodeID]*node, len(nodes)),
 	}
@@ -306,23 +324,32 @@ func (d *DHT) Store(origin, key string, value []byte) (overlay.OpStats, error) {
 	d.mu.RLock()
 	replicas := d.successorsOf(root, d.replica)
 	d.mu.RUnlock()
-	stored := 0
-	var lastErr, ackLost error
-	for _, rid := range replicas {
+	// Contact the replica set on the configured fan-out (serial by default,
+	// concurrent with FanoutWorkers > 1). Each contact charges its own
+	// trace; mergeFanout folds them into tr with the latency model matching
+	// the fan-out shape.
+	outcomes, _ := parallel.Map(d.fanout, replicas, func(_ int, rid uint64) (replicaOutcome, error) {
 		d.mu.RLock()
 		rn := d.byID[rid]
 		d.mu.RUnlock()
-		_, err := d.net.RPC(tr, simnet.NodeID(origin), rn.name, simnet.Message{
+		rtr := &simnet.Trace{}
+		_, err := d.net.RPC(rtr, simnet.NodeID(origin), rn.name, simnet.Message{
 			Kind:    kindStore,
 			Payload: storeReq{Key: key, Value: value},
 			Size:    len(key) + len(value),
 		})
-		if err == nil {
+		return replicaOutcome{tr: *rtr, err: err}, nil
+	})
+	d.mergeFanout(tr, outcomes)
+	stored := 0
+	var lastErr, ackLost error
+	for _, o := range outcomes {
+		if o.err == nil {
 			stored++
 		} else {
-			lastErr = err
-			if ackLost == nil && errors.Is(err, simnet.ErrReplyLost) {
-				ackLost = err
+			lastErr = o.err
+			if ackLost == nil && errors.Is(o.err, simnet.ErrReplyLost) {
+				ackLost = o.err
 			}
 		}
 	}
@@ -354,21 +381,57 @@ func (d *DHT) Lookup(origin, key string) ([]byte, overlay.OpStats, error) {
 	d.mu.RLock()
 	replicas := d.successorsOf(root, d.replica)
 	d.mu.RUnlock()
-	var lastErr error = overlay.ErrUnavailable
-	for _, rid := range replicas {
+	if d.fanout <= 1 {
+		// Serial path: probe replicas in ring order, stop at the first hit.
+		var lastErr error = overlay.ErrUnavailable
+		for _, rid := range replicas {
+			d.mu.RLock()
+			rn := d.byID[rid]
+			d.mu.RUnlock()
+			reply, err := d.net.RPC(tr, simnet.NodeID(origin), rn.name, simnet.Message{
+				Kind:    kindFetch,
+				Payload: fetchReq{Key: key},
+				Size:    len(key),
+			})
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			resp, ok := reply.Payload.(fetchResp)
+			if !ok {
+				return nil, stats(tr), fmt.Errorf("dht: bad fetch reply")
+			}
+			if resp.Found {
+				return resp.Value, stats(tr), nil
+			}
+			lastErr = overlay.ErrNotFound
+		}
+		return nil, stats(tr), lastErr
+	}
+	// Concurrent path: fetch from the whole replica set at once and take
+	// the first hit in ring order, so the answer is independent of
+	// goroutine scheduling. Costs more messages than the serial early-exit
+	// but the operation completes in one (slowest-branch) round trip.
+	outcomes, _ := parallel.Map(d.fanout, replicas, func(_ int, rid uint64) (replicaOutcome, error) {
 		d.mu.RLock()
 		rn := d.byID[rid]
 		d.mu.RUnlock()
-		reply, err := d.net.RPC(tr, simnet.NodeID(origin), rn.name, simnet.Message{
+		rtr := &simnet.Trace{}
+		reply, err := d.net.RPC(rtr, simnet.NodeID(origin), rn.name, simnet.Message{
 			Kind:    kindFetch,
 			Payload: fetchReq{Key: key},
 			Size:    len(key),
 		})
-		if err != nil {
-			lastErr = err
+		return replicaOutcome{tr: *rtr, reply: reply, err: err}, nil
+	})
+	d.mergeFanout(tr, outcomes)
+	var lastErr error = overlay.ErrUnavailable
+	for _, o := range outcomes {
+		if o.err != nil {
+			lastErr = o.err
 			continue
 		}
-		resp, ok := reply.Payload.(fetchResp)
+		resp, ok := o.reply.Payload.(fetchResp)
 		if !ok {
 			return nil, stats(tr), fmt.Errorf("dht: bad fetch reply")
 		}
@@ -378,6 +441,31 @@ func (d *DHT) Lookup(origin, key string) ([]byte, overlay.OpStats, error) {
 		lastErr = overlay.ErrNotFound
 	}
 	return nil, stats(tr), lastErr
+}
+
+// replicaOutcome is one replica contact's result during a fan-out.
+type replicaOutcome struct {
+	tr    simnet.Trace
+	reply simnet.Message
+	err   error
+}
+
+// mergeFanout folds per-replica traces into the operation trace. Message,
+// byte, and hop counts always sum; latency sums on the serial path but
+// charges only the slowest branch when replicas were contacted concurrently.
+func (d *DHT) mergeFanout(tr *simnet.Trace, outcomes []replicaOutcome) {
+	var maxLat time.Duration
+	for _, o := range outcomes {
+		tr.Hops += o.tr.Hops
+		tr.Messages += o.tr.Messages
+		tr.Bytes += o.tr.Bytes
+		if d.fanout <= 1 {
+			tr.Latency += o.tr.Latency
+		} else if o.tr.Latency > maxLat {
+			maxLat = o.tr.Latency
+		}
+	}
+	tr.Latency += maxLat
 }
 
 func stats(tr *simnet.Trace) overlay.OpStats {

@@ -1,0 +1,125 @@
+// Package parallel provides a bounded, deterministic worker pool for the
+// fan-out loops that dominate the framework's hot paths: per-member
+// public-key wraps on group rekey (internal/social/privacy), archive
+// re-encryption on revocation, replica contact in the DHT and replication
+// manager, and independent experiments in the bench harness.
+//
+// Determinism contract (the property the seeded experiments rely on):
+//
+//   - Results are collected index-ordered: Map(w, items, f)[i] is f's result
+//     for items[i] regardless of worker count or scheduling.
+//   - On success the returned slice is byte-for-byte what the serial loop
+//     would have produced, for any pure f.
+//   - On failure the error returned is the failing call with the LOWEST
+//     index among those that ran, so the surfaced error does not depend on
+//     goroutine scheduling. Indices are claimed in increasing order, and
+//     once a failure is observed no further indices are started
+//     (first-error cancellation); already-started calls run to completion.
+//
+// workers <= 0 selects DefaultWorkers (GOMAXPROCS); workers == 1 runs the
+// plain serial loop with classic stop-at-first-error semantics.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the worker count used when the caller passes <= 0:
+// one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// resolve normalizes a requested worker count against the item count.
+func resolve(workers, items int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > items {
+		workers = items
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// indexedErr pairs a failure with the index it occurred at.
+type indexedErr struct {
+	index int
+	err   error
+}
+
+// Map applies f to every item on up to workers goroutines and returns the
+// results index-ordered. See the package comment for the determinism
+// contract. f must not mutate shared state without its own synchronization;
+// the intended use is pure computation (crypto, encoding) whose results the
+// caller merges into shared structures after Map returns.
+func Map[T, R any](workers int, items []T, f func(i int, item T) (R, error)) ([]R, error) {
+	results := make([]R, len(items))
+	if len(items) == 0 {
+		return results, nil
+	}
+	w := resolve(workers, len(items))
+	if w == 1 {
+		for i, item := range items {
+			r, err := f(i, item)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	var (
+		next  atomic.Int64 // next index to claim
+		stop  atomic.Bool  // set after the first observed failure
+		mu    sync.Mutex
+		first indexedErr = indexedErr{index: -1}
+		wg    sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		stop.Store(true)
+		mu.Lock()
+		if first.index < 0 || i < first.index {
+			first = indexedErr{index: i, err: err}
+		}
+		mu.Unlock()
+	}
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				r, err := f(i, items[i])
+				if err != nil {
+					record(i, err)
+					return
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if first.index >= 0 {
+		return nil, first.err
+	}
+	return results, nil
+}
+
+// ForEach applies f to every item on up to workers goroutines. It shares
+// Map's claiming, cancellation, and lowest-index error semantics.
+func ForEach[T any](workers int, items []T, f func(i int, item T) error) error {
+	_, err := Map(workers, items, func(i int, item T) (struct{}, error) {
+		return struct{}{}, f(i, item)
+	})
+	return err
+}

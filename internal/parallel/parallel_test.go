@@ -1,0 +1,169 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResults(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		got, err := Map(workers, items, func(i, item int) (int, error) {
+			return item * item, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d]=%d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapMatchesSerial(t *testing.T) {
+	items := make([]string, 257)
+	for i := range items {
+		items[i] = fmt.Sprintf("item-%03d", i)
+	}
+	f := func(i int, item string) (string, error) { return item + "!", nil }
+	serial, err := Map(1, items, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	concurrent, err := Map(8, items, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != concurrent[i] {
+			t.Fatalf("index %d: serial %q != concurrent %q", i, serial[i], concurrent[i])
+		}
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	if got, err := Map(8, []int(nil), func(i, v int) (int, error) { return v, nil }); err != nil || len(got) != 0 {
+		t.Fatalf("empty: got %v, %v", got, err)
+	}
+	got, err := Map(8, []int{41}, func(i, v int) (int, error) { return v + 1, nil })
+	if err != nil || len(got) != 1 || got[0] != 42 {
+		t.Fatalf("single: got %v, %v", got, err)
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	// Indices 30 and 70 both fail; the surfaced error must always be 30's,
+	// regardless of worker count or scheduling.
+	items := make([]int, 100)
+	fail := map[int]bool{30: true, 70: true}
+	for run := 0; run < 20; run++ {
+		for _, workers := range []int{2, 4, 16} {
+			_, err := Map(workers, items, func(i, item int) (int, error) {
+				if fail[i] {
+					return 0, fmt.Errorf("boom at %d", i)
+				}
+				return 0, nil
+			})
+			if err == nil || err.Error() != "boom at 30" {
+				t.Fatalf("workers=%d run=%d: got error %v, want boom at 30", workers, run, err)
+			}
+		}
+	}
+}
+
+func TestMapCancelsAfterError(t *testing.T) {
+	// After the first failure no new indices should start (beyond the small
+	// claim-race window); with a failure at index 0 and many items, far
+	// fewer than all items must run.
+	const n = 10000
+	items := make([]int, n)
+	var started atomic.Int64
+	_, err := Map(4, items, func(i, item int) (int, error) {
+		started.Add(1)
+		if i == 0 {
+			return 0, errors.New("immediate failure")
+		}
+		return 0, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if s := started.Load(); s >= n {
+		t.Fatalf("cancellation did not stop the pool: %d of %d items ran", s, n)
+	}
+}
+
+func TestForEachPropagatesError(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	err := ForEach(4, []int{0, 1, 2, 3}, func(i, item int) error {
+		if i == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want sentinel", err)
+	}
+}
+
+// TestMapRaceHammer drives many concurrent Map invocations, each with its
+// own error/cancel churn, to give the race detector surface area over the
+// claim counter, stop flag, and error recording.
+func TestMapRaceHammer(t *testing.T) {
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		g := g
+		go func() {
+			defer func() { done <- struct{}{} }()
+			items := make([]int, 200)
+			for run := 0; run < 25; run++ {
+				failAt := (g*31 + run*7) % len(items)
+				wantErr := run%2 == 0
+				var counter atomic.Int64
+				got, err := Map(3+g%4, items, func(i, item int) (int, error) {
+					counter.Add(1)
+					if wantErr && i >= failAt {
+						return 0, fmt.Errorf("fail %d", i)
+					}
+					return i, nil
+				})
+				if wantErr {
+					if err == nil || err.Error() != fmt.Sprintf("fail %d", failAt) {
+						panic(fmt.Sprintf("goroutine %d run %d: got %v, want fail %d", g, run, err, failAt))
+					}
+				} else {
+					if err != nil {
+						panic(err)
+					}
+					for i, v := range got {
+						if v != i {
+							panic(fmt.Sprintf("goroutine %d: got[%d]=%d", g, i, v))
+						}
+					}
+				}
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if w := resolve(0, 100); w != DefaultWorkers() && w != 100 {
+		t.Fatalf("resolve(0,100)=%d", w)
+	}
+	if w := resolve(8, 3); w != 3 {
+		t.Fatalf("resolve(8,3)=%d, want 3", w)
+	}
+	if w := resolve(-1, 0); w != 1 {
+		t.Fatalf("resolve(-1,0)=%d, want 1", w)
+	}
+}

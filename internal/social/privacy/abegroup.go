@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"godosn/internal/crypto/abe"
+	"godosn/internal/parallel"
 	"godosn/internal/social/identity"
 )
 
@@ -32,6 +33,9 @@ type ABEGroup struct {
 
 	archive    []Envelope
 	plaintexts [][]byte
+	// workers bounds the rekey/re-encryption fan-out on Remove (0 = all
+	// CPUs, 1 = serial); see SetWorkers.
+	workers int
 }
 
 var _ Group = (*ABEGroup)(nil)
@@ -70,6 +74,10 @@ func (g *ABEGroup) Members() []string { return g.members.sorted() }
 
 // Policy returns the group's access structure.
 func (g *ABEGroup) Policy() string { return g.policy.String() }
+
+// SetWorkers bounds the worker pool for Remove's key re-issue and archive
+// re-encryption: 0 (the default) uses all CPUs, 1 forces the serial path.
+func (g *ABEGroup) SetWorkers(n int) { g.workers = n }
 
 // Add implements Group: the member is issued a key for the full policy
 // attribute set. Use AddWithAttributes for finer-grained assignment.
@@ -118,35 +126,50 @@ func (g *ABEGroup) Remove(member string) (RevocationReport, error) {
 	for _, a := range revokedAttrs {
 		revoked[a] = true
 	}
+	var needsRekey []string
 	for _, m := range g.members.sorted() {
-		needsRekey := false
 		for _, a := range g.attrs[m] {
 			if revoked[a] {
-				needsRekey = true
+				needsRekey = append(needsRekey, m)
 				break
 			}
 		}
-		if !needsRekey {
-			continue
-		}
+	}
+	// The authority is safe for concurrent use, so re-issue the affected
+	// members' keys in parallel and merge on this goroutine.
+	keys, err := parallel.Map(g.workers, needsRekey, func(_ int, m string) (*abe.UserKey, error) {
 		key, err := g.authority.IssueKey(g.attrs[m])
 		if err != nil {
-			return report, fmt.Errorf("privacy: re-issuing key for %q: %w", m, err)
+			return nil, fmt.Errorf("privacy: re-issuing key for %q: %w", m, err)
 		}
-		g.keys[m] = key
-		report.RekeyedMembers++
+		return key, nil
+	})
+	if err != nil {
+		return report, err
 	}
-	// Re-encrypt the archive under the new parameters.
+	for i, m := range needsRekey {
+		g.keys[m] = keys[i]
+	}
+	report.RekeyedMembers = len(needsRekey)
+	// Re-encrypt the archive under the new parameters — independent ABE
+	// encryptions over a shared read-only snapshot, the O(archive) cost the
+	// paper calls "an extra overhead".
 	params := g.authority.PublicParams()
-	for i, pt := range g.plaintexts {
+	cts, err := parallel.Map(g.workers, g.plaintexts, func(_ int, pt []byte) (*abe.Ciphertext, error) {
 		ct, err := abe.Encrypt(params, g.policy, pt)
 		if err != nil {
-			return report, fmt.Errorf("privacy: re-encrypting archive: %w", err)
+			return nil, fmt.Errorf("privacy: re-encrypting archive: %w", err)
 		}
-		g.archive[i] = g.wrap(ct)
-		report.ReencryptedEnvelopes++
-		report.PublicKeyOps += len(g.policy.Attributes())
+		return ct, nil
+	})
+	if err != nil {
+		return report, err
 	}
+	for i, ct := range cts {
+		g.archive[i] = g.wrap(ct)
+	}
+	report.ReencryptedEnvelopes = len(cts)
+	report.PublicKeyOps += len(cts) * len(g.policy.Attributes())
 	return report, nil
 }
 

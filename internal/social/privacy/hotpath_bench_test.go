@@ -1,0 +1,172 @@
+package privacy
+
+// Microbenchmarks for the hot paths the worker pool (internal/parallel)
+// fans out: per-scheme Encrypt, Add, and Remove. Remove is reported at
+// workers=1 (serial) and workers=0 (all CPUs) so the pool's effect is
+// visible directly in `make bench-hot` output.
+
+import (
+	"fmt"
+	"testing"
+
+	"godosn/internal/crypto/abe"
+	"godosn/internal/crypto/ibe"
+	"godosn/internal/crypto/pubkey"
+	"godosn/internal/social/identity"
+)
+
+const (
+	benchMembers = 16
+	benchArchive = 16
+)
+
+var benchPlaintext = []byte("the quick brown fox jumps over the lazy dog, repeatedly")
+
+type benchEnv struct {
+	registry *identity.Registry
+	names    []string
+}
+
+func newBenchEnv(b *testing.B) *benchEnv {
+	b.Helper()
+	env := &benchEnv{registry: identity.NewRegistry()}
+	for i := 0; i < benchMembers+1; i++ {
+		name := fmt.Sprintf("user-%04d", i)
+		u, err := identity.NewUser(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := env.registry.Register(u); err != nil {
+			b.Fatal(err)
+		}
+		env.names = append(env.names, name)
+	}
+	return env
+}
+
+// buildGroup constructs one scheme's group with benchMembers members.
+func (env *benchEnv) buildGroup(b *testing.B, scheme string, workers int) Group {
+	b.Helper()
+	var g Group
+	switch scheme {
+	case "substitution":
+		sg, err := NewSubstitutionGroup("bench", NewDictionary(), [][]byte{[]byte("John Doe"), []byte("Jane Roe")})
+		if err != nil {
+			b.Fatal(err)
+		}
+		g = sg
+	case "symmetric":
+		sg, err := NewSymmetricGroup("bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		g = sg
+	case "public-key":
+		pg := NewPublicKeyGroup("bench", env.registry)
+		pg.SetWorkers(workers)
+		g = pg
+	case "abe":
+		auth, err := abe.NewAuthority()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ag, err := NewABEGroup("bench", auth, "(member)")
+		if err != nil {
+			b.Fatal(err)
+		}
+		ag.SetWorkers(workers)
+		g = ag
+	case "ibbe":
+		pkg, err := ibe.NewPKG()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ig := NewIBBEGroup("bench", pkg)
+		ig.SetWorkers(workers)
+		g = ig
+	case "hybrid":
+		owner, err := pubkey.NewSigningKeyPair()
+		if err != nil {
+			b.Fatal(err)
+		}
+		hg, err := NewHybridGroup("bench", env.registry, owner)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hg.SetWorkers(workers)
+		g = hg
+	default:
+		b.Fatalf("unknown scheme %s", scheme)
+	}
+	for i := 0; i < benchMembers; i++ {
+		if err := g.Add(env.names[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return g
+}
+
+var benchSchemes = []string{"substitution", "symmetric", "public-key", "abe", "ibbe", "hybrid"}
+
+func BenchmarkGroupEncrypt(b *testing.B) {
+	for _, scheme := range benchSchemes {
+		b.Run(scheme, func(b *testing.B) {
+			env := newBenchEnv(b)
+			g := env.buildGroup(b, scheme, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.Encrypt(benchPlaintext); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGroupAdd(b *testing.B) {
+	for _, scheme := range benchSchemes {
+		b.Run(scheme, func(b *testing.B) {
+			env := newBenchEnv(b)
+			g := env.buildGroup(b, scheme, 0)
+			spare := env.names[benchMembers]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := g.Add(spare); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if _, err := g.Remove(spare); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+func BenchmarkGroupRemove(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		label := "serial"
+		if workers == 0 {
+			label = "pool"
+		}
+		for _, scheme := range benchSchemes {
+			b.Run(scheme+"/"+label, func(b *testing.B) {
+				env := newBenchEnv(b)
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					g := env.buildGroup(b, scheme, workers)
+					for p := 0; p < benchArchive; p++ {
+						if _, err := g.Encrypt(benchPlaintext); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.StartTimer()
+					if _, err := g.Remove(env.names[0]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

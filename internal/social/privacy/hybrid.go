@@ -6,6 +6,7 @@ import (
 	"godosn/internal/crypto/pad"
 	"godosn/internal/crypto/pubkey"
 	"godosn/internal/crypto/symmetric"
+	"godosn/internal/parallel"
 	"godosn/internal/social/identity"
 )
 
@@ -27,6 +28,9 @@ type HybridGroup struct {
 	epoch    uint64
 	registry *identity.Registry
 	owner    *pubkey.SigningKeyPair
+	// workers bounds the fan-out on rekey/re-encryption (0 = all CPUs,
+	// 1 = serial); see SetWorkers.
+	workers int
 
 	dataKey symmetric.Key
 	// keyWraps holds the per-member wrap of the current epoch's data key.
@@ -75,6 +79,12 @@ func (g *HybridGroup) Members() []string { return g.members.sorted() }
 
 // Epoch returns the current key epoch.
 func (g *HybridGroup) Epoch() uint64 { return g.epoch }
+
+// SetWorkers bounds the worker pool used for the per-member key wraps and
+// archive re-encryption on Remove: 0 (the default) uses all CPUs, 1 forces
+// the serial path. Outputs are identical at any setting (parallel.Map
+// collects index-ordered).
+func (g *HybridGroup) SetWorkers(n int) { g.workers = n }
 
 func (g *HybridGroup) signACL() {
 	root := g.acl.Root()
@@ -126,21 +136,35 @@ func (g *HybridGroup) Remove(member string) (RevocationReport, error) {
 	g.dataKey = newKey
 	g.epoch++
 	report := RevocationReport{}
-	for _, m := range g.members.sorted() {
-		if err := g.wrapFor(m); err != nil {
-			return report, err
-		}
-		report.RekeyedMembers++
-		report.PublicKeyOps++
-	}
-	for i, pt := range g.plaintexts {
-		env, err := g.seal(pt)
+	// Public-key phase: the per-member wraps are independent ECIES
+	// operations — the dominant O(members) cost — so fan them out. Group
+	// state is only mutated after Map returns, on this goroutine.
+	members := g.members.sorted()
+	wraps, err := parallel.Map(g.workers, members, func(_ int, m string) ([]byte, error) {
+		wrap, err := g.registry.EncryptTo(m, g.dataKey)
 		if err != nil {
-			return report, err
+			return nil, fmt.Errorf("privacy: wrapping data key for %q: %w", m, err)
 		}
-		g.archive[i] = env
-		report.ReencryptedEnvelopes++
+		return wrap, nil
+	})
+	if err != nil {
+		return report, err
 	}
+	for i, m := range members {
+		g.keyWraps[m] = wraps[i]
+	}
+	report.RekeyedMembers = len(members)
+	report.PublicKeyOps = len(members)
+	// Symmetric phase: archive envelopes re-seal independently under the
+	// new data key.
+	envs, err := parallel.Map(g.workers, g.plaintexts, func(_ int, pt []byte) (Envelope, error) {
+		return g.seal(pt)
+	})
+	if err != nil {
+		return report, err
+	}
+	copy(g.archive, envs)
+	report.ReencryptedEnvelopes = len(envs)
 	return report, nil
 }
 

@@ -20,6 +20,9 @@ type IBBEGroup struct {
 	// by the member after authenticating to the PKG).
 	keys    map[string]*ibe.IdentityKey
 	archive []Envelope
+	// workers bounds the per-recipient wrap fan-out in Encrypt (0 = all
+	// CPUs, 1 = serial); see SetWorkers.
+	workers int
 }
 
 var _ Group = (*IBBEGroup)(nil)
@@ -42,6 +45,10 @@ func (g *IBBEGroup) Name() string { return g.name }
 
 // Members implements Group.
 func (g *IBBEGroup) Members() []string { return g.members.sorted() }
+
+// SetWorkers bounds the worker pool for Encrypt's per-recipient broadcast
+// wraps: 0 (the default) uses all CPUs, 1 forces the serial path.
+func (g *IBBEGroup) SetWorkers(n int) { g.workers = n }
 
 // Add implements Group: any string identity joins without pre-registered
 // key material — the PKG extracts the member's key on demand.
@@ -73,7 +80,7 @@ func (g *IBBEGroup) Encrypt(plaintext []byte) (Envelope, error) {
 	if g.members.len() == 0 {
 		return Envelope{}, ErrNoMembers
 	}
-	b, err := g.pkg.EncryptBroadcast(g.members.sorted(), plaintext)
+	b, err := g.pkg.EncryptBroadcastWorkers(g.members.sorted(), plaintext, g.workers)
 	if err != nil {
 		return Envelope{}, fmt.Errorf("privacy: IBBE broadcast for %q: %w", g.name, err)
 	}

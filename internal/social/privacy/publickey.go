@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"godosn/internal/crypto/symmetric"
+	"godosn/internal/parallel"
 	"godosn/internal/social/identity"
 )
 
@@ -22,6 +23,9 @@ type PublicKeyGroup struct {
 	registry *identity.Registry
 	members  memberSet
 	archive  []Envelope
+	// workers bounds the per-member wrap fan-out in Encrypt (0 = all
+	// CPUs, 1 = serial); see SetWorkers.
+	workers int
 }
 
 var _ Group = (*PublicKeyGroup)(nil)
@@ -46,6 +50,10 @@ func (g *PublicKeyGroup) Name() string { return g.name }
 
 // Members implements Group.
 func (g *PublicKeyGroup) Members() []string { return g.members.sorted() }
+
+// SetWorkers bounds the worker pool for Encrypt's per-member session-key
+// wraps: 0 (the default) uses all CPUs, 1 forces the serial path.
+func (g *PublicKeyGroup) SetWorkers(n int) { g.workers = n }
 
 // Add implements Group. The member must be resolvable in the registry.
 func (g *PublicKeyGroup) Add(member string) error {
@@ -74,15 +82,24 @@ func (g *PublicKeyGroup) Encrypt(plaintext []byte) (Envelope, error) {
 	if err != nil {
 		return Envelope{}, fmt.Errorf("privacy: session key for %q: %w", g.name, err)
 	}
-	p := pkPayload{wraps: make(map[string][]byte, g.members.len())}
-	size := 0
-	for _, member := range g.members.sorted() {
+	// The per-member wraps are the O(members) cost of this scheme; each is
+	// an independent ECIES operation, so fan them out and merge after.
+	members := g.members.sorted()
+	wraps, err := parallel.Map(g.workers, members, func(_ int, member string) ([]byte, error) {
 		wrap, err := g.registry.EncryptTo(member, session)
 		if err != nil {
-			return Envelope{}, fmt.Errorf("privacy: wrapping for %q: %w", member, err)
+			return nil, fmt.Errorf("privacy: wrapping for %q: %w", member, err)
 		}
-		p.wraps[member] = wrap
-		size += len(member) + len(wrap)
+		return wrap, nil
+	})
+	if err != nil {
+		return Envelope{}, err
+	}
+	p := pkPayload{wraps: make(map[string][]byte, len(members))}
+	size := 0
+	for i, member := range members {
+		p.wraps[member] = wraps[i]
+		size += len(member) + len(wraps[i])
 	}
 	body, err := symmetric.Seal(session, plaintext, []byte(g.name))
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"godosn/internal/parallel"
 	"godosn/internal/storage/store"
 )
 
@@ -75,6 +76,9 @@ type Manager struct {
 	order    []string // deterministic iteration order
 	friends  map[string][]string
 	replicas map[store.Ref][]string
+	// workers bounds the replica-write fan-out in Place (0 = all CPUs,
+	// 1 = serial); see SetWorkers.
+	workers int
 }
 
 // NewManager creates a manager with a deterministic RNG seed.
@@ -86,6 +90,12 @@ func NewManager(seed int64) *Manager {
 		replicas: make(map[store.Ref][]string),
 	}
 }
+
+// SetWorkers bounds the worker pool used when Place writes an object to its
+// k chosen replicas: 0 (the default) uses all CPUs, 1 forces the serial
+// loop. Replica choice happens before the fan-out on the caller's RNG, so
+// placement stays deterministic at any setting.
+func (m *Manager) SetWorkers(n int) { m.workers = n }
 
 // AddPeer registers a peer (online, non-proxy by default).
 func (m *Manager) AddPeer(name string) *Peer {
@@ -143,10 +153,13 @@ func (m *Manager) Place(owner string, obj store.Object, k int, policy PlacementP
 	m.rng.Shuffle(len(candidates), func(i, j int) { candidates[i], candidates[j] = candidates[j], candidates[i] })
 	chosen := candidates[:k]
 	sort.Strings(chosen)
-	for _, name := range chosen {
-		if err := m.peers[name].Store.Put(obj); err != nil {
-			return nil, err
-		}
+	// Fan the replica writes out: each Put verifies the object's content
+	// address (a hash over the payload) against an independent store, so
+	// the k writes parallelize cleanly.
+	if err := parallel.ForEach(m.workers, chosen, func(_ int, name string) error {
+		return m.peers[name].Store.Put(obj)
+	}); err != nil {
+		return nil, err
 	}
 	set := append([]string{owner}, chosen...)
 	m.replicas[obj.Ref] = set

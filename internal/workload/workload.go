@@ -34,6 +34,17 @@ func NewGraph(n int) *Graph {
 	return &Graph{N: n, Adj: make([][]int, n)}
 }
 
+// preallocAdj sizes every adjacency slice for an expected degree, so edge
+// insertion during generation does not repeatedly grow-and-copy.
+func (g *Graph) preallocAdj(degree int) {
+	if degree < 1 {
+		return
+	}
+	for u := range g.Adj {
+		g.Adj[u] = make([]int, 0, degree)
+	}
+}
+
 // AddEdge inserts an undirected friendship (idempotent).
 func (g *Graph) AddEdge(a, b int) {
 	if a == b || a < 0 || b < 0 || a >= g.N || b >= g.N {
@@ -92,6 +103,7 @@ func WattsStrogatz(n, k int, beta float64, seed int64) (*Graph, error) {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	g := NewGraph(n)
+	g.preallocAdj(k + 2) // lattice degree k, plus slack for rewired edges
 	// Ring lattice.
 	for u := 0; u < n; u++ {
 		for j := 1; j <= k/2; j++ {
@@ -142,14 +154,16 @@ func BarabasiAlbert(n, m int, seed int64) (*Graph, error) {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	g := NewGraph(n)
+	g.preallocAdj(2 * m) // new nodes attach with degree m; hubs grow past it
 	// Seed clique of m+1 nodes.
 	for a := 0; a <= m; a++ {
 		for b := a + 1; b <= m; b++ {
 			g.AddEdge(a, b)
 		}
 	}
-	// Degree-weighted endpoint pool.
-	var pool []int
+	// Degree-weighted endpoint pool, sized for its final length: two slots
+	// per edge — the clique's m(m+1) plus 2m per attached node.
+	pool := make([]int, 0, m*(m+1)+2*m*(n-m-1))
 	for u := 0; u <= m; u++ {
 		for i := 0; i < g.Degree(u); i++ {
 			pool = append(pool, u)
