@@ -2,14 +2,23 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test race bench bench-quick bench-hot experiments experiments-quick json-smoke examples clean
+.PHONY: all ci build vet test race bench bench-quick bench-hot experiments experiments-quick json-smoke chaos-soak examples clean
 
 all: build vet test
 
 # Full verification gate: compile, vet, tests, the race detector over the
 # concurrent paths (worker pool, simnet RPC, resilience decorator, breaker),
-# then a smoke check that dosnbench -json emits a valid report.
-ci: build vet test race json-smoke
+# a smoke check that dosnbench -json emits a valid report, and a short-mode
+# chaos soak proving corruption containment under loss + churn + Byzantine
+# replies (E19's invariants fail the run if the protected arm ever surfaces
+# a corrupted read or loses availability).
+ci: build vet test race json-smoke chaos-soak
+
+# Short-mode chaos soak: E19 quick arm under combined loss, churn, and
+# Byzantine reply corruption. The experiment enforces its own invariants
+# and exits non-zero if the integrity layer ever lets corruption through.
+chaos-soak:
+	$(GO) run ./cmd/dosnbench -quick -exp e19 >/dev/null
 
 # Write a quick machine-readable report and re-parse it with the strict
 # validator; fails the gate if the JSON schema ever drifts or breaks.
@@ -42,7 +51,7 @@ bench-hot:
 	$(GO) test -bench=. -benchmem -run='^$$' \
 		./internal/social/privacy/ ./internal/overlay/dht/ ./internal/crypto/symmetric/
 
-# Regenerate the E1–E18 experiment tables (EXPERIMENTS.md).
+# Regenerate the E1–E19 experiment tables (EXPERIMENTS.md).
 experiments:
 	$(GO) run ./cmd/dosnbench
 

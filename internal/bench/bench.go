@@ -1,5 +1,5 @@
 // Package bench is the experiment harness: it regenerates, as printed
-// tables, every experiment in DESIGN.md's per-experiment index (E1–E18).
+// tables, every experiment in DESIGN.md's per-experiment index (E1–E19).
 //
 // The paper is a survey with one classification table and no measurements;
 // each experiment here quantifies one slice of that classification or one
@@ -129,6 +129,7 @@ func All() []Experiment {
 		{ID: "e16", Description: "replica placement policy ablation (random/friends/proxies)", Run: E16PlacementAblation},
 		{ID: "e17", Description: "resilience layer: availability and cost under loss + churn", Run: E17Resilience},
 		{ID: "e18", Description: "parallel execution: serial vs worker-pool revocation and replica writes", Run: E18Parallelism},
+		{ID: "e19", Description: "integrity scrubber: corruption containment under loss + churn + Byzantine replies", Run: E19ChaosScrub},
 	}
 }
 

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestE19ChaosSoakInvariants runs the chaos soak in quick mode and checks
+// the headline claims the experiment exists to demonstrate. E19ChaosScrub
+// already fails hard on its own invariants (protected arm surfaces zero
+// corrupted reads at >=99% of baseline success; the bare arm provably
+// surfaces some); this test pins the metric surface the -json consumers
+// read, and that two runs with the same seed are identical.
+func TestE19ChaosSoakInvariants(t *testing.T) {
+	tb, err := E19ChaosScrub(true)
+	if err != nil {
+		t.Fatalf("E19: %v", err)
+	}
+	m := map[string]float64{}
+	for _, mt := range tb.Metrics {
+		m[mt.Name] = mt.Value
+	}
+	for _, name := range []string{
+		"e19_protected_ok", "e19_bare_ok",
+		"e19_protected_surfaced", "e19_bare_surfaced",
+		"e19_detected", "e19_repaired", "e19_quarantined",
+		"e19_protected_msg_per_op", "e19_bare_msg_per_op",
+	} {
+		if _, ok := m[name]; !ok {
+			t.Fatalf("metric %s missing from E19 output", name)
+		}
+	}
+	if m["e19_protected_surfaced"] != 0 {
+		t.Fatalf("protected arm surfaced %v corrupted reads", m["e19_protected_surfaced"])
+	}
+	if m["e19_bare_surfaced"] == 0 {
+		t.Fatal("bare arm surfaced nothing; the injected corruption is not load-bearing")
+	}
+	if m["e19_detected"] == 0 || m["e19_repaired"] == 0 {
+		t.Fatalf("detected=%v repaired=%v; scrubber did no visible work", m["e19_detected"], m["e19_repaired"])
+	}
+	if m["e19_protected_ok"] < 0.99*m["e19_bare_ok"] {
+		t.Fatalf("integrity discipline cost availability: %v vs %v", m["e19_protected_ok"], m["e19_bare_ok"])
+	}
+
+	// Same seed, same everything: rows and metrics byte-identical.
+	tb2, err := E19ChaosScrub(true)
+	if err != nil {
+		t.Fatalf("E19 rerun: %v", err)
+	}
+	if !reflect.DeepEqual(tb.Rows, tb2.Rows) {
+		t.Fatalf("rows differ across identical runs:\n%v\n%v", tb.Rows, tb2.Rows)
+	}
+	if !reflect.DeepEqual(tb.Metrics, tb2.Metrics) {
+		t.Fatalf("metrics differ across identical runs:\n%v\n%v", tb.Metrics, tb2.Metrics)
+	}
+}

@@ -1,0 +1,142 @@
+package dht
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"godosn/internal/overlay/simnet"
+)
+
+// Regression tests for byte-slice aliasing on the read and membership
+// paths: a caller mutating bytes it handed in or got back must never reach
+// a node's stored state, and no two nodes' stores may share backing arrays
+// (a handoff that aliased them would let one node's corruption silently
+// become another's).
+
+func aliasDHT(t *testing.T, peers int) (*DHT, []simnet.NodeID, *simnet.Network) {
+	t.Helper()
+	net := simnet.New(simnet.Config{Seed: 55})
+	names := make([]simnet.NodeID, peers)
+	for i := range names {
+		names[i] = simnet.NodeID(fmt.Sprintf("node-%d", i))
+	}
+	d, err := New(net, names, Config{ReplicationFactor: 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return d, names, net
+}
+
+func TestStoreDetachesCallerSlice(t *testing.T) {
+	d, names, _ := aliasDHT(t, 12)
+	client := string(names[0])
+	buf := []byte("caller-owned buffer")
+	orig := append([]byte(nil), buf...)
+	if _, err := d.Store(client, "k", buf); err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	buf[0] ^= 0xFF
+	v, _, err := d.Lookup(client, "k")
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if !bytes.Equal(v, orig) {
+		t.Fatal("mutating the Store slice corrupted the stored value")
+	}
+}
+
+func TestLookupAndLookupFromReturnDetachedBytes(t *testing.T) {
+	d, names, _ := aliasDHT(t, 12)
+	client := string(names[0])
+	orig := []byte("stored value bytes")
+	if _, err := d.Store(client, "k", append([]byte(nil), orig...)); err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	v, _, err := d.Lookup(client, "k")
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	v[0] ^= 0xFF
+	if v2, _, err := d.Lookup(client, "k"); err != nil || !bytes.Equal(v2, orig) {
+		t.Fatalf("mutating a Lookup result corrupted a re-read: %v %q", err, v2)
+	}
+	replicas, _, err := d.ReplicasFor(client, "k")
+	if err != nil {
+		t.Fatalf("ReplicasFor: %v", err)
+	}
+	for _, r := range replicas {
+		rv, _, err := d.LookupFrom(client, "k", r)
+		if err != nil {
+			t.Fatalf("LookupFrom(%s): %v", r, err)
+		}
+		rv[1] ^= 0xFF
+	}
+	for _, r := range replicas {
+		rv, _, err := d.LookupFrom(client, "k", r)
+		if err != nil || !bytes.Equal(rv, orig) {
+			t.Fatalf("mutating a LookupFrom result corrupted replica %s: %v %q", r, err, rv)
+		}
+	}
+}
+
+func TestMembershipHandoffNeverAliasesStores(t *testing.T) {
+	d, names, _ := aliasDHT(t, 12)
+	client := string(names[0])
+	keys := make([]string, 40)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%d", i)
+		if _, err := d.Store(client, keys[i], []byte("replicated value")); err != nil {
+			t.Fatalf("Store: %v", err)
+		}
+	}
+	// Join and Leave move key ranges between nodes — the handoffs most at
+	// risk of sharing backing arrays.
+	if err := d.Join("joiner"); err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	if err := d.Leave(names[5]); err != nil {
+		t.Fatalf("Leave: %v", err)
+	}
+	// Corrupt every copy each node holds, one node at a time, and verify
+	// no other node's copy moves with it: stores must be fully independent.
+	all := append([]string{"joiner"}, func() []string {
+		out := make([]string, 0, len(names))
+		for _, n := range names {
+			if n != names[5] {
+				out = append(out, string(n))
+			}
+		}
+		return out
+	}()...)
+	for _, key := range keys {
+		var holders []string
+		for _, n := range all {
+			if d.Holds(n, key) {
+				holders = append(holders, n)
+			}
+		}
+		if len(holders) < 2 {
+			continue
+		}
+		victim := holders[0]
+		d.CorruptStored(victim, key, func(b []byte) []byte {
+			b[0] ^= 0xFF
+			return b
+		})
+		for _, other := range holders[1:] {
+			v, _, err := d.LookupFrom(client, key, other)
+			if err != nil {
+				t.Fatalf("LookupFrom(%s, %s): %v", other, key, err)
+			}
+			if !bytes.Equal(v, []byte("replicated value")) {
+				t.Fatalf("corrupting %s's copy of %s bled into %s's copy — stores share backing arrays", victim, key, other)
+			}
+		}
+		// Heal the victim back so later keys see clean state.
+		d.CorruptStored(victim, key, func(b []byte) []byte {
+			b[0] ^= 0xFF
+			return b
+		})
+	}
+}

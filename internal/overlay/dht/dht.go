@@ -49,10 +49,11 @@ type DHT struct {
 	replica int
 	fanout  int
 
-	mu    sync.RWMutex
-	byID  map[uint64]*node
-	ring  []uint64 // sorted node ids
-	names map[simnet.NodeID]*node
+	mu         sync.RWMutex
+	byID       map[uint64]*node
+	ring       []uint64 // sorted node ids
+	names      map[simnet.NodeID]*node
+	allowPlace func(node string) bool // placement veto (integrity.go); nil = canonical
 }
 
 var _ overlay.KV = (*DHT)(nil)
@@ -248,6 +249,13 @@ func (d *DHT) handlerFor(n *node) simnet.HandlerFunc {
 				resp.Value = append([]byte(nil), v...)
 			}
 			return simnet.Message{Kind: msg.Kind, Payload: resp, Size: 8 + len(resp.Value)}, nil
+
+		case kindDigest:
+			req, ok := msg.Payload.(digestReq)
+			if !ok {
+				return simnet.Message{}, fmt.Errorf("dht: bad payload for %s", msg.Kind)
+			}
+			return simnet.Message{Kind: msg.Kind, Payload: digestResp{Root: localDigest(n, req.Keys)}, Size: 32}, nil
 		}
 		return simnet.Message{}, fmt.Errorf("dht: unknown message kind %q", msg.Kind)
 	}
@@ -322,7 +330,7 @@ func (d *DHT) Store(origin, key string, value []byte) (overlay.OpStats, error) {
 		return stats(tr), err
 	}
 	d.mu.RLock()
-	replicas := d.successorsOf(root, d.replica)
+	replicas := d.placementOf(root, d.replica)
 	d.mu.RUnlock()
 	// Contact the replica set on the configured fan-out (serial by default,
 	// concurrent with FanoutWorkers > 1). Each contact charges its own

@@ -48,7 +48,9 @@ func (d *DHT) Join(name simnet.NodeID) error {
 		for key, value := range succ.data {
 			if inInterval(hashID(key), pred, id) {
 				n.mu.Lock()
-				n.data[key] = value
+				// Copy on handoff: the two nodes' stores must never alias
+				// the same backing array.
+				n.data[key] = append([]byte(nil), value...)
 				n.mu.Unlock()
 				delete(succ.data, key)
 			}
@@ -83,7 +85,7 @@ func (d *DHT) Leave(name simnet.NodeID) error {
 		n.mu.Lock()
 		succ.mu.Lock()
 		for key, value := range n.data {
-			succ.data[key] = value
+			succ.data[key] = append([]byte(nil), value...)
 		}
 		succ.mu.Unlock()
 		n.data = make(map[string][]byte)

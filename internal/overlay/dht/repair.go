@@ -48,9 +48,12 @@ func (d *DHT) ReplicasFor(origin, key string) ([]string, overlay.OpStats, error)
 	}
 	// Extend past the canonical set until d.replica online candidates are
 	// found (or the ring is exhausted), mirroring where Heal re-replicates.
+	// Placement-vetoed (quarantined) nodes stay in the returned list — they
+	// may hold older copies — but do not count toward the online target, so
+	// the extension reaches the nodes placement actually chose around them.
 	online := 0
 	for _, name := range names {
-		if d.net.Online(simnet.NodeID(name)) {
+		if d.net.Online(simnet.NodeID(name)) && d.placementAllowed(simnet.NodeID(name)) {
 			online++
 		}
 	}
@@ -68,7 +71,9 @@ func (d *DHT) ReplicasFor(origin, key string) ([]string, overlay.OpStats, error)
 		n := d.byID[rid]
 		if d.net.Online(n.name) {
 			names = append(names, string(n.name))
-			online++
+			if d.placementAllowed(n.name) {
+				online++
+			}
 		}
 	}
 	return names, stats(tr), nil

@@ -1,0 +1,76 @@
+package overlay
+
+import "godosn/internal/crypto/merkle"
+
+// This file defines the Merkle anti-entropy contract between overlays and
+// the integrity scrubber (internal/resilience/scrub): a replica summarizes
+// its local copies of a key set as one Merkle root, so a scrubber can
+// compare whole replica sets in O(1) reply bytes and fetch full values only
+// for key sets whose digests diverge. Both sides must compute leaves
+// identically, which is why the leaf formats live here, in the shared
+// contract package.
+
+// copyPresent and copyAbsent domain-separate a held copy from a missing one,
+// so "node lost the key" and "node holds an empty value" digest differently.
+const (
+	copyPresent = "godosn/scrub/copy-v1\x00"
+	copyAbsent  = "godosn/scrub/absent-v1\x00"
+)
+
+// CopyLeaf hashes one replica's copy of key for digest comparison. present
+// distinguishes a held (possibly empty) value from a missing key; the key is
+// bound into the leaf so a value cannot stand in for another key's copy.
+func CopyLeaf(key string, value []byte, present bool) [32]byte {
+	if !present {
+		return merkle.LeafHash([]byte(copyAbsent + key))
+	}
+	buf := make([]byte, 0, len(copyPresent)+len(key)+1+len(value))
+	buf = append(buf, copyPresent...)
+	buf = append(buf, key...)
+	buf = append(buf, 0)
+	buf = append(buf, value...)
+	return merkle.LeafHash(buf)
+}
+
+// DigestOf folds copy leaves, in caller-fixed key order, into one Merkle
+// root. Order matters: both sides must walk the same sorted key list.
+func DigestOf(leaves [][32]byte) [32]byte {
+	t := &merkle.Tree{}
+	for _, l := range leaves {
+		t.AppendLeafHash(l)
+	}
+	return t.Root()
+}
+
+// RepairKV is implemented by overlays that can write a value directly onto
+// one named replica, bypassing placement. The integrity scrubber uses it to
+// push a verified canonical copy over a divergent or missing one.
+type RepairKV interface {
+	ReplicaKV
+	// StoreTo writes key=value onto the named replica only.
+	StoreTo(origin string, key string, value []byte, replica string) (OpStats, error)
+}
+
+// DigestKV is implemented by overlays whose replicas can summarize their
+// local copies of a key set as a Merkle root (CopyLeaf/DigestOf). Digest
+// replies travel over the same faulty network as everything else: a
+// corrupted or lying digest causes a drill-down to full value comparison,
+// never a false "clean".
+type DigestKV interface {
+	ReplicaKV
+	// DigestFrom asks one named replica for DigestOf over its local copies
+	// of keys, walked in the given order.
+	DigestFrom(origin string, keys []string, replica string) ([32]byte, OpStats, error)
+}
+
+// PlacementFilterable is implemented by overlays whose replica placement can
+// exclude nodes vetoed by a health layer. The resilience layer wires its
+// circuit breaker in here so quarantined (persistently corrupting) nodes
+// stop receiving new copies; reads are unaffected (the breaker already
+// skips them there).
+type PlacementFilterable interface {
+	// SetPlacementFilter installs the veto (nil restores unfiltered
+	// placement). allow must be safe for concurrent use and cheap: it is
+	// consulted on every placement decision.
+	SetPlacementFilter(allow func(node string) bool)
+}

@@ -106,12 +106,14 @@ type Network struct {
 	mu       sync.Mutex
 	cfg      Config
 	rng      *rand.Rand
-	nodes    map[NodeID]Handler
-	offline  map[NodeID]bool
-	partOf   map[NodeID]int // partition group; 0 = default
-	onCrash  map[NodeID]func()
-	totals   Trace
-	rpcCount int
+	nodes     map[NodeID]Handler
+	offline   map[NodeID]bool
+	partOf    map[NodeID]int // partition group; 0 = default
+	onCrash   map[NodeID]func()
+	byz       map[NodeID]*byzState // Byzantine reply corruption (byzantine.go)
+	corrupted int                  // replies corrupted since last reset
+	totals    Trace
+	rpcCount  int
 }
 
 // New creates an empty network.
@@ -241,6 +243,7 @@ func (n *Network) ResetTotals() {
 	defer n.mu.Unlock()
 	n.totals = Trace{}
 	n.rpcCount = 0
+	n.corrupted = 0
 }
 
 // RPCCount returns the number of RPC invocations since the last reset.
@@ -304,6 +307,9 @@ func (n *Network) RPC(tr *Trace, from, to NodeID, msg Message) (Message, error) 
 	if err != nil {
 		return Message{}, fmt.Errorf("simnet: rpc %s->%s %q: %w", from, to, msg.Kind, err)
 	}
+	// A Byzantine responder may silently corrupt the reply (byzantine.go);
+	// no error is produced — detection is the caller's problem.
+	reply = n.maybeCorrupt(from, to, reply)
 	// Charge the reply direction. A failure here is NOT equivalent to the
 	// request being lost: the handler has already run, so the caller must
 	// learn that the operation may have been applied.
@@ -338,9 +344,5 @@ func (n *Network) Cast(tr *Trace, from, to NodeID, msg Message) error {
 // network seed and the given label, so overlay-internal randomness stays
 // reproducible and independent of call order elsewhere.
 func (n *Network) Rand(label string) *rand.Rand {
-	var h int64 = 1125899906842597
-	for _, c := range label {
-		h = h*31 + int64(c)
-	}
-	return rand.New(rand.NewSource(n.cfg.Seed ^ h))
+	return rand.New(rand.NewSource(n.cfg.Seed ^ labelHash(label)))
 }

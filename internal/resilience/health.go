@@ -1,6 +1,9 @@
 package resilience
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
 
 // BreakerConfig parameterizes the per-node circuit breaker.
 type BreakerConfig struct {
@@ -28,9 +31,10 @@ type Breaker struct {
 }
 
 type breakerState struct {
-	fails int  // consecutive failures
-	open  bool // circuit open: node presumed down
-	skips int  // Allow refusals remaining before a probe
+	fails   int  // consecutive failures
+	open    bool // circuit open: node presumed down
+	skips   int  // Allow refusals remaining before a probe
+	tainted bool // a failure was a corruption verdict, not mere loss
 }
 
 // NewBreaker creates a breaker with the given config.
@@ -76,6 +80,7 @@ func (b *Breaker) Report(node string, ok bool) {
 		s.fails = 0
 		s.open = false
 		s.skips = 0
+		s.tainted = false
 		return
 	}
 	s.fails++
@@ -85,12 +90,71 @@ func (b *Breaker) Report(node string, ok bool) {
 	}
 }
 
+// ReportCorrupt records a corruption verdict against the node: a failure
+// that additionally taints it. A tainted node whose circuit opens is
+// quarantined — excluded from replica placement — until a successful
+// half-open probe rehabilitates it. Plain delivery failures never taint, so
+// lossy-but-honest nodes are circuit-broken (reads route around them) but
+// keep receiving copies.
+func (b *Breaker) ReportCorrupt(node string) {
+	if b.cfg.Threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	s := b.nodes[node]
+	if s == nil {
+		s = &breakerState{}
+		b.nodes[node] = s
+	}
+	s.tainted = true
+	b.mu.Unlock()
+	b.Report(node, false)
+}
+
+// Quarantined reports whether the node is both circuit-open and tainted by
+// corruption — the predicate replica placement filters on.
+func (b *Breaker) Quarantined(node string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.nodes[node]
+	return s != nil && s.open && s.tainted
+}
+
 // Open reports whether the node's circuit is currently open.
 func (b *Breaker) Open(node string) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	s := b.nodes[node]
 	return s != nil && s.open
+}
+
+// OpenNodes lists the nodes whose circuits are currently open, sorted.
+func (b *Breaker) OpenNodes() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []string
+	for name, s := range b.nodes {
+		if s.open {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// QuarantinedNodes lists the nodes currently quarantined (open + tainted),
+// sorted — the set experiments report and placement excludes.
+func (b *Breaker) QuarantinedNodes() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []string
+	for name, s := range b.nodes {
+		if s.open && s.tainted {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Reset clears all recorded health state.

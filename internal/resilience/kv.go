@@ -13,6 +13,11 @@ import (
 // ErrNoHealer reports that the wrapped overlay has no self-healing pass.
 var ErrNoHealer = errors.New("resilience: overlay does not support healing")
 
+// VerifyFunc checks bytes read for a key against an integrity discipline
+// (checksummed record, signed chain). A non-nil return condemns the read:
+// the KV treats it as a FaultCorruption and never surfaces the bytes.
+type VerifyFunc func(key string, value []byte) error
+
 // Config parameterizes the resilient KV decorator.
 type Config struct {
 	// Policy is the retry policy for Store and Lookup.
@@ -25,12 +30,23 @@ type Config struct {
 	Breaker BreakerConfig
 	// Seed drives retry jitter deterministically.
 	Seed int64
+	// Verify, when set, is applied to every value read before it is
+	// returned: reads that fail verification are rejected (detect-or-fail,
+	// never silent), count as breaker failures against the serving replica,
+	// and are retried against other replicas when the overlay can address
+	// them.
+	Verify VerifyFunc
+	// Quarantine excludes nodes with open circuits from future replica
+	// placement, when the wrapped overlay supports placement filtering
+	// (overlay.PlacementFilterable). Persistently corrupting nodes are
+	// thereby both skipped on reads and starved of new copies.
+	Quarantine bool
 }
 
 // DefaultConfig hedges across 2 extra replicas with the default retry
-// policy and breaker.
+// policy and breaker, and quarantines circuit-open nodes from placement.
 func DefaultConfig(seed int64) Config {
-	return Config{Policy: DefaultPolicy(), Hedge: 2, Breaker: DefaultBreakerConfig(), Seed: seed}
+	return Config{Policy: DefaultPolicy(), Hedge: 2, Breaker: DefaultBreakerConfig(), Seed: seed, Quarantine: true}
 }
 
 // Metrics counts what the resilience layer did — the measurable overhead
@@ -46,6 +62,9 @@ type Metrics struct {
 	Hedges int
 	// BreakerSkips counts replicas skipped because their circuit was open.
 	BreakerSkips int
+	// CorruptReads counts replica reads whose bytes failed verification —
+	// every one was detected and rejected, never returned to the caller.
+	CorruptReads int
 	// Failures is the number of operations that still failed.
 	Failures int
 	// Backoff is the total simulated retry delay charged to operations.
@@ -114,6 +133,16 @@ func Wrap(inner overlay.KV, cfg Config) *KV {
 	if h, ok := inner.(overlay.Healer); ok {
 		k.healer = h
 	}
+	if cfg.Quarantine {
+		if pf, ok := inner.(overlay.PlacementFilterable); ok {
+			// Placement consults live breaker state: a node quarantined for
+			// persistent corruption stops receiving new copies until a
+			// half-open probe rehabilitates it. Only corruption-tainted open
+			// circuits veto placement — loss-driven ones route reads around
+			// a node but never exclude it from holding data.
+			pf.SetPlacementFilter(func(node string) bool { return !k.breaker.Quarantined(node) })
+		}
+	}
 	return k
 }
 
@@ -174,7 +203,10 @@ func (k *KV) Store(origin, key string, value []byte) (overlay.OpStats, error) {
 // Lookup implements overlay.KV: retries around either the plain overlay
 // lookup or, when the overlay can address replicas, a hedged read that
 // resolves the replica set once and races fetches across it, skipping
-// nodes whose circuit is open.
+// nodes whose circuit is open. With a Verify hook configured every value is
+// checked before it is surfaced: corrupt reads are rejected and retried
+// against other replicas (replica-addressing overlays) or failed outright —
+// never returned.
 func (k *KV) Lookup(origin, key string) ([]byte, overlay.OpStats, error) {
 	var (
 		total  overlay.OpStats
@@ -186,6 +218,11 @@ func (k *KV) Lookup(origin, key string) ([]byte, overlay.OpStats, error) {
 		if k.replicas == nil {
 			v, st, err := k.inner.Lookup(origin, key)
 			total.Add(st)
+			if err == nil {
+				if err = k.verifyValue(key, v); err != nil {
+					return err
+				}
+			}
 			value = v
 			return err
 		}
@@ -195,13 +232,58 @@ func (k *KV) Lookup(origin, key string) ([]byte, overlay.OpStats, error) {
 		skips += s
 		return err
 	}
-	out, err := Do(k.cfg.Policy, k.rng, true, op)
+	// Corruption is only retryable when the retry can land elsewhere: the
+	// hedged path re-resolves the replica set each attempt and the breaker
+	// failure recorded with the verdict steers it away from the corrupter.
+	retryable := func(f Fault) bool { return Retryable(f, true) }
+	if k.replicas != nil {
+		retryable = func(f Fault) bool { return RetryableElsewhere(f, true) }
+	}
+	out, err := DoWith(k.cfg.Policy, k.rng, retryable, op)
 	total.Latency += out.Backoff
 	k.record(out, hedges, skips, err != nil)
 	if err != nil {
 		return nil, total, err
 	}
 	return value, total, nil
+}
+
+// verifyValue applies the configured integrity check, wrapping failures in
+// ErrCorrupt (FaultCorruption) and counting them.
+func (k *KV) verifyValue(key string, value []byte) error {
+	if k.cfg.Verify == nil {
+		return nil
+	}
+	if verr := k.cfg.Verify(key, value); verr != nil {
+		k.mu.Lock()
+		k.metrics.CorruptReads++
+		k.mu.Unlock()
+		return fmt.Errorf("%w: key %q: %v", ErrCorrupt, key, verr)
+	}
+	return nil
+}
+
+// fetchFrom reads key from one named replica and verifies the bytes. The
+// breaker hears exactly one verdict per fetch: reachable-and-honest (a
+// verified value or a clean not-found) is a success; a delivery failure or
+// a corrupt payload is a failure.
+func (k *KV) fetchFrom(origin, key, name string) ([]byte, overlay.OpStats, error) {
+	v, st, err := k.replicas.LookupFrom(origin, key, name)
+	if err == nil {
+		err = k.verifyValue(key, v)
+	}
+	switch {
+	case replicaHealthy(err):
+		k.breaker.Report(name, true)
+	case Classify(err) == FaultCorruption:
+		k.breaker.ReportCorrupt(name)
+	default:
+		k.breaker.Report(name, false)
+	}
+	if err != nil {
+		return nil, st, err
+	}
+	return v, st, nil
 }
 
 // hedgedLookup performs one attempt: resolve replicas, read the primary,
@@ -229,19 +311,23 @@ func (k *KV) hedgedLookup(origin, key string, total *overlay.OpStats) ([]byte, i
 		allowed = names
 	}
 
-	// Primary read.
-	v, st, err := k.replicas.LookupFrom(origin, key, allowed[0])
+	// Primary read (verified).
+	v, st, err := k.fetchFrom(origin, key, allowed[0])
 	total.Add(st)
-	k.breaker.Report(allowed[0], replicaHealthy(err))
 	if err == nil {
 		return v, 0, skips, nil
 	}
-	anyTransient := Retryable(Classify(err), true)
-	anyNotFound := errors.Is(err, overlay.ErrNotFound)
-	lastErr := err
+	var (
+		anyNotFound  = errors.Is(err, overlay.ErrNotFound)
+		anyRetryable bool
+		lastErr      = err
+	)
+	if RetryableElsewhere(Classify(err), true) {
+		anyRetryable = true
+	}
 
 	// Hedge wave: race the next replicas in parallel (simulated), first
-	// found value in replica order wins.
+	// verified value in replica order wins.
 	wave := allowed[1:]
 	if k.cfg.Hedge >= 0 && len(wave) > k.cfg.Hedge {
 		wave = wave[:k.cfg.Hedge]
@@ -252,8 +338,7 @@ func (k *KV) hedgedLookup(origin, key string, total *overlay.OpStats) ([]byte, i
 		waveLat time.Duration
 	)
 	for _, name := range wave {
-		v, st, err := k.replicas.LookupFrom(origin, key, name)
-		k.breaker.Report(name, replicaHealthy(err))
+		v, st, err := k.fetchFrom(origin, key, name)
 		total.Hops += st.Hops
 		total.Messages += st.Messages
 		total.Bytes += st.Bytes
@@ -268,8 +353,8 @@ func (k *KV) hedgedLookup(origin, key string, total *overlay.OpStats) ([]byte, i
 		case errors.Is(err, overlay.ErrNotFound):
 			anyNotFound = true
 		default:
-			if Retryable(Classify(err), true) {
-				anyTransient = true
+			if RetryableElsewhere(Classify(err), true) {
+				anyRetryable = true
 			}
 			lastErr = err
 		}
@@ -278,10 +363,12 @@ func (k *KV) hedgedLookup(origin, key string, total *overlay.OpStats) ([]byte, i
 	if ok {
 		return found, len(wave), skips, nil
 	}
-	// No replica produced the value. A transient failure anywhere means a
-	// copy may still be reachable on retry; only a unanimous miss is a
-	// definitive not-found.
-	if anyTransient {
+	// No replica produced a verified value. A transient failure anywhere
+	// means a copy may still be reachable on retry, and a corrupt copy
+	// means an honest replica may answer next attempt (the corrupter's
+	// breaker failure steers the retry away from it); only a unanimous
+	// miss is a definitive not-found.
+	if anyRetryable {
 		return nil, len(wave), skips, fmt.Errorf("resilience: hedged read failed: %w", lastErr)
 	}
 	if anyNotFound {
@@ -290,9 +377,9 @@ func (k *KV) hedgedLookup(origin, key string, total *overlay.OpStats) ([]byte, i
 	return nil, len(wave), skips, fmt.Errorf("resilience: hedged read failed: %w", overlay.ErrUnavailable)
 }
 
-// replicaHealthy interprets a per-replica fetch error for the breaker: a
-// replica that answered — even with "not found" — is reachable; only
-// delivery failures count against it.
+// replicaHealthy interprets a per-replica fetch outcome for the breaker: a
+// replica that answered honestly — even with "not found" — is healthy; a
+// delivery failure or a corrupt payload counts against it.
 func replicaHealthy(err error) bool {
 	return err == nil || errors.Is(err, overlay.ErrNotFound)
 }

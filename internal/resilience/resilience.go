@@ -51,6 +51,13 @@ const (
 	// FaultPermanent faults (missing keys, unknown nodes or origins,
 	// protocol errors) will not be fixed by retrying.
 	FaultPermanent
+	// FaultCorruption means a read returned bytes that failed integrity
+	// verification: a Byzantine or bit-rotted replica. Retrying the *same*
+	// node is pointless (it will serve the same bad bytes — or worse, lie
+	// consistently); a retry directed at a *different* replica may succeed,
+	// which is what RetryableElsewhere expresses. A corruption verdict also
+	// counts as a breaker failure, so persistent corrupters are quarantined.
+	FaultCorruption
 )
 
 // String renders the fault class.
@@ -64,10 +71,18 @@ func (f Fault) String() string {
 		return "ack-lost"
 	case FaultPermanent:
 		return "permanent"
+	case FaultCorruption:
+		return "corruption"
 	default:
 		return "fault(?)"
 	}
 }
+
+// ErrCorrupt is the sentinel for integrity-verification failures: a replica
+// served bytes whose checksum, key binding, or signature chain did not
+// verify. Detection layers (the KV Verify hook, the scrub package) wrap it
+// so Classify maps them onto FaultCorruption.
+var ErrCorrupt = errors.New("resilience: read failed integrity verification")
 
 // Classify maps any simnet or overlay error onto the fault taxonomy using
 // errors.Is, so wrapped errors classify by their sentinel regardless of
@@ -81,6 +96,8 @@ func Classify(err error) Fault {
 	// and the reply-was-lost semantics must win over the cause's class.
 	case errors.Is(err, simnet.ErrReplyLost):
 		return FaultAckLost
+	case errors.Is(err, ErrCorrupt):
+		return FaultCorruption
 	case errors.Is(err, simnet.ErrDropped),
 		errors.Is(err, simnet.ErrNodeOffline),
 		errors.Is(err, simnet.ErrPartitioned),
@@ -92,8 +109,10 @@ func Classify(err error) Fault {
 }
 
 // Retryable reports whether an operation that failed with fault f should be
-// attempted again; idempotent says whether re-applying the operation is
-// harmless (required for AckLost retries).
+// attempted again against the same endpoint; idempotent says whether
+// re-applying the operation is harmless (required for AckLost retries).
+// FaultCorruption is NOT retryable here: the same node will serve the same
+// bad bytes.
 func Retryable(f Fault, idempotent bool) bool {
 	switch f {
 	case FaultTransient:
@@ -103,4 +122,13 @@ func Retryable(f Fault, idempotent bool) bool {
 	default:
 		return false
 	}
+}
+
+// RetryableElsewhere reports whether fault f may clear when the retry can be
+// directed at a different replica. It admits everything Retryable does plus
+// FaultCorruption: another replica may hold an honest copy, and the breaker
+// failure recorded with the corruption verdict steers the retry away from
+// the corrupter.
+func RetryableElsewhere(f Fault, idempotent bool) bool {
+	return f == FaultCorruption || Retryable(f, idempotent)
 }

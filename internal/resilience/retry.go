@@ -90,6 +90,14 @@ type Outcome struct {
 // last error with the outcome; callers charge Outcome.Backoff to their
 // operation's simulated latency.
 func Do(p Policy, rng *rand.Rand, idempotent bool, op func(attempt int) error) (Outcome, error) {
+	return DoWith(p, rng, func(f Fault) bool { return Retryable(f, idempotent) }, op)
+}
+
+// DoWith is Do with an explicit retryability predicate, for callers whose
+// retries change what a fault class admits — a hedged read that re-resolves
+// its replica set each attempt passes RetryableElsewhere, making corruption
+// retryable because the retry lands on different nodes.
+func DoWith(p Policy, rng *rand.Rand, retryable func(Fault) bool, op func(attempt int) error) (Outcome, error) {
 	if p.MaxAttempts < 1 {
 		p.MaxAttempts = 1
 	}
@@ -99,7 +107,7 @@ func Do(p Policy, rng *rand.Rand, idempotent bool, op func(attempt int) error) (
 		out.Attempts = attempt
 		err = op(attempt)
 		out.Fault = Classify(err)
-		if err == nil || !Retryable(out.Fault, idempotent) {
+		if err == nil || !retryable(out.Fault) {
 			return out, err
 		}
 		if attempt == p.MaxAttempts {

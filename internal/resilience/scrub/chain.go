@@ -1,0 +1,61 @@
+package scrub
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"godosn/internal/crypto/hashchain"
+	"godosn/internal/resilience"
+	"godosn/internal/social/identity"
+	"godosn/internal/social/integrity"
+)
+
+// This file bridges the scrubber to the paper's signed-chain integrity
+// mechanisms (social/integrity): timelines stored as sealed records whose
+// payload is a gob-encoded entry chain, verified end to end. The record
+// checksum is an unkeyed framing check — it catches bit rot and truncation
+// but a Byzantine holder can recompute it over tampered bytes. Signature
+// verification through the identity registry is what it cannot forge, so a
+// timeline record is only accepted when BOTH layers pass.
+
+// SealTimeline encodes a timeline's entries and seals them as a record for
+// key, the storage format TimelineCheck verifies.
+func SealTimeline(key string, entries []*hashchain.Entry) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(entries); err != nil {
+		return nil, fmt.Errorf("scrub: encoding timeline for %q: %w", key, err)
+	}
+	return Seal(key, buf.Bytes()), nil
+}
+
+// OpenTimeline opens a sealed timeline record without verifying the chain.
+func OpenTimeline(key string, record []byte) ([]*hashchain.Entry, error) {
+	payload, err := Open(key, record)
+	if err != nil {
+		return nil, err
+	}
+	var entries []*hashchain.Entry
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&entries); err != nil {
+		return nil, fmt.Errorf("%w: key %q: undecodable timeline: %v", ErrRecord, key, err)
+	}
+	return entries, nil
+}
+
+// TimelineCheck builds a VerifyFunc that accepts a record only if it is a
+// validly sealed, gob-decodable timeline whose hash chain and signatures
+// verify against the registry for the owner ownerOf derives from the storage
+// key. Plug it into the resilience KV or the Scrubber to scrub signed
+// timelines instead of opaque blobs.
+func TimelineCheck(reg *identity.Registry, ownerOf func(key string) string) resilience.VerifyFunc {
+	return func(key string, record []byte) error {
+		entries, err := OpenTimeline(key, record)
+		if err != nil {
+			return err
+		}
+		if err := integrity.VerifyTimeline(reg, ownerOf(key), entries); err != nil {
+			return fmt.Errorf("%w: key %q: chain verification: %v", ErrRecord, key, err)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,118 @@
+package scrub
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"godosn/internal/resilience"
+	"godosn/internal/social/identity"
+	"godosn/internal/social/integrity"
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{[]byte("hello"), {}, bytes.Repeat([]byte{0xAB}, 4096)} {
+		rec := Seal("key-1", payload)
+		got, err := Open("key-1", rec)
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("payload mismatch: %q vs %q", got, payload)
+		}
+		// The returned payload must be detached from the record.
+		if len(got) > 0 {
+			got[0] ^= 0xFF
+			if again, err := Open("key-1", rec); err != nil || (len(again) > 0 && again[0] == got[0]) {
+				t.Fatal("Open aliased the record's bytes")
+			}
+		}
+		if err := Check("key-1", rec); err != nil {
+			t.Fatalf("Check: %v", err)
+		}
+	}
+}
+
+func TestOpenDetectsEveryFaultShape(t *testing.T) {
+	rec := Seal("key-1", []byte("the payload bytes"))
+	cases := map[string][]byte{
+		"bit flip in payload":  flip(rec, len(rec)-3),
+		"bit flip in checksum": flip(rec, len(recordMagic)+5),
+		"bit flip in magic":    flip(rec, 0),
+		"truncated":            rec[:len(rec)-4],
+		"truncated to framing": rec[:len(recordMagic)+31],
+		"empty":                {},
+		"garbage":              []byte("not a record at all, clearly"),
+	}
+	for name, bad := range cases {
+		if err := Check("key-1", bad); !errors.Is(err, ErrRecord) {
+			t.Fatalf("%s: got %v, want ErrRecord", name, err)
+		}
+	}
+	// Cross-key replay: a perfectly valid record for another key must not
+	// verify — the checksum binds the key.
+	other := Seal("key-2", []byte("the payload bytes"))
+	if err := Check("key-1", other); !errors.Is(err, ErrRecord) {
+		t.Fatalf("cross-key replay: got %v, want ErrRecord", err)
+	}
+	// ErrRecord classifies as corruption for the retry/breaker machinery.
+	if f := resilience.Classify(ErrRecord); f != resilience.FaultCorruption {
+		t.Fatalf("Classify(ErrRecord) = %v, want FaultCorruption", f)
+	}
+}
+
+func flip(rec []byte, i int) []byte {
+	out := append([]byte(nil), rec...)
+	out[i] ^= 0x10
+	return out
+}
+
+func TestTimelineCheckCatchesForgeryTheChecksumCannot(t *testing.T) {
+	reg := identity.NewRegistry()
+	alice, err := identity.NewUser("alice")
+	if err != nil {
+		t.Fatalf("NewUser: %v", err)
+	}
+	if err := reg.Register(alice); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	tl := integrity.NewTimeline(alice)
+	for i := 0; i < 3; i++ {
+		if _, err := tl.Publish([]byte{byte('a' + i)}); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+	}
+	const key = "timeline/alice"
+	rec, err := SealTimeline(key, tl.Entries())
+	if err != nil {
+		t.Fatalf("SealTimeline: %v", err)
+	}
+	check := TimelineCheck(reg, func(string) string { return "alice" })
+	if err := check(key, rec); err != nil {
+		t.Fatalf("honest timeline rejected: %v", err)
+	}
+	if got, err := OpenTimeline(key, rec); err != nil || len(got) != 3 {
+		t.Fatalf("OpenTimeline: %v (%d entries)", err, len(got))
+	}
+
+	// The adversary tampers with an entry and RE-SEALS: the unkeyed record
+	// checksum verifies, so Check alone is fooled — only the signature
+	// chain catches it.
+	forged := tl.Entries()
+	forged[1].Payload = []byte("forged content")
+	badRec, err := SealTimeline(key, forged)
+	if err != nil {
+		t.Fatalf("SealTimeline: %v", err)
+	}
+	if err := Check(key, badRec); err != nil {
+		t.Fatalf("re-sealed forgery failed the plain checksum (it should pass): %v", err)
+	}
+	if err := check(key, badRec); !errors.Is(err, ErrRecord) {
+		t.Fatalf("forged timeline: got %v, want ErrRecord", err)
+	}
+	// And a wrong-owner claim fails even with intact entries.
+	mallory := TimelineCheck(reg, func(string) string { return "mallory" })
+	if err := mallory(key, rec); !errors.Is(err, ErrRecord) {
+		t.Fatalf("wrong owner: got %v, want ErrRecord", err)
+	}
+}

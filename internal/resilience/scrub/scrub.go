@@ -1,0 +1,426 @@
+package scrub
+
+import (
+	"bytes"
+	"errors"
+	"sort"
+	"strings"
+
+	"godosn/internal/crypto/merkle"
+	"godosn/internal/overlay"
+	"godosn/internal/parallel"
+	"godosn/internal/resilience"
+)
+
+// Config parameterizes a Scrubber.
+type Config struct {
+	// Origin is the node the scrubber's reads and repairs originate at.
+	Origin string
+	// Verify condemns a copy (defaults to Check — sealed-record
+	// verification). Swap in a signed-chain verifier to scrub timelines.
+	Verify resilience.VerifyFunc
+	// Workers bounds concurrent replica-set groups in flight (<= 1 serial).
+	// On a lossy network, worker counts > 1 make the assignment of seeded
+	// drops to individual messages scheduling-dependent; seeded experiments
+	// keep the serial default.
+	Workers int
+	// Repair pushes the verified canonical copy over condemned or missing
+	// replicas (requires the overlay to implement overlay.RepairKV).
+	Repair bool
+	// Recheck re-fetches a condemned copy once before issuing a corruption
+	// verdict, so one-off wire corruption is not blamed on the node. The
+	// refetch is charged to the report's stats.
+	Recheck bool
+}
+
+// DefaultConfig scrubs serially from origin with record verification,
+// repair, and recheck enabled.
+func DefaultConfig(origin string) Config {
+	return Config{Origin: origin, Verify: Check, Workers: 1, Repair: true, Recheck: true}
+}
+
+// Report summarizes one scrub pass.
+type Report struct {
+	// KeysScanned is the number of distinct keys examined.
+	KeysScanned int
+	// Groups is the number of replica-set groups the keys resolved into.
+	Groups int
+	// DigestClean is the number of groups short-circuited because every
+	// replica returned the same Merkle digest over the group's keys.
+	DigestClean int
+	// KeysCompared is the number of keys drilled into (full value fetch).
+	KeysCompared int
+	// CleanKeys is the number of drilled keys whose copies all verified
+	// and agreed.
+	CleanKeys int
+	// DivergentKeys is the number of drilled keys with at least one
+	// condemned or missing copy.
+	DivergentKeys int
+	// CorruptCopies is the number of copies condemned (failed verification
+	// or diverged from the verified canonical value, surviving recheck).
+	CorruptCopies int
+	// MissingCopies is the number of replicas that answered not-found.
+	MissingCopies int
+	// Repaired is the number of copies overwritten with the canonical
+	// value.
+	Repaired int
+	// Unrepairable is the number of repair pushes that failed (left for
+	// the next pass).
+	Unrepairable int
+	// Failed is the number of keys that could not be scrubbed: replica
+	// resolution failed, or no copy verified (no trusted value to repair
+	// from).
+	Failed int
+	// Digest is a Merkle fingerprint of the pass outcome (keys in sorted
+	// order; digest-clean groups contribute their replica digest, drilled
+	// keys their canonical copy). Two runs over identical state and seeds
+	// produce identical digests.
+	Digest [32]byte
+	// Stats is the network cost of the pass, including repairs.
+	Stats overlay.OpStats
+}
+
+// Scrubber walks replica sets comparing, verifying, and repairing copies.
+// It is the active half of the integrity layer: the resilience KV's Verify
+// hook guarantees corrupt reads never surface, the scrubber removes the
+// corruption and quarantines its source.
+type Scrubber struct {
+	kv      overlay.ReplicaKV
+	repair  overlay.RepairKV // nil: overlay cannot write per-replica
+	digests overlay.DigestKV // nil: overlay cannot summarize
+	cfg     Config
+	verdict func(node string, ok bool)
+}
+
+// New builds a scrubber over a replica-addressing overlay. Digest
+// short-circuiting and repair activate automatically when the overlay
+// implements overlay.DigestKV / overlay.RepairKV.
+func New(kv overlay.ReplicaKV, cfg Config) *Scrubber {
+	if cfg.Verify == nil {
+		cfg.Verify = Check
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	s := &Scrubber{kv: kv, cfg: cfg}
+	if r, ok := kv.(overlay.RepairKV); ok {
+		s.repair = r
+	}
+	if d, ok := kv.(overlay.DigestKV); ok {
+		s.digests = d
+	}
+	return s
+}
+
+// SetVerdict installs the corruption-verdict sink: ok=false means the node
+// served a condemned copy, ok=true means it served the canonical one. Wire
+// a resilience breaker in (Breaker.ReportCorrupt / Breaker.Report) to
+// quarantine persistent corrupters. Verdicts are applied in deterministic
+// key order regardless of Workers.
+func (s *Scrubber) SetVerdict(fn func(node string, ok bool)) { s.verdict = fn }
+
+// group is one replica set and the keys that resolve to it.
+type group struct {
+	replicas []string
+	keys     []string
+}
+
+// copyState classifies one replica's copy of one key.
+type copyState int
+
+const (
+	copyCanonical copyState = iota // verified, matches canonical
+	copyCondemned                  // failed verify or diverged, survived recheck
+	copyMissing                    // replica answered not-found
+	copyUnreachable                // delivery failure; liveness is the healer's job
+)
+
+// keyOutcome is the drilled-down result for one key.
+type keyOutcome struct {
+	key       string
+	canonical []byte
+	found     bool
+	states    map[string]copyState // replica -> state
+	failed    bool
+}
+
+// groupResult carries a processed group's accounting back to the merge.
+type groupResult struct {
+	g           group
+	digestClean bool
+	digestRoot  [32]byte
+	outcomes    []keyOutcome
+	repaired    int
+	unrepair    int
+	stats       overlay.OpStats
+}
+
+// Scrub runs one pass over the given keys and reports what it found and
+// fixed. Keys are deduplicated and walked in sorted order.
+func (s *Scrubber) Scrub(keys []string) (Report, error) {
+	report := Report{}
+	uniq := dedupe(keys)
+	report.KeysScanned = len(uniq)
+	if len(uniq) == 0 {
+		report.Digest = overlay.DigestOf(nil)
+		return report, nil
+	}
+
+	// Resolve every key's replica set and bucket keys by set: keys sharing
+	// a replica set are compared through one digest exchange.
+	type resolved struct {
+		key      string
+		replicas []string
+		stats    overlay.OpStats
+		err      error
+	}
+	res, _ := parallel.Map(s.cfg.Workers, uniq, func(_ int, key string) (resolved, error) {
+		names, st, err := s.kv.ReplicasFor(s.cfg.Origin, key)
+		return resolved{key: key, replicas: names, stats: st, err: err}, nil
+	})
+	bySet := make(map[string]*group)
+	var setOrder []string
+	for _, r := range res {
+		report.Stats.Add(r.stats)
+		if r.err != nil || len(r.replicas) == 0 {
+			report.Failed++
+			continue
+		}
+		sig := strings.Join(r.replicas, "\x00")
+		g, ok := bySet[sig]
+		if !ok {
+			g = &group{replicas: r.replicas}
+			bySet[sig] = g
+			setOrder = append(setOrder, sig)
+		}
+		g.keys = append(g.keys, r.key)
+	}
+	groups := make([]group, 0, len(setOrder))
+	for _, sig := range setOrder {
+		g := bySet[sig]
+		sort.Strings(g.keys)
+		groups = append(groups, *g)
+	}
+	report.Groups = len(groups)
+
+	results, _ := parallel.Map(s.cfg.Workers, groups, func(_ int, g group) (groupResult, error) {
+		return s.scrubGroup(g), nil
+	})
+
+	// Merge deterministically in group order: verdicts, counters, and the
+	// pass fingerprint all follow sorted key order, independent of Workers.
+	fp := &merkle.Tree{}
+	for _, r := range results {
+		report.Stats.Add(r.stats)
+		report.Repaired += r.repaired
+		report.Unrepairable += r.unrepair
+		if r.digestClean {
+			report.DigestClean++
+			for _, key := range r.g.keys {
+				fp.AppendLeafHash(merkle.NodeHash(merkle.LeafHash([]byte(key)), r.digestRoot))
+			}
+			continue
+		}
+		for _, o := range r.outcomes {
+			report.KeysCompared++
+			if o.failed {
+				report.Failed++
+				continue
+			}
+			divergent := false
+			for _, name := range r.g.replicas {
+				switch o.states[name] {
+				case copyCanonical:
+					s.sayVerdict(name, true)
+				case copyCondemned:
+					report.CorruptCopies++
+					divergent = true
+					s.sayVerdict(name, false)
+				case copyMissing:
+					report.MissingCopies++
+					divergent = true
+				}
+			}
+			if divergent {
+				report.DivergentKeys++
+			} else {
+				report.CleanKeys++
+			}
+			fp.AppendLeafHash(merkle.NodeHash(merkle.LeafHash([]byte(o.key)),
+				overlay.CopyLeaf(o.key, o.canonical, o.found)))
+		}
+	}
+	report.Digest = fp.Root()
+	return report, nil
+}
+
+func (s *Scrubber) sayVerdict(node string, ok bool) {
+	if s.verdict != nil {
+		s.verdict(node, ok)
+	}
+}
+
+// scrubGroup processes one replica set: digest comparison first, full value
+// comparison and repair only for groups whose digests diverge (or whose
+// overlay cannot digest).
+func (s *Scrubber) scrubGroup(g group) groupResult {
+	r := groupResult{g: g}
+
+	// Merkle fast path: one small RPC per replica instead of every value.
+	// Matching digests prove the replicas agree byte-for-byte over the
+	// whole key batch; a corrupted or lying digest reply forces the drill-
+	// down, never a false clean. What digest equality cannot prove is that
+	// the agreed bytes verify — the read path's Verify hook remains the
+	// last line of defense against uniformly-corrupt replica sets.
+	if s.digests != nil && len(g.replicas) > 1 {
+		roots := make([][32]byte, 0, len(g.replicas))
+		ok := true
+		for _, name := range g.replicas {
+			root, st, err := s.digests.DigestFrom(s.cfg.Origin, g.keys, name)
+			r.stats.Add(st)
+			if err != nil {
+				ok = false
+				break
+			}
+			roots = append(roots, root)
+		}
+		if ok {
+			equal := true
+			for _, root := range roots[1:] {
+				if root != roots[0] {
+					equal = false
+					break
+				}
+			}
+			if equal {
+				r.digestClean = true
+				r.digestRoot = roots[0]
+				return r
+			}
+		}
+	}
+
+	for _, key := range g.keys {
+		o := s.scrubKey(key, g.replicas, &r.stats)
+		if o.found {
+			s.repairKey(&o, g.replicas, &r)
+		}
+		r.outcomes = append(r.outcomes, o)
+	}
+	return r
+}
+
+// scrubKey fetches every replica's copy of one key, verifies them, and
+// elects the canonical value: the largest set of verified byte-identical
+// copies (ties broken by smallest leaf hash, so the election is
+// deterministic). Condemnations are recheck-confirmed when configured.
+func (s *Scrubber) scrubKey(key string, replicas []string, stats *overlay.OpStats) keyOutcome {
+	o := keyOutcome{key: key, states: make(map[string]copyState, len(replicas))}
+	values := make(map[string][]byte, len(replicas))
+	for _, name := range replicas {
+		v, st, err := s.kv.LookupFrom(s.cfg.Origin, key, name)
+		stats.Add(st)
+		switch {
+		case err == nil:
+			values[name] = v
+		case errors.Is(err, overlay.ErrNotFound):
+			o.states[name] = copyMissing
+		default:
+			o.states[name] = copyUnreachable
+		}
+	}
+
+	// Election among verified copies, grouped by copy leaf.
+	votes := make(map[[32]byte]int)
+	for _, name := range replicas {
+		v, held := values[name]
+		if !held {
+			continue
+		}
+		if s.cfg.Verify(key, v) != nil {
+			o.states[name] = copyCondemned
+			continue
+		}
+		votes[overlay.CopyLeaf(key, v, true)]++
+	}
+	var best [32]byte
+	for leaf, n := range votes {
+		if !o.found || n > votes[best] || (n == votes[best] && bytes.Compare(leaf[:], best[:]) < 0) {
+			best = leaf
+			o.found = true
+		}
+	}
+	if !o.found {
+		// Nothing verified: there is no trusted value to compare against
+		// or repair from. Detect-or-fail still holds (the read path rejects
+		// these copies); the key is reported failed, not silently skipped.
+		o.failed = len(values) > 0 || len(o.states) > 0
+		return o
+	}
+	for _, name := range replicas {
+		v, held := values[name]
+		if !held || o.states[name] == copyCondemned {
+			continue
+		}
+		if overlay.CopyLeaf(key, v, true) == best {
+			o.states[name] = copyCanonical
+			if o.canonical == nil {
+				o.canonical = v
+			}
+		} else {
+			// Verified but divergent: a valid record carrying different
+			// bytes — the stale-replay shape. The majority copy wins.
+			o.states[name] = copyCondemned
+		}
+	}
+
+	// Recheck: condemned copies are re-fetched once before the verdict
+	// stands, so a one-off wire corruption is not blamed on the node.
+	if s.cfg.Recheck {
+		for _, name := range replicas {
+			if o.states[name] != copyCondemned {
+				continue
+			}
+			v, st, err := s.kv.LookupFrom(s.cfg.Origin, key, name)
+			stats.Add(st)
+			if err == nil && s.cfg.Verify(key, v) == nil && overlay.CopyLeaf(key, v, true) == best {
+				o.states[name] = copyCanonical
+			}
+		}
+	}
+	return o
+}
+
+// repairKey pushes the canonical value over condemned and missing copies.
+func (s *Scrubber) repairKey(o *keyOutcome, replicas []string, r *groupResult) {
+	if !s.cfg.Repair || s.repair == nil {
+		return
+	}
+	for _, name := range replicas {
+		st := o.states[name]
+		if st != copyCondemned && st != copyMissing {
+			continue
+		}
+		pst, err := s.repair.StoreTo(s.cfg.Origin, o.key, o.canonical, name)
+		r.stats.Add(pst)
+		if err == nil {
+			r.repaired++
+		} else {
+			r.unrepair++
+		}
+	}
+}
+
+// dedupe sorts and deduplicates keys.
+func dedupe(keys []string) []string {
+	out := append([]string(nil), keys...)
+	sort.Strings(out)
+	n := 0
+	for i, k := range out {
+		if i == 0 || k != out[n-1] {
+			out[n] = k
+			n++
+		}
+	}
+	return out[:n]
+}

@@ -1,0 +1,41 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Regression: the store must never alias caller-visible slices with its own
+// state, in either direction — a caller mutating bytes it handed in or got
+// back must not be able to corrupt stored content.
+func TestGetAndPutReturnDetachedBytes(t *testing.T) {
+	s := NewStore()
+	data := []byte("immutable content bytes")
+	orig := append([]byte(nil), data...)
+	obj := NewObject(data)
+	if err := s.Put(obj); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// Mutate the slice we stored from: the store's copy must not move.
+	data[0] ^= 0xFF
+	got, err := s.Get(obj.Ref)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !bytes.Equal(got.Data, orig) {
+		t.Fatal("mutating the Put slice corrupted the stored object")
+	}
+	// Mutate what Get returned: a re-read must be pristine.
+	got.Data[1] ^= 0xFF
+	again, err := s.Get(obj.Ref)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !bytes.Equal(again.Data, orig) {
+		t.Fatal("mutating a Get result corrupted the stored object")
+	}
+	// Content addressing still verifies after all that mutation.
+	if err := again.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
