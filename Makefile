@@ -2,17 +2,37 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test race bench bench-quick bench-hot experiments experiments-quick json-smoke chaos-soak examples clean
+.PHONY: all ci build vet test race bench bench-quick bench-hot experiments experiments-quick json-smoke telemetry-smoke lint-print chaos-soak examples clean
 
 all: build vet test
 
 # Full verification gate: compile, vet, tests, the race detector over the
 # concurrent paths (worker pool, simnet RPC, resilience decorator, breaker),
-# a smoke check that dosnbench -json emits a valid report, and a short-mode
-# chaos soak proving corruption containment under loss + churn + Byzantine
-# replies (E19's invariants fail the run if the protected arm ever surfaces
-# a corrupted read or loses availability).
-ci: build vet test race json-smoke chaos-soak
+# a smoke check that dosnbench -json emits a valid report, a telemetry smoke
+# check (E20 instrumented run validated against the strict v2 schema), a
+# print-hygiene lint, and a short-mode chaos soak proving corruption
+# containment under loss + churn + Byzantine replies (E19's invariants fail
+# the run if the protected arm ever surfaces a corrupted read or loses
+# availability).
+ci: build vet test race json-smoke telemetry-smoke lint-print chaos-soak
+
+# Run the instrumented experiment (E20) with -json and re-parse the report
+# with the strict validator (unknown fields rejected): the telemetry section
+# — counters sorted, histograms internally consistent — must round-trip.
+telemetry-smoke:
+	$(GO) run ./cmd/dosnbench -quick -exp e20 -json /tmp/godosn-telemetry-ci.json >/dev/null
+	$(GO) run ./cmd/dosnbench -validate /tmp/godosn-telemetry-ci.json
+
+# Library code reports through the telemetry registry (or t.Log in tests),
+# never stdout; only the bench harness renders tables. Fails on any
+# fmt.Print* under internal/ outside internal/bench.
+lint-print:
+	@bad=$$(grep -rn 'fmt\.Print' internal/ --include='*.go' | grep -v '^internal/bench/' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "lint-print: fmt.Print* in library code (use telemetry or t.Log):"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
 
 # Short-mode chaos soak: E19 quick arm under combined loss, churn, and
 # Byzantine reply corruption. The experiment enforces its own invariants
@@ -51,7 +71,7 @@ bench-hot:
 	$(GO) test -bench=. -benchmem -run='^$$' \
 		./internal/social/privacy/ ./internal/overlay/dht/ ./internal/crypto/symmetric/
 
-# Regenerate the E1–E19 experiment tables (EXPERIMENTS.md).
+# Regenerate the E1–E20 experiment tables (EXPERIMENTS.md).
 experiments:
 	$(GO) run ./cmd/dosnbench
 

@@ -1,5 +1,5 @@
 // Command dosnbench runs the experiment harness: every experiment of
-// DESIGN.md's per-experiment index (E1–E19), printed as aligned tables.
+// DESIGN.md's per-experiment index (E1–E20), printed as aligned tables.
 //
 // Usage:
 //

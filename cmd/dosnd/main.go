@@ -7,11 +7,15 @@
 //
 //	dosnd -users 20 -overlay dht -seed 7
 //	dosnd -users 20 -overlay dht -resilient -loss 0.15
+//	dosnd -users 20 -resilient -loss 0.15 -metrics
+//	dosnd -users 20 -resilient -pprof localhost:6060
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"godosn/internal/core"
@@ -30,6 +34,8 @@ func run() int {
 		seedFlag    = flag.Int64("seed", 7, "deterministic seed")
 		resilFlag   = flag.Bool("resilient", false, "wrap the overlay in the resilience layer (retries, hedged reads, breaker)")
 		lossFlag    = flag.Float64("loss", 0, "message loss rate injected after boot (0..1)")
+		metricsFlag = flag.Bool("metrics", false, "dump the deployment's telemetry registry (plain-text /metrics style) after the session")
+		pprofFlag   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) and keep the process alive after the session")
 	)
 	flag.Parse()
 	if *lossFlag < 0 || *lossFlag >= 1 {
@@ -82,6 +88,16 @@ func run() int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dosnd: building network: %v\n", err)
 		return 1
+	}
+	if *pprofFlag != "" {
+		// The default mux already carries the /debug/pprof handlers via the
+		// pprof import's side effect.
+		go func() {
+			if err := http.ListenAndServe(*pprofFlag, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "dosnd: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof serving on http://%s/debug/pprof/\n", *pprofFlag)
 	}
 	fmt.Printf("booted %d-user DOSN on %s overlay (kv: %s)\n", len(users), net.OverlayKind(), net.KV.Name())
 	if *lossFlag > 0 {
@@ -159,5 +175,13 @@ func run() int {
 			m.Ops, m.Retries, m.Hedges, m.BreakerSkips, m.Failures)
 	}
 	fmt.Println("session complete")
+	if *metricsFlag {
+		fmt.Println("\n--- telemetry ---")
+		net.Telemetry.WriteText(os.Stdout)
+	}
+	if *pprofFlag != "" {
+		fmt.Println("session done; pprof endpoint stays up (Ctrl-C to exit)")
+		select {}
+	}
 	return 0
 }

@@ -1,5 +1,5 @@
 // Package bench is the experiment harness: it regenerates, as printed
-// tables, every experiment in DESIGN.md's per-experiment index (E1–E19).
+// tables, every experiment in DESIGN.md's per-experiment index (E1–E20).
 //
 // The paper is a survey with one classification table and no measurements;
 // each experiment here quantifies one slice of that classification or one
@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"godosn/internal/telemetry"
 )
 
 // Table is one experiment's output.
@@ -29,6 +31,10 @@ type Table struct {
 	// Metrics are machine-readable named values for the -json report, so
 	// the perf trajectory can be tracked across revisions.
 	Metrics []Metric
+	// Telemetry, when an experiment ran instrumented, is the registry
+	// snapshot (counters, histograms, event counts) exported in the -json
+	// report's telemetry section.
+	Telemetry *telemetry.Snapshot
 }
 
 // Metric is one machine-readable measurement of an experiment.
@@ -130,6 +136,7 @@ func All() []Experiment {
 		{ID: "e17", Description: "resilience layer: availability and cost under loss + churn", Run: E17Resilience},
 		{ID: "e18", Description: "parallel execution: serial vs worker-pool revocation and replica writes", Run: E18Parallelism},
 		{ID: "e19", Description: "integrity scrubber: corruption containment under loss + churn + Byzantine replies", Run: E19ChaosScrub},
+		{ID: "e20", Description: "telemetry: per-phase latency breakdown (lookup/verify/repair) under E17/E19 conditions", Run: E20PhaseBreakdown},
 	}
 }
 

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"godosn/internal/parallel"
+	"godosn/internal/telemetry"
 )
 
 // Result is one executed experiment: its table, its rendered output
@@ -42,8 +44,9 @@ func RunSelected(selected []Experiment, quick bool, workers int) ([]Result, erro
 	})
 }
 
-// jsonSchema versions the -json report layout.
-const jsonSchema = "godosn/bench/v1"
+// jsonSchema versions the -json report layout. v2 added the per-experiment
+// telemetry section (registry snapshots from instrumented experiments).
+const jsonSchema = "godosn/bench/v2"
 
 // JSONReport is the machine-readable form of a harness run, written by
 // `dosnbench -json` so the perf trajectory can be tracked across revisions.
@@ -68,6 +71,9 @@ type JSONExperiment struct {
 	Rows int `json:"rows"`
 	// Metrics are the experiment's named measurements (may be empty).
 	Metrics []Metric `json:"metrics"`
+	// Telemetry is the experiment's registry snapshot, present only for
+	// instrumented experiments (e.g. E20).
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
 // BuildReport assembles the JSON report for a set of results.
@@ -79,11 +85,12 @@ func BuildReport(results []Result, quick bool) JSONReport {
 			metrics = []Metric{}
 		}
 		report.Experiments = append(report.Experiments, JSONExperiment{
-			ID:      r.ID,
-			Title:   r.Table.Title,
-			Seconds: r.Elapsed.Seconds(),
-			Rows:    len(r.Table.Rows),
-			Metrics: metrics,
+			ID:        r.ID,
+			Title:     r.Table.Title,
+			Seconds:   r.Elapsed.Seconds(),
+			Rows:      len(r.Table.Rows),
+			Metrics:   metrics,
+			Telemetry: r.Table.Telemetry,
 		})
 	}
 	return report
@@ -122,6 +129,43 @@ func ValidateReport(data []byte) (JSONReport, error) {
 		if e.Rows <= 0 {
 			return JSONReport{}, fmt.Errorf("bench: report entry %s has no rows", e.ID)
 		}
+		if e.Telemetry != nil {
+			if err := validateTelemetry(e.ID, e.Telemetry); err != nil {
+				return JSONReport{}, err
+			}
+		}
 	}
 	return report, nil
+}
+
+// validateTelemetry checks an experiment's registry snapshot: every
+// instrument named, name-sorted (the determinism contract), histograms
+// internally consistent.
+func validateTelemetry(id string, s *telemetry.Snapshot) error {
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for _, c := range s.Counters {
+		names = append(names, c.Name)
+	}
+	if !sort.StringsAreSorted(names) {
+		return fmt.Errorf("bench: report entry %s: telemetry counters not name-sorted", id)
+	}
+	for _, c := range s.Counters {
+		if c.Name == "" {
+			return fmt.Errorf("bench: report entry %s: unnamed counter in telemetry", id)
+		}
+	}
+	for _, h := range s.Histograms {
+		if h.Name == "" {
+			return fmt.Errorf("bench: report entry %s: unnamed histogram in telemetry", id)
+		}
+		var inBuckets int64
+		for _, b := range h.Buckets {
+			inBuckets += b.Count
+		}
+		if inBuckets+h.Overflow != h.Count {
+			return fmt.Errorf("bench: report entry %s: histogram %s buckets sum %d+%d overflow != count %d",
+				id, h.Name, inBuckets, h.Overflow, h.Count)
+		}
+	}
+	return nil
 }

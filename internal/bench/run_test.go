@@ -9,7 +9,7 @@ import (
 // deterministicIDs are experiments whose rendered output contains no
 // wall-clock measurement — everything in their tables derives from seeded
 // RNGs and simulated costs — so two runs must be byte-identical.
-var deterministicIDs = []string{"e3", "e6", "e7", "e17", "e19"}
+var deterministicIDs = []string{"e3", "e6", "e7", "e17", "e19", "e20"}
 
 func selectExperiments(t *testing.T, ids []string) []Experiment {
 	t.Helper()
@@ -93,9 +93,11 @@ func TestValidateReportRejectsGarbage(t *testing.T) {
 	cases := map[string]string{
 		"not json":       "tables ahoy",
 		"wrong schema":   `{"schema":"other/v9","quick":false,"experiments":[{"id":"e1","title":"t","seconds":1,"rows":1,"metrics":[]}]}`,
-		"no experiments": `{"schema":"godosn/bench/v1","quick":false,"experiments":[]}`,
-		"empty id":       `{"schema":"godosn/bench/v1","quick":false,"experiments":[{"id":"","title":"t","seconds":1,"rows":1,"metrics":[]}]}`,
-		"zero rows":      `{"schema":"godosn/bench/v1","quick":false,"experiments":[{"id":"e1","title":"t","seconds":1,"rows":0,"metrics":[]}]}`,
+		"old schema":     `{"schema":"godosn/bench/v1","quick":false,"experiments":[{"id":"e1","title":"t","seconds":1,"rows":1,"metrics":[]}]}`,
+		"no experiments": `{"schema":"godosn/bench/v2","quick":false,"experiments":[]}`,
+		"empty id":       `{"schema":"godosn/bench/v2","quick":false,"experiments":[{"id":"","title":"t","seconds":1,"rows":1,"metrics":[]}]}`,
+		"zero rows":      `{"schema":"godosn/bench/v2","quick":false,"experiments":[{"id":"e1","title":"t","seconds":1,"rows":0,"metrics":[]}]}`,
+		"bad histogram":  `{"schema":"godosn/bench/v2","quick":false,"experiments":[{"id":"e1","title":"t","seconds":1,"rows":1,"metrics":[],"telemetry":{"counters":[],"gauges":[],"histograms":[{"name":"h","count":3,"overflow":0,"buckets":[{"le":1,"count":1}]}],"events":[]}}]}`,
 	}
 	for name, data := range cases {
 		if _, err := ValidateReport([]byte(data)); err == nil {

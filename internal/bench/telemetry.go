@@ -1,0 +1,269 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"godosn/internal/overlay/dht"
+	"godosn/internal/overlay/simnet"
+	"godosn/internal/resilience"
+	"godosn/internal/resilience/scrub"
+	"godosn/internal/telemetry"
+)
+
+// e20Phases maps span names onto the three reported phases: where an
+// operation's simulated time went. Lookup covers routing, replica fetches,
+// hedging, and retry backoff; verify covers integrity work (digest
+// exchanges, drill-down value comparison, read-path verification); repair
+// covers every push of a known-good copy (heal, scrub repair, read-repair).
+var e20Phases = map[string]string{
+	"route":       "lookup",
+	"resolve":     "lookup",
+	"fetch":       "lookup",
+	"hedge":       "lookup",
+	"attempt":     "lookup",
+	"backoff":     "lookup",
+	"store":       "lookup",
+	"digest":      "verify",
+	"verify":      "verify",
+	"repair":      "repair",
+	"read-repair": "repair",
+}
+
+// e20Arm is one soak's per-phase accounting.
+type e20Arm struct {
+	name    string
+	ops     int
+	latency map[string]time.Duration // phase -> simulated latency
+	spans   map[string]int           // phase -> span count
+	sample  string                   // rendered trace of one eventful lookup
+}
+
+// addTree folds one span tree's exclusive latencies into the arm.
+func (a *e20Arm) addTree(sp *telemetry.Span) {
+	lat, cnt := sp.PhaseTotals()
+	for name, d := range lat {
+		phase, ok := e20Phases[name]
+		if !ok {
+			continue // roots and grouping spans carry no exclusive latency
+		}
+		a.latency[phase] += d
+		a.spans[phase] += cnt[name]
+	}
+}
+
+// E20PhaseBreakdown instruments the E17 and E19 fault scenarios with the
+// telemetry layer: every lookup, heal, and scrub pass runs traced, and the
+// span trees are folded into a per-phase latency breakdown — how much of
+// the recovery bill is spent looking up, verifying, and repairing. The
+// telemetry registry snapshot (counters, histograms, events) rides along in
+// the -json report's telemetry section.
+//
+// Telemetry is observation-only: E17 and E19 themselves run untraced and
+// their headline numbers are unaffected; this experiment re-runs their
+// conditions with the probes on.
+func E20PhaseBreakdown(quick bool) (*Table, error) {
+	peers, keys, ops, scrubEvery, rotEvery := 60, 80, 300, 25, 10
+	if quick {
+		peers, keys, ops, scrubEvery, rotEvery = 40, 30, 100, 20, 8
+	}
+
+	reg := telemetry.NewRegistry()
+	e17, err := runE20Arm("loss+churn (E17)", false, reg, peers, keys, ops, scrubEvery, rotEvery)
+	if err != nil {
+		return nil, err
+	}
+	e19, err := runE20Arm("loss+churn+byzantine (E19)", true, reg, peers, keys, ops, scrubEvery, rotEvery)
+	if err != nil {
+		return nil, err
+	}
+	// The breakdown only means something if the probes saw the work: the
+	// Byzantine arm must spend observable time in all three phases.
+	for _, phase := range []string{"lookup", "verify", "repair"} {
+		if e19.spans[phase] == 0 {
+			return nil, fmt.Errorf("bench: e20 invariant violated: byzantine arm recorded no %s spans", phase)
+		}
+	}
+
+	t := &Table{
+		ID:     "E20",
+		Title:  "telemetry: per-phase latency breakdown of traced operations (DHT, k=3)",
+		Header: []string{"arm", "phase", "sim ms", "ms/op", "share%", "spans"},
+	}
+	for _, arm := range []*e20Arm{e17, e19} {
+		var total time.Duration
+		for _, d := range arm.latency {
+			total += d
+		}
+		for _, phase := range []string{"lookup", "verify", "repair"} {
+			d := arm.latency[phase]
+			share := 0.0
+			if total > 0 {
+				share = float64(d) / float64(total) * 100
+			}
+			t.AddRow(
+				arm.name,
+				phase,
+				fmt.Sprintf("%.0f", float64(d)/float64(time.Millisecond)),
+				fmt.Sprintf("%.2f", float64(d)/float64(arm.ops)/float64(time.Millisecond)),
+				fmt.Sprintf("%.1f", share),
+				fmt.Sprintf("%d", arm.spans[phase]),
+			)
+		}
+	}
+	t.AddNote("lookup = routing + replica fetches + hedges + retry backoff; verify = digest exchanges + drill-down comparison + read verification; repair = heal, scrub, and read-repair pushes")
+	t.AddNote("every lookup, heal, and scrub pass runs with a span tree attached; phases sum exclusive span latencies in simulated time (deterministic under the seeded simnet)")
+	t.AddNote("the registry snapshot for both arms (counters, latency histograms, breaker/scrub events) is exported in the -json report's telemetry section")
+	for _, arm := range []struct {
+		key string
+		a   *e20Arm
+	}{{"e17", e17}, {"e19", e19}} {
+		for _, phase := range []string{"lookup", "verify", "repair"} {
+			t.AddMetric(fmt.Sprintf("e20_%s_%s_ms", arm.key, phase), "ms",
+				float64(arm.a.latency[phase])/float64(time.Millisecond))
+		}
+	}
+	snap := reg.Snapshot()
+	t.Telemetry = &snap
+	return t, nil
+}
+
+// runE20Arm soaks one fault scenario with tracing on. The byz arm layers
+// E19's Byzantine responders, stored bit rot, read verification,
+// read-repair, and the periodic scrub pass on top of E17's loss + churn.
+func runE20Arm(name string, byz bool, reg *telemetry.Registry, peers, keys, ops, scrubEvery, rotEvery int) (*e20Arm, error) {
+	const seed = int64(2020)
+	arm := &e20Arm{name: name, ops: ops, latency: make(map[string]time.Duration), spans: make(map[string]int)}
+	net := simnet.New(simnet.DefaultConfig(seed))
+	net.SetTelemetry(reg)
+	names := make([]simnet.NodeID, peers)
+	for i := range names {
+		names[i] = simnet.NodeID(fmt.Sprintf("node-%d", i))
+	}
+	d, err := dht.New(net, names, dht.Config{ReplicationFactor: 3})
+	if err != nil {
+		return nil, err
+	}
+	cfg := resilience.DefaultConfig(seed)
+	if byz {
+		cfg.Verify = scrub.Check
+		cfg.ReadRepair = true
+	}
+	kv := resilience.Wrap(d, cfg)
+	kv.SetTelemetry(reg)
+	client := string(names[0])
+
+	var scr *scrub.Scrubber
+	if byz {
+		scr = scrub.New(d, scrub.DefaultConfig(client))
+		scr.SetTelemetry(reg)
+		scr.SetVerdict(func(node string, ok bool) {
+			if ok {
+				kv.Breaker().Report(node, true)
+			} else {
+				kv.Breaker().ReportCorrupt(node)
+			}
+		})
+	}
+
+	allKeys := make([]string, keys)
+	for i := range allKeys {
+		key := fmt.Sprintf("k%d", i)
+		allKeys[i] = key
+		rec := scrub.Seal(key, []byte(fmt.Sprintf("post-%d", i)))
+		sp := telemetry.NewSpan("put")
+		if _, err := kv.StoreSpan(sp, client, key, rec); err != nil {
+			return nil, fmt.Errorf("bench: e20 store: %w", err)
+		}
+		arm.addTree(sp)
+	}
+
+	net.SetLossRate(0.10)
+	sched, err := simnet.NewFaultSchedule(net, names[1:], simnet.ChurnConfig{
+		Seed: seed, Uptime: 0.7, MeanOnline: 20,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sched.Restore()
+	if byz {
+		modes := []simnet.ByzMode{simnet.ByzBitFlip, simnet.ByzTruncate, simnet.ByzReplay, simnet.ByzEquivocate}
+		for j, idx := range []int{7, 13, 19, 25} {
+			if err := net.SetByzantine(names[idx], simnet.ByzantineConfig{Mode: modes[j], Rate: 0.05, Seed: seed}); err != nil {
+				return nil, err
+			}
+		}
+		if err := net.SetByzantine(names[31], simnet.ByzantineConfig{Mode: simnet.ByzBitFlip, Rate: 1, Seed: seed}); err != nil {
+			return nil, err
+		}
+	}
+	rotRng := rand.New(rand.NewSource(seed ^ 0x7e1e))
+
+	for i := 0; i < ops; i++ {
+		sched.Tick()
+
+		if byz && i%rotEvery == 0 {
+			key := allKeys[rotRng.Intn(len(allKeys))]
+			pick := rotRng.Intn(peers)
+			pos := rotRng.Intn(1 << 16)
+			var holders []string
+			for _, nm := range names {
+				if d.Holds(string(nm), key) {
+					holders = append(holders, string(nm))
+				}
+			}
+			if len(holders) > 0 {
+				d.CorruptStored(holders[pick%len(holders)], key, func(b []byte) []byte {
+					if len(b) > 0 {
+						b[pos%len(b)] ^= 0x01
+					}
+					return b
+				})
+			}
+		}
+
+		hsp := telemetry.NewSpan("heal")
+		if _, err := kv.HealSpan(hsp); err != nil {
+			return nil, err
+		}
+		arm.addTree(hsp)
+
+		if byz && i%scrubEvery == scrubEvery-1 {
+			ssp := telemetry.NewSpan("scrub")
+			if _, err := scr.ScrubSpan(ssp, allKeys); err != nil {
+				return nil, err
+			}
+			arm.addTree(ssp)
+		}
+
+		sp := telemetry.NewSpan("get")
+		_, _, _ = kv.LookupSpan(sp, client, allKeys[i%len(allKeys)])
+		arm.addTree(sp)
+		if arm.sample == "" && eventfulTrace(sp) {
+			var buf bytes.Buffer
+			sp.Render(&buf)
+			arm.sample = buf.String()
+		}
+	}
+	return arm, nil
+}
+
+// eventfulTrace reports whether a lookup's span tree shows recovery at
+// work — a hedge, a condemned read, or a read-repair — making it worth
+// keeping as the arm's sample trace.
+func eventfulTrace(sp *telemetry.Span) bool {
+	found := false
+	sp.Walk(func(_ int, s *telemetry.Span) {
+		switch s.Name {
+		case "hedge", "read-repair":
+			found = true
+		case "verify":
+			if s.Outcome == "corruption" {
+				found = true
+			}
+		}
+	})
+	return found
+}

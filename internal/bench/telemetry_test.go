@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestE20TelemetryDeterministic runs the instrumented experiment twice and
+// requires byte-identical rendered tables and deeply equal registry
+// snapshots — the telemetry determinism contract end-to-end: counters,
+// histograms (simulated-latency buckets), and event counts all derive from
+// the seeded simnet, never from the wall clock.
+func TestE20TelemetryDeterministic(t *testing.T) {
+	run := func() (*Table, string) {
+		tb, err := E20PhaseBreakdown(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		tb.Render(&buf)
+		return tb, buf.String()
+	}
+	t1, out1 := run()
+	t2, out2 := run()
+	if out1 != out2 {
+		t.Errorf("E20 rendered output differs between identical runs:\n--- first ---\n%s\n--- second ---\n%s", out1, out2)
+	}
+	if t1.Telemetry == nil || t2.Telemetry == nil {
+		t.Fatal("E20 table missing telemetry snapshot")
+	}
+	if !reflect.DeepEqual(*t1.Telemetry, *t2.Telemetry) {
+		t.Errorf("E20 telemetry snapshots differ between identical runs:\nfirst:  %+v\nsecond: %+v", *t1.Telemetry, *t2.Telemetry)
+	}
+	if len(t1.Telemetry.Counters) == 0 {
+		t.Error("E20 telemetry snapshot has no counters")
+	}
+	if len(t1.Telemetry.Histograms) == 0 {
+		t.Error("E20 telemetry snapshot has no histograms")
+	}
+	if len(t1.Telemetry.Events) == 0 {
+		t.Error("E20 telemetry snapshot has no event counts")
+	}
+}

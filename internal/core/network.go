@@ -32,6 +32,7 @@ import (
 	"godosn/internal/social/graph"
 	"godosn/internal/social/identity"
 	"godosn/internal/social/privacy"
+	"godosn/internal/telemetry"
 )
 
 // Errors returned by this package.
@@ -107,6 +108,11 @@ type Network struct {
 	Sim *simnet.Network
 	// KV is the overlay used for content storage/lookup.
 	KV overlay.KV
+	// Telemetry is the deployment-wide metrics registry and event log. The
+	// simnet and (when configured) the resilience layer report into it;
+	// layers built on top (scrubbers, experiments) should register here
+	// too, so one snapshot carries the whole deployment's accounting.
+	Telemetry *telemetry.Registry
 
 	mu    sync.RWMutex
 	kind  OverlayKind
@@ -153,6 +159,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 		Registry:    identity.NewRegistry(),
 		Graph:       graph.New(),
 		Sim:         simnet.New(simnet.DefaultConfig(cfg.Seed)),
+		Telemetry:   telemetry.NewRegistry(),
 		kind:        cfg.Overlay,
 		nodes:       make(map[string]*Node),
 		authority:   authority,
@@ -184,12 +191,15 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
+	n.Sim.SetTelemetry(n.Telemetry)
 	if cfg.Resilience != nil {
 		rcfg := *cfg.Resilience
 		if rcfg.Seed == 0 {
 			rcfg.Seed = cfg.Seed
 		}
-		kv = resilience.Wrap(kv, rcfg)
+		rkv := resilience.Wrap(kv, rcfg)
+		rkv.SetTelemetry(n.Telemetry)
+		kv = rkv
 	}
 	n.KV = kv
 	for _, u := range cfg.Users {

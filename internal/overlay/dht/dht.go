@@ -21,6 +21,7 @@ import (
 	"godosn/internal/overlay"
 	"godosn/internal/overlay/simnet"
 	"godosn/internal/parallel"
+	"godosn/internal/telemetry"
 )
 
 // ringBits is the identifier space size (2^64 ring).
@@ -255,7 +256,7 @@ func (d *DHT) handlerFor(n *node) simnet.HandlerFunc {
 			if !ok {
 				return simnet.Message{}, fmt.Errorf("dht: bad payload for %s", msg.Kind)
 			}
-			return simnet.Message{Kind: msg.Kind, Payload: digestResp{Root: localDigest(n, req.Keys)}, Size: 32}, nil
+			return simnet.Message{Kind: msg.Kind, Payload: localDigest(n, req.Keys, req.Nonce), Size: 64}, nil
 		}
 		return simnet.Message{}, fmt.Errorf("dht: unknown message kind %q", msg.Kind)
 	}
@@ -323,9 +324,22 @@ func (d *DHT) findSuccessor(tr *simnet.Trace, origin simnet.NodeID, key uint64) 
 // Store implements overlay.KV: the value is written to the key's successor
 // and its replica set.
 func (d *DHT) Store(origin, key string, value []byte) (overlay.OpStats, error) {
+	return d.StoreSpan(nil, origin, key, value)
+}
+
+// StoreSpan implements overlay.SpanKV: Store with the routing step and each
+// replica write attributed to child spans of sp (nil sp: identical untraced
+// operation).
+func (d *DHT) StoreSpan(sp *telemetry.Span, origin, key string, value []byte) (overlay.OpStats, error) {
+	sp.Tag("key", key)
 	tr := &simnet.Trace{}
 	kid := hashID(key)
-	root, err := d.findSuccessor(tr, simnet.NodeID(origin), kid)
+	rtr := &simnet.Trace{}
+	route := sp.Child("route")
+	root, err := d.findSuccessor(rtr, simnet.NodeID(origin), kid)
+	tr.Add(rtr)
+	route.AddLatency(rtr.Latency)
+	route.End(spanOutcome(err))
 	if err != nil {
 		return stats(tr), err
 	}
@@ -335,7 +349,8 @@ func (d *DHT) Store(origin, key string, value []byte) (overlay.OpStats, error) {
 	// Contact the replica set on the configured fan-out (serial by default,
 	// concurrent with FanoutWorkers > 1). Each contact charges its own
 	// trace; mergeFanout folds them into tr with the latency model matching
-	// the fan-out shape.
+	// the fan-out shape. Per-replica spans are built detached (workers must
+	// not append to sp concurrently) and adopted in replica order below.
 	outcomes, _ := parallel.Map(d.fanout, replicas, func(_ int, rid uint64) (replicaOutcome, error) {
 		d.mu.RLock()
 		rn := d.byID[rid]
@@ -346,9 +361,19 @@ func (d *DHT) Store(origin, key string, value []byte) (overlay.OpStats, error) {
 			Payload: storeReq{Key: key, Value: value},
 			Size:    len(key) + len(value),
 		})
-		return replicaOutcome{tr: *rtr, err: err}, nil
+		var rsp *telemetry.Span
+		if sp != nil {
+			rsp = telemetry.NewSpan("store")
+			rsp.Tag("replica", string(rn.name))
+			rsp.AddLatency(rtr.Latency)
+			rsp.End(spanOutcome(err))
+		}
+		return replicaOutcome{tr: *rtr, err: err, span: rsp}, nil
 	})
 	d.mergeFanout(tr, outcomes)
+	for _, o := range outcomes {
+		sp.Adopt(o.span)
+	}
 	stored := 0
 	var lastErr, ackLost error
 	for _, o := range outcomes {
@@ -380,9 +405,22 @@ func (d *DHT) Store(origin, key string, value []byte) (overlay.OpStats, error) {
 // Lookup implements overlay.KV: it routes to the key's successor and falls
 // back through the replica set when nodes are offline.
 func (d *DHT) Lookup(origin, key string) ([]byte, overlay.OpStats, error) {
+	return d.LookupSpan(nil, origin, key)
+}
+
+// LookupSpan implements overlay.SpanKV: Lookup with the routing step and
+// each replica fetch attributed to child spans of sp (nil sp: identical
+// untraced operation).
+func (d *DHT) LookupSpan(sp *telemetry.Span, origin, key string) ([]byte, overlay.OpStats, error) {
+	sp.Tag("key", key)
 	tr := &simnet.Trace{}
 	kid := hashID(key)
-	root, err := d.findSuccessor(tr, simnet.NodeID(origin), kid)
+	rtr := &simnet.Trace{}
+	route := sp.Child("route")
+	root, err := d.findSuccessor(rtr, simnet.NodeID(origin), kid)
+	tr.Add(rtr)
+	route.AddLatency(rtr.Latency)
+	route.End(spanOutcome(err))
 	if err != nil {
 		return nil, stats(tr), err
 	}
@@ -396,22 +434,31 @@ func (d *DHT) Lookup(origin, key string) ([]byte, overlay.OpStats, error) {
 			d.mu.RLock()
 			rn := d.byID[rid]
 			d.mu.RUnlock()
-			reply, err := d.net.RPC(tr, simnet.NodeID(origin), rn.name, simnet.Message{
+			ftr := &simnet.Trace{}
+			fsp := sp.Child("fetch")
+			fsp.Tag("replica", string(rn.name))
+			reply, err := d.net.RPC(ftr, simnet.NodeID(origin), rn.name, simnet.Message{
 				Kind:    kindFetch,
 				Payload: fetchReq{Key: key},
 				Size:    len(key),
 			})
+			tr.Add(ftr)
+			fsp.AddLatency(ftr.Latency)
 			if err != nil {
+				fsp.End(spanOutcome(err))
 				lastErr = err
 				continue
 			}
 			resp, ok := reply.Payload.(fetchResp)
 			if !ok {
+				fsp.End("error")
 				return nil, stats(tr), fmt.Errorf("dht: bad fetch reply")
 			}
 			if resp.Found {
+				fsp.End("ok")
 				return resp.Value, stats(tr), nil
 			}
+			fsp.End("miss")
 			lastErr = overlay.ErrNotFound
 		}
 		return nil, stats(tr), lastErr
@@ -420,6 +467,7 @@ func (d *DHT) Lookup(origin, key string) ([]byte, overlay.OpStats, error) {
 	// the first hit in ring order, so the answer is independent of
 	// goroutine scheduling. Costs more messages than the serial early-exit
 	// but the operation completes in one (slowest-branch) round trip.
+	// Per-replica spans are built detached and adopted in replica order.
 	outcomes, _ := parallel.Map(d.fanout, replicas, func(_ int, rid uint64) (replicaOutcome, error) {
 		d.mu.RLock()
 		rn := d.byID[rid]
@@ -430,9 +478,19 @@ func (d *DHT) Lookup(origin, key string) ([]byte, overlay.OpStats, error) {
 			Payload: fetchReq{Key: key},
 			Size:    len(key),
 		})
-		return replicaOutcome{tr: *rtr, reply: reply, err: err}, nil
+		var rsp *telemetry.Span
+		if sp != nil {
+			rsp = telemetry.NewSpan("fetch")
+			rsp.Tag("replica", string(rn.name))
+			rsp.AddLatency(rtr.Latency)
+			rsp.End(spanOutcome(err))
+		}
+		return replicaOutcome{tr: *rtr, reply: reply, err: err, span: rsp}, nil
 	})
 	d.mergeFanout(tr, outcomes)
+	for _, o := range outcomes {
+		sp.Adopt(o.span)
+	}
 	var lastErr error = overlay.ErrUnavailable
 	for _, o := range outcomes {
 		if o.err != nil {
@@ -456,6 +514,29 @@ type replicaOutcome struct {
 	tr    simnet.Trace
 	reply simnet.Message
 	err   error
+	span  *telemetry.Span // detached per-replica span; nil when untraced
+}
+
+// spanOutcome renders an operation error as a span outcome tag.
+func spanOutcome(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, overlay.ErrNotFound):
+		return "miss"
+	case errors.Is(err, simnet.ErrReplyLost):
+		return "ack-lost"
+	case errors.Is(err, simnet.ErrDropped):
+		return "drop"
+	case errors.Is(err, simnet.ErrNodeOffline):
+		return "offline"
+	case errors.Is(err, simnet.ErrPartitioned):
+		return "partitioned"
+	case errors.Is(err, overlay.ErrUnavailable):
+		return "unavailable"
+	default:
+		return "error"
+	}
 }
 
 // mergeFanout folds per-replica traces into the operation trace. Message,

@@ -23,13 +23,23 @@ var (
 // kindDigest asks a node for the Merkle root over its copies of a key set.
 const kindDigest = "dht.digest"
 
-type digestReq struct{ Keys []string }
+// digestReq carries the key set and the scrubber's per-pass freshness
+// nonce; the responder must bind the nonce into its root, so a replayed
+// reply (recorded under an older nonce) cannot pass as fresh.
+type digestReq struct {
+	Keys  []string
+	Nonce uint64
+}
 
-// digestResp carries the root as a byte slice (not an array) deliberately:
-// a Byzantine responder can then corrupt it like any other payload, which
+// digestResp carries the roots as byte slices (not arrays) deliberately: a
+// Byzantine responder can then corrupt them like any other payload, which
 // makes the scrubber drill down to full value comparison instead of
-// trusting a lying summary.
-type digestResp struct{ Root []byte }
+// trusting a lying summary. Fresh is the nonce-bound root, State the
+// nonce-free one (overlay.Digest).
+type digestResp struct {
+	Fresh []byte
+	State []byte
+}
 
 // StoreTo implements overlay.RepairKV: write key=value onto one named
 // replica only, bypassing routing and placement.
@@ -50,39 +60,41 @@ func (d *DHT) StoreTo(origin, key string, value []byte, replica string) (overlay
 }
 
 // DigestFrom implements overlay.DigestKV: one RPC retrieving the Merkle
-// root over the named replica's local copies of keys, in the given order.
-func (d *DHT) DigestFrom(origin string, keys []string, replica string) ([32]byte, overlay.OpStats, error) {
+// roots (nonce-bound and plain) over the named replica's local copies of
+// keys, in the given order.
+func (d *DHT) DigestFrom(origin string, keys []string, nonce uint64, replica string) (overlay.Digest, overlay.OpStats, error) {
 	tr := &simnet.Trace{}
 	d.mu.RLock()
 	rn := d.names[simnet.NodeID(replica)]
 	d.mu.RUnlock()
 	if rn == nil {
-		return [32]byte{}, stats(tr), fmt.Errorf("dht: %w: replica %s", simnet.ErrUnknownNode, replica)
+		return overlay.Digest{}, stats(tr), fmt.Errorf("dht: %w: replica %s", simnet.ErrUnknownNode, replica)
 	}
-	size := 0
+	size := 8
 	for _, k := range keys {
 		size += len(k)
 	}
 	reply, err := d.net.RPC(tr, simnet.NodeID(origin), rn.name, simnet.Message{
 		Kind:    kindDigest,
-		Payload: digestReq{Keys: append([]string(nil), keys...)},
+		Payload: digestReq{Keys: append([]string(nil), keys...), Nonce: nonce},
 		Size:    size,
 	})
 	if err != nil {
-		return [32]byte{}, stats(tr), err
+		return overlay.Digest{}, stats(tr), err
 	}
 	resp, ok := reply.Payload.(digestResp)
-	if !ok || len(resp.Root) != 32 {
-		return [32]byte{}, stats(tr), fmt.Errorf("dht: bad digest reply")
+	if !ok || len(resp.Fresh) != 32 || len(resp.State) != 32 {
+		return overlay.Digest{}, stats(tr), fmt.Errorf("dht: bad digest reply")
 	}
-	var root [32]byte
-	copy(root[:], resp.Root)
-	return root, stats(tr), nil
+	var dg overlay.Digest
+	copy(dg.Fresh[:], resp.Fresh)
+	copy(dg.State[:], resp.State)
+	return dg, stats(tr), nil
 }
 
-// localDigest computes a node's digest over its copies of keys — node-local
-// handler logic, free of network cost.
-func localDigest(n *node, keys []string) []byte {
+// localDigest computes a node's digests over its copies of keys —
+// node-local handler logic, free of network cost.
+func localDigest(n *node, keys []string, nonce uint64) digestResp {
 	leaves := make([][32]byte, 0, len(keys))
 	n.mu.Lock()
 	for _, key := range keys {
@@ -90,8 +102,9 @@ func localDigest(n *node, keys []string) []byte {
 		leaves = append(leaves, overlay.CopyLeaf(key, v, ok))
 	}
 	n.mu.Unlock()
-	root := overlay.DigestOf(leaves)
-	return root[:]
+	fresh := overlay.NoncedDigestOf(nonce, leaves)
+	state := overlay.DigestOf(leaves)
+	return digestResp{Fresh: fresh[:], State: state[:]}
 }
 
 // SetPlacementFilter implements overlay.PlacementFilterable: allow vetoes

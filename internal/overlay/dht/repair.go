@@ -6,6 +6,7 @@ import (
 
 	"godosn/internal/overlay"
 	"godosn/internal/overlay/simnet"
+	"godosn/internal/telemetry"
 )
 
 // This file implements the DHT's fault-tolerance surface: crash semantics
@@ -14,8 +15,10 @@ import (
 // (overlay.Healer) that re-replicates under-replicated keys after churn.
 
 var (
-	_ overlay.ReplicaKV = (*DHT)(nil)
-	_ overlay.Healer    = (*DHT)(nil)
+	_ overlay.ReplicaKV  = (*DHT)(nil)
+	_ overlay.Healer     = (*DHT)(nil)
+	_ overlay.SpanKV     = (*DHT)(nil)
+	_ overlay.SpanHealer = (*DHT)(nil)
 )
 
 // registerCrashHook wires a node's volatile storage to simnet crash
@@ -132,6 +135,13 @@ func (d *DHT) liveTargets(root uint64, k int) []*node {
 // online holder, to the online successors missing it. Re-replication RPCs
 // are charged to the report's stats.
 func (d *DHT) Heal() (overlay.HealReport, error) {
+	return d.HealSpan(nil)
+}
+
+// HealSpan implements overlay.SpanHealer: Heal with each re-replication
+// push attributed to a "repair" child span of sp (nil sp: identical
+// untraced pass).
+func (d *DHT) HealSpan(sp *telemetry.Span) (overlay.HealReport, error) {
 	d.mu.RLock()
 	// Snapshot key -> online holders from node-local scans.
 	holders := make(map[string][]*node)
@@ -176,11 +186,18 @@ func (d *DHT) Heal() (overlay.HealReport, error) {
 			}
 			// The holder pushes the copy; a drop leaves the key for the
 			// next pass rather than failing the whole heal.
-			_, err := d.net.RPC(tr, src.name, target.name, simnet.Message{
+			ptr := &simnet.Trace{}
+			psp := sp.Child("repair")
+			psp.Tag("key", key)
+			psp.Tag("to", string(target.name))
+			_, err := d.net.RPC(ptr, src.name, target.name, simnet.Message{
 				Kind:    kindStore,
 				Payload: storeReq{Key: key, Value: value},
 				Size:    len(key) + len(value),
 			})
+			tr.Add(ptr)
+			psp.AddLatency(ptr.Latency)
+			psp.End(spanOutcome(err))
 			if err == nil {
 				report.Repaired++
 			} else {

@@ -1,6 +1,10 @@
 package overlay
 
-import "godosn/internal/crypto/merkle"
+import (
+	"encoding/binary"
+
+	"godosn/internal/crypto/merkle"
+)
 
 // This file defines the Merkle anti-entropy contract between overlays and
 // the integrity scrubber (internal/resilience/scrub): a replica summarizes
@@ -15,6 +19,9 @@ import "godosn/internal/crypto/merkle"
 const (
 	copyPresent = "godosn/scrub/copy-v1\x00"
 	copyAbsent  = "godosn/scrub/absent-v1\x00"
+	// nonceDomain domain-separates the freshness nonce leaf that binds a
+	// digest to one scrub pass.
+	nonceDomain = "godosn/scrub/nonce-v1\x00"
 )
 
 // CopyLeaf hashes one replica's copy of key for digest comparison. present
@@ -42,6 +49,22 @@ func DigestOf(leaves [][32]byte) [32]byte {
 	return t.Root()
 }
 
+// NoncedDigestOf is DigestOf with the scrub pass's freshness nonce bound in
+// as the first leaf. The nonce forces a replica to commit per pass: a
+// Byzantine node replaying an old-but-matching digest reply answers for a
+// stale nonce, so its root diverges from the honest replicas' and the
+// scrubber drills down within the same pass instead of one round late.
+func NoncedDigestOf(nonce uint64, leaves [][32]byte) [32]byte {
+	t := &merkle.Tree{}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], nonce)
+	t.AppendLeafHash(merkle.LeafHash(append([]byte(nonceDomain), buf[:]...)))
+	for _, l := range leaves {
+		t.AppendLeafHash(l)
+	}
+	return t.Root()
+}
+
 // RepairKV is implemented by overlays that can write a value directly onto
 // one named replica, bypassing placement. The integrity scrubber uses it to
 // push a verified canonical copy over a divergent or missing one.
@@ -51,16 +74,28 @@ type RepairKV interface {
 	StoreTo(origin string, key string, value []byte, replica string) (OpStats, error)
 }
 
+// Digest is one replica's summary of its copies of a key set. Fresh is the
+// nonce-bound root (NoncedDigestOf) — the root compared across replicas, so
+// a reply recorded under an earlier nonce cannot be replayed as fresh.
+// State is the nonce-free root (DigestOf) over the same copies: once Fresh
+// equality has established that every replica answered this pass, State is
+// a stable fingerprint of the agreed replica state, identical across passes
+// over unchanged data.
+type Digest struct {
+	Fresh [32]byte
+	State [32]byte
+}
+
 // DigestKV is implemented by overlays whose replicas can summarize their
-// local copies of a key set as a Merkle root (CopyLeaf/DigestOf). Digest
-// replies travel over the same faulty network as everything else: a
-// corrupted or lying digest causes a drill-down to full value comparison,
-// never a false "clean".
+// local copies of a key set as Merkle roots (CopyLeaf/DigestOf/
+// NoncedDigestOf). Digest replies travel over the same faulty network as
+// everything else: a corrupted or lying digest causes a drill-down to full
+// value comparison, never a false "clean".
 type DigestKV interface {
 	ReplicaKV
-	// DigestFrom asks one named replica for DigestOf over its local copies
-	// of keys, walked in the given order.
-	DigestFrom(origin string, keys []string, replica string) ([32]byte, OpStats, error)
+	// DigestFrom asks one named replica for its Digest over its local
+	// copies of keys, walked in the given order, bound to nonce.
+	DigestFrom(origin string, keys []string, nonce uint64, replica string) (Digest, OpStats, error)
 }
 
 // PlacementFilterable is implemented by overlays whose replica placement can

@@ -115,6 +115,15 @@ func (n *Network) ByzantineMode(id NodeID) ByzMode {
 	return ByzNone
 }
 
+// noteCorrupted counts one corrupted reply in the network counter and, when
+// telemetry is wired, the registry. Call with n.mu held.
+func (n *Network) noteCorrupted() {
+	n.corrupted++
+	if n.tel != nil {
+		n.tel.corrupted.Inc()
+	}
+}
+
 // CorruptedReplies reports how many replies the network has corrupted since
 // the last ResetTotals — the injected-fault count experiments compare
 // against how many corruptions *surfaced* to the application.
@@ -145,7 +154,7 @@ func (n *Network) maybeCorrupt(from, to NodeID, reply Message) Message {
 			return flipBit(s.rng, b)
 		})
 		if mutated {
-			n.corrupted++
+			n.noteCorrupted()
 		}
 		return out
 
@@ -161,7 +170,7 @@ func (n *Network) maybeCorrupt(from, to NodeID, reply Message) Message {
 		// even if the caller mutates what it received.
 		out, _ := mutatePayload(stale, copyBytes)
 		if !payloadEqual(out, reply) {
-			n.corrupted++
+			n.noteCorrupted()
 			return out
 		}
 		return reply
@@ -169,14 +178,14 @@ func (n *Network) maybeCorrupt(from, to NodeID, reply Message) Message {
 	case ByzEquivocate:
 		// The lie is a deterministic function of the caller identity: the
 		// same caller always sees the same (corrupted or honest) behaviour.
-		pair := labelHash(string(to) + "\x00" + string(from)) ^ n.cfg.Seed ^ s.cfg.Seed
+		pair := labelHash(string(to)+"\x00"+string(from)) ^ n.cfg.Seed ^ s.cfg.Seed
 		if float64(uint64(pair)%1000)/1000 >= s.cfg.Rate {
 			return reply
 		}
 		flipRng := rand.New(rand.NewSource(pair))
 		out, mutated := mutatePayload(reply, func(b []byte) []byte { return flipBit(flipRng, b) })
 		if mutated {
-			n.corrupted++
+			n.noteCorrupted()
 		}
 		return out
 	}

@@ -16,6 +16,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"godosn/internal/telemetry"
 )
 
 // NodeID identifies a node in the simulated network.
@@ -103,9 +105,9 @@ func DefaultConfig(seed int64) Config {
 
 // Network is the simulated network. It is safe for concurrent use.
 type Network struct {
-	mu       sync.Mutex
-	cfg      Config
-	rng      *rand.Rand
+	mu        sync.Mutex
+	cfg       Config
+	rng       *rand.Rand
 	nodes     map[NodeID]Handler
 	offline   map[NodeID]bool
 	partOf    map[NodeID]int // partition group; 0 = default
@@ -114,6 +116,48 @@ type Network struct {
 	corrupted int                  // replies corrupted since last reset
 	totals    Trace
 	rpcCount  int
+	tel       *netTelemetry // nil until SetTelemetry
+}
+
+// netTelemetry holds the network's registry-backed counters, resolved once
+// at SetTelemetry so the RPC path pays pointer loads, not map lookups.
+type netTelemetry struct {
+	rpcs      *telemetry.Counter
+	messages  *telemetry.Counter
+	bytes     *telemetry.Counter
+	dropped   *telemetry.Counter
+	offline   *telemetry.Counter
+	partition *telemetry.Counter
+	replyLost *telemetry.Counter
+	corrupted *telemetry.Counter
+	delay     *telemetry.Histogram
+}
+
+// SetTelemetry wires the network's traffic and fault accounting into a
+// metrics registry: simnet_rpcs_total, simnet_messages_total,
+// simnet_bytes_total, per-fault-class drop counters,
+// simnet_corrupted_replies_total, and a one-way delay histogram
+// (simnet_delay_ms, simulated milliseconds — never wall clock). nil
+// detaches. The pre-existing Totals/RPCCount/CorruptedReplies accessors
+// keep working; the registry is the shared view other layers report into.
+func (n *Network) SetTelemetry(reg *telemetry.Registry) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if reg == nil {
+		n.tel = nil
+		return
+	}
+	n.tel = &netTelemetry{
+		rpcs:      reg.Counter("simnet_rpcs_total"),
+		messages:  reg.Counter("simnet_messages_total"),
+		bytes:     reg.Counter("simnet_bytes_total"),
+		dropped:   reg.Counter("simnet_dropped_total"),
+		offline:   reg.Counter("simnet_offline_refusals_total"),
+		partition: reg.Counter("simnet_partition_refusals_total"),
+		replyLost: reg.Counter("simnet_replies_lost_total"),
+		corrupted: reg.Counter("simnet_corrupted_replies_total"),
+		delay:     reg.Histogram("simnet_delay_ms", "ms", telemetry.LatencyBuckets()),
+	}
 }
 
 // New creates an empty network.
@@ -263,15 +307,27 @@ func (n *Network) admit(tr *Trace, from, to NodeID, size int) (Handler, error) {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, to)
 	}
 	if n.offline[to] {
+		if n.tel != nil {
+			n.tel.offline.Inc()
+		}
 		return nil, fmt.Errorf("%w: %s", ErrNodeOffline, to)
 	}
 	if n.offline[from] {
+		if n.tel != nil {
+			n.tel.offline.Inc()
+		}
 		return nil, fmt.Errorf("%w: %s (sender)", ErrNodeOffline, from)
 	}
 	if n.partOf[from] != n.partOf[to] {
+		if n.tel != nil {
+			n.tel.partition.Inc()
+		}
 		return nil, fmt.Errorf("%w: %s / %s", ErrPartitioned, from, to)
 	}
 	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+		if n.tel != nil {
+			n.tel.dropped.Inc()
+		}
 		return nil, fmt.Errorf("%w: %s -> %s", ErrDropped, from, to)
 	}
 	delay := n.cfg.BaseLatency
@@ -284,6 +340,11 @@ func (n *Network) admit(tr *Trace, from, to NodeID, size int) (Handler, error) {
 	n.totals.Messages++
 	n.totals.Bytes += size
 	n.totals.Latency += delay
+	if n.tel != nil {
+		n.tel.messages.Inc()
+		n.tel.bytes.Add(int64(size))
+		n.tel.delay.ObserveDuration(delay)
+	}
 	return h, nil
 }
 
@@ -301,6 +362,9 @@ func (n *Network) RPC(tr *Trace, from, to NodeID, msg Message) (Message, error) 
 	n.rpcCount++
 	tr.Hops++
 	n.totals.Hops++
+	if n.tel != nil {
+		n.tel.rpcs.Inc()
+	}
 	n.mu.Unlock()
 
 	reply, err := h.HandleRPC(tr, from, msg)
@@ -314,6 +378,11 @@ func (n *Network) RPC(tr *Trace, from, to NodeID, msg Message) (Message, error) 
 	// request being lost: the handler has already run, so the caller must
 	// learn that the operation may have been applied.
 	if _, aerr := n.admit(tr, to, from, reply.Size); aerr != nil {
+		n.mu.Lock()
+		if n.tel != nil {
+			n.tel.replyLost.Inc()
+		}
+		n.mu.Unlock()
 		return Message{}, fmt.Errorf("%w: %s->%s: %w", ErrReplyLost, to, from, aerr)
 	}
 	return reply, nil
@@ -333,6 +402,9 @@ func (n *Network) Cast(tr *Trace, from, to NodeID, msg Message) error {
 	n.rpcCount++
 	tr.Hops++
 	n.totals.Hops++
+	if n.tel != nil {
+		n.tel.rpcs.Inc()
+	}
 	n.mu.Unlock()
 	if _, err := h.HandleRPC(tr, from, msg); err != nil {
 		return fmt.Errorf("simnet: cast %s->%s %q: %w", from, to, msg.Kind, err)

@@ -1,0 +1,31 @@
+package overlay
+
+import "godosn/internal/telemetry"
+
+// This file defines the tracing contract between overlays and the layers
+// above them (resilience, scrub, bench): span-aware variants of the KV
+// operations, so one logical Get/Put yields an ordered span tree — routing,
+// per-replica contacts, heal pushes — instead of a single opaque OpStats.
+// Spans are nil-safe throughout: passing a nil span runs the identical code
+// path with tracing compiled down to pointer comparisons.
+
+// SpanKV is implemented by overlays whose operations can attribute their
+// work to a telemetry span tree. The span-aware variants behave exactly
+// like Store/Lookup (same results, same OpStats, same seeded RNG draws);
+// they additionally hang child spans — e.g. "route" and per-replica
+// "store"/"fetch" — off sp.
+type SpanKV interface {
+	KV
+	// StoreSpan is Store with tracing attached to sp (nil: untraced).
+	StoreSpan(sp *telemetry.Span, origin string, key string, value []byte) (OpStats, error)
+	// LookupSpan is Lookup with tracing attached to sp (nil: untraced).
+	LookupSpan(sp *telemetry.Span, origin string, key string) ([]byte, OpStats, error)
+}
+
+// SpanHealer is implemented by overlays whose anti-entropy repair pass can
+// attribute its pushes to a span tree ("repair" children under sp).
+type SpanHealer interface {
+	Healer
+	// HealSpan is Heal with tracing attached to sp (nil: untraced).
+	HealSpan(sp *telemetry.Span) (HealReport, error)
+}

@@ -3,6 +3,8 @@ package resilience
 import (
 	"sort"
 	"sync"
+
+	"godosn/internal/telemetry"
 )
 
 // BreakerConfig parameterizes the per-node circuit breaker.
@@ -26,8 +28,17 @@ func DefaultBreakerConfig() BreakerConfig { return BreakerConfig{Threshold: 3, C
 type Breaker struct {
 	cfg BreakerConfig
 
-	mu    sync.Mutex
-	nodes map[string]*breakerState
+	mu     sync.Mutex
+	nodes  map[string]*breakerState
+	events *telemetry.Log // nil until SetEvents
+}
+
+// SetEvents routes circuit transitions — breaker.open, breaker.close,
+// breaker.quarantine — to a telemetry event log (nil disables).
+func (b *Breaker) SetEvents(log *telemetry.Log) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.events = log
 }
 
 type breakerState struct {
@@ -77,6 +88,9 @@ func (b *Breaker) Report(node string, ok bool) {
 		b.nodes[node] = s
 	}
 	if ok {
+		if s.open {
+			b.events.Emit("breaker.close", telemetry.A("node", node))
+		}
 		s.fails = 0
 		s.open = false
 		s.skips = 0
@@ -85,6 +99,12 @@ func (b *Breaker) Report(node string, ok bool) {
 	}
 	s.fails++
 	if s.fails >= b.cfg.Threshold {
+		if !s.open {
+			b.events.Emit("breaker.open", telemetry.A("node", node))
+			if s.tainted {
+				b.events.Emit("breaker.quarantine", telemetry.A("node", node))
+			}
+		}
 		s.open = true
 		s.skips = b.cfg.Cooldown
 	}
@@ -105,6 +125,11 @@ func (b *Breaker) ReportCorrupt(node string) {
 	if s == nil {
 		s = &breakerState{}
 		b.nodes[node] = s
+	}
+	if !s.tainted && s.open {
+		// Already open for loss; the corruption verdict upgrades it to
+		// quarantine without a fresh open transition.
+		b.events.Emit("breaker.quarantine", telemetry.A("node", node))
 	}
 	s.tainted = true
 	b.mu.Unlock()

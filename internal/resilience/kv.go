@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
 	"godosn/internal/overlay"
+	"godosn/internal/telemetry"
 )
 
 // ErrNoHealer reports that the wrapped overlay has no self-healing pass.
@@ -41,6 +43,12 @@ type Config struct {
 	// (overlay.PlacementFilterable). Persistently corrupting nodes are
 	// thereby both skipped on reads and starved of new copies.
 	Quarantine bool
+	// ReadRepair, when set, pushes the verified value a lookup elected
+	// over any replica that served a corrupt copy during the same lookup
+	// (requires the overlay to implement overlay.RepairKV). Off by
+	// default: it adds write traffic to the read path, and the scrubber
+	// already repairs corruption out of band.
+	ReadRepair bool
 }
 
 // DefaultConfig hedges across 2 extra replicas with the default retry
@@ -65,6 +73,9 @@ type Metrics struct {
 	// CorruptReads counts replica reads whose bytes failed verification —
 	// every one was detected and rejected, never returned to the caller.
 	CorruptReads int
+	// ReadRepairs counts verified values pushed over corrupt copies during
+	// lookups (Config.ReadRepair).
+	ReadRepairs int
 	// Failures is the number of operations that still failed.
 	Failures int
 	// Backoff is the total simulated retry delay charged to operations.
@@ -77,18 +88,64 @@ type Metrics struct {
 // experiments compare availability and cost honestly. It is safe for
 // concurrent use when the wrapped overlay is.
 type KV struct {
-	inner    overlay.KV
-	replicas overlay.ReplicaKV // nil when inner cannot address replicas
-	healer   overlay.Healer    // nil when inner cannot self-heal
-	cfg      Config
-	breaker  *Breaker
-	rng      *rand.Rand // jitter source; safe via lockedSource
+	inner     overlay.KV
+	replicas  overlay.ReplicaKV // nil when inner cannot address replicas
+	healer    overlay.Healer    // nil when inner cannot self-heal
+	repair    overlay.RepairKV  // nil when inner cannot write per-replica
+	spanInner overlay.SpanKV    // nil when inner cannot attribute spans
+	cfg       Config
+	breaker   *Breaker
+	rng       *rand.Rand // jitter source; safe via lockedSource
 
 	mu      sync.Mutex
 	metrics Metrics
+	tel     *kvTelemetry // nil until SetTelemetry
 }
 
-var _ overlay.KV = (*KV)(nil)
+var (
+	_ overlay.KV     = (*KV)(nil)
+	_ overlay.SpanKV = (*KV)(nil)
+)
+
+// kvTelemetry holds the decorator's resolved registry instruments. The
+// Metrics struct stays the source of truth (old field names keep working);
+// these counters mirror it so one registry snapshot carries the whole
+// system's accounting.
+type kvTelemetry struct {
+	ops          *telemetry.Counter
+	attempts     *telemetry.Counter
+	retries      *telemetry.Counter
+	hedges       *telemetry.Counter
+	breakerSkips *telemetry.Counter
+	corruptReads *telemetry.Counter
+	readRepairs  *telemetry.Counter
+	failures     *telemetry.Counter
+	backoff      *telemetry.Histogram
+}
+
+// SetTelemetry mirrors the recovery counters into reg and routes breaker
+// open/close/quarantine transitions to reg's event log.
+func (k *KV) SetTelemetry(reg *telemetry.Registry) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if reg == nil {
+		k.tel = nil
+		k.breaker.SetEvents(nil)
+		return
+	}
+	k.tel = &kvTelemetry{
+		ops:          reg.Counter("resilience_ops_total"),
+		attempts:     reg.Counter("resilience_attempts_total"),
+		retries:      reg.Counter("resilience_retries_total"),
+		hedges:       reg.Counter("resilience_hedges_total"),
+		breakerSkips: reg.Counter("resilience_breaker_skips_total"),
+		corruptReads: reg.Counter("resilience_corrupt_reads_total"),
+		readRepairs:  reg.Counter("resilience_read_repairs_total"),
+		failures:     reg.Counter("resilience_failures_total"),
+		backoff:      reg.Histogram("resilience_backoff_ms", "ms", telemetry.LatencyBuckets()),
+	}
+	k.breaker.SetEvents(reg.Events())
+}
 
 // lockedSource makes the jitter RNG safe for concurrent operations.
 type lockedSource struct {
@@ -133,6 +190,12 @@ func Wrap(inner overlay.KV, cfg Config) *KV {
 	if h, ok := inner.(overlay.Healer); ok {
 		k.healer = h
 	}
+	if r, ok := inner.(overlay.RepairKV); ok {
+		k.repair = r
+	}
+	if s, ok := inner.(overlay.SpanKV); ok {
+		k.spanInner = s
+	}
 	if cfg.Quarantine {
 		if pf, ok := inner.(overlay.PlacementFilterable); ok {
 			// Placement consults live breaker state: a node quarantined for
@@ -169,7 +232,8 @@ func (k *KV) ResetMetrics() {
 	k.metrics = Metrics{}
 }
 
-// record merges one operation's accounting into the metrics.
+// record merges one operation's accounting into the metrics and mirrors it
+// into the registry when telemetry is wired.
 func (k *KV) record(out Outcome, hedges, skips int, failed bool) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
@@ -182,6 +246,31 @@ func (k *KV) record(out Outcome, hedges, skips int, failed bool) {
 		k.metrics.Failures++
 	}
 	k.metrics.Backoff += out.Backoff
+	if t := k.tel; t != nil {
+		t.ops.Inc()
+		t.attempts.Add(int64(out.Attempts))
+		t.retries.Add(int64(out.Attempts - 1))
+		t.hedges.Add(int64(hedges))
+		t.breakerSkips.Add(int64(skips))
+		if failed {
+			t.failures.Inc()
+		}
+		if out.Backoff > 0 {
+			t.backoff.Observe(float64(out.Backoff) / float64(time.Millisecond))
+		}
+	}
+}
+
+// outcomeOf renders an operation error as a span outcome tag, using the
+// fault taxonomy for everything that is not a clean miss.
+func outcomeOf(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	if errors.Is(err, overlay.ErrNotFound) {
+		return "miss"
+	}
+	return Classify(err).String()
 }
 
 // Store implements overlay.KV with retries. DHT-style stores are
@@ -189,15 +278,53 @@ func (k *KV) record(out Outcome, hedges, skips int, failed bool) {
 // but the ack was dropped — are retried as well; the idempotent-store
 // tests prove this is safe.
 func (k *KV) Store(origin, key string, value []byte) (overlay.OpStats, error) {
+	return k.StoreSpan(nil, origin, key, value)
+}
+
+// StoreSpan implements overlay.SpanKV: Store with each attempt (and its
+// routing/fan-out, when the overlay traces) hung off a child span of sp,
+// plus a "backoff" child charging the total retry delay.
+func (k *KV) StoreSpan(sp *telemetry.Span, origin, key string, value []byte) (overlay.OpStats, error) {
+	sp.Tag("key", key)
 	var total overlay.OpStats
-	out, err := Do(k.cfg.Policy, k.rng, true, func(int) error {
-		st, err := k.inner.Store(origin, key, value)
+	out, err := Do(k.cfg.Policy, k.rng, true, func(n int) error {
+		asp := k.attemptSpan(sp, n)
+		var (
+			st  overlay.OpStats
+			err error
+		)
+		if asp != nil && k.spanInner != nil {
+			st, err = k.spanInner.StoreSpan(asp, origin, key, value)
+		} else {
+			st, err = k.inner.Store(origin, key, value)
+		}
 		total.Add(st)
+		asp.AddLatency(st.Latency)
+		asp.End(outcomeOf(err))
 		return err
 	})
 	total.Latency += out.Backoff
+	k.backoffSpan(sp, out.Backoff)
 	k.record(out, 0, 0, err != nil)
 	return total, err
+}
+
+// attemptSpan opens the n-th (1-based) attempt's child span under sp.
+func (k *KV) attemptSpan(sp *telemetry.Span, n int) *telemetry.Span {
+	asp := sp.Child("attempt")
+	asp.Tag("n", strconv.Itoa(n))
+	return asp
+}
+
+// backoffSpan charges the operation's accumulated retry delay to a child
+// span, so backoff shows up in the trace as its own phase.
+func (k *KV) backoffSpan(sp *telemetry.Span, backoff time.Duration) {
+	if sp == nil || backoff <= 0 {
+		return
+	}
+	bsp := sp.Child("backoff")
+	bsp.AddLatency(backoff)
+	bsp.End("ok")
 }
 
 // Lookup implements overlay.KV: retries around either the plain overlay
@@ -208,25 +335,47 @@ func (k *KV) Store(origin, key string, value []byte) (overlay.OpStats, error) {
 // against other replicas (replica-addressing overlays) or failed outright —
 // never returned.
 func (k *KV) Lookup(origin, key string) ([]byte, overlay.OpStats, error) {
+	return k.LookupSpan(nil, origin, key)
+}
+
+// LookupSpan implements overlay.SpanKV: Lookup with every attempt, replica
+// resolution, primary fetch, hedge fetch, read-repair push, and backoff
+// attributed to child spans of sp (nil sp: identical untraced operation).
+func (k *KV) LookupSpan(sp *telemetry.Span, origin, key string) ([]byte, overlay.OpStats, error) {
+	sp.Tag("key", key)
 	var (
 		total  overlay.OpStats
 		value  []byte
 		hedges int
 		skips  int
 	)
-	op := func(int) error {
+	op := func(n int) error {
+		asp := k.attemptSpan(sp, n)
 		if k.replicas == nil {
-			v, st, err := k.inner.Lookup(origin, key)
+			var (
+				v   []byte
+				st  overlay.OpStats
+				err error
+			)
+			if asp != nil && k.spanInner != nil {
+				v, st, err = k.spanInner.LookupSpan(asp, origin, key)
+			} else {
+				v, st, err = k.inner.Lookup(origin, key)
+			}
 			total.Add(st)
+			asp.AddLatency(st.Latency)
 			if err == nil {
-				if err = k.verifyValue(key, v); err != nil {
-					return err
-				}
+				err = k.verifyValue(key, v)
+			}
+			asp.End(outcomeOf(err))
+			if err != nil {
+				return err
 			}
 			value = v
-			return err
+			return nil
 		}
-		v, h, s, err := k.hedgedLookup(origin, key, &total)
+		v, h, s, err := k.hedgedLookup(asp, origin, key, &total)
+		asp.End(outcomeOf(err))
 		value = v
 		hedges += h
 		skips += s
@@ -241,6 +390,7 @@ func (k *KV) Lookup(origin, key string) ([]byte, overlay.OpStats, error) {
 	}
 	out, err := DoWith(k.cfg.Policy, k.rng, retryable, op)
 	total.Latency += out.Backoff
+	k.backoffSpan(sp, out.Backoff)
 	k.record(out, hedges, skips, err != nil)
 	if err != nil {
 		return nil, total, err
@@ -257,20 +407,35 @@ func (k *KV) verifyValue(key string, value []byte) error {
 	if verr := k.cfg.Verify(key, value); verr != nil {
 		k.mu.Lock()
 		k.metrics.CorruptReads++
+		if k.tel != nil {
+			k.tel.corruptReads.Inc()
+		}
 		k.mu.Unlock()
 		return fmt.Errorf("%w: key %q: %v", ErrCorrupt, key, verr)
 	}
 	return nil
 }
 
-// fetchFrom reads key from one named replica and verifies the bytes. The
-// breaker hears exactly one verdict per fetch: reachable-and-honest (a
-// verified value or a clean not-found) is a success; a delivery failure or
-// a corrupt payload is a failure.
-func (k *KV) fetchFrom(origin, key, name string) ([]byte, overlay.OpStats, error) {
+// fetchFrom reads key from one named replica and verifies the bytes,
+// attributing the read to a child span of sp named spanName. The breaker
+// hears exactly one verdict per fetch: reachable-and-honest (a verified
+// value or a clean not-found) is a success; a delivery failure or a corrupt
+// payload is a failure.
+func (k *KV) fetchFrom(sp *telemetry.Span, spanName, origin, key, name string) ([]byte, overlay.OpStats, error) {
+	fsp := sp.Child(spanName)
+	fsp.Tag("replica", name)
 	v, st, err := k.replicas.LookupFrom(origin, key, name)
-	if err == nil {
+	fsp.AddLatency(st.Latency)
+	if err == nil && k.cfg.Verify != nil {
+		// Verification is node-local (zero simulated latency) but gets its
+		// own span so corrupt reads are visible as a phase in the trace.
+		vsp := fsp.Child("verify")
 		err = k.verifyValue(key, v)
+		if err != nil {
+			vsp.End("corruption")
+		} else {
+			vsp.End("ok")
+		}
 	}
 	switch {
 	case replicaHealthy(err):
@@ -280,6 +445,7 @@ func (k *KV) fetchFrom(origin, key, name string) ([]byte, overlay.OpStats, error
 	default:
 		k.breaker.Report(name, false)
 	}
+	fsp.End(outcomeOf(err))
 	if err != nil {
 		return nil, st, err
 	}
@@ -289,10 +455,15 @@ func (k *KV) fetchFrom(origin, key, name string) ([]byte, overlay.OpStats, error
 // hedgedLookup performs one attempt: resolve replicas, read the primary,
 // and on failure or miss race a hedge wave over the next replicas. The
 // wave's reads are concurrent in simulated time: messages and bytes sum,
-// latency contributes only the slowest read.
-func (k *KV) hedgedLookup(origin, key string, total *overlay.OpStats) ([]byte, int, int, error) {
+// latency contributes only the slowest read. With Config.ReadRepair the
+// verified winner is pushed over any replica that served a corrupt copy
+// during this attempt.
+func (k *KV) hedgedLookup(sp *telemetry.Span, origin, key string, total *overlay.OpStats) ([]byte, int, int, error) {
+	rsp := sp.Child("resolve")
 	names, st, err := k.replicas.ReplicasFor(origin, key)
 	total.Add(st)
+	rsp.AddLatency(st.Latency)
+	rsp.End(outcomeOf(err))
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -312,7 +483,7 @@ func (k *KV) hedgedLookup(origin, key string, total *overlay.OpStats) ([]byte, i
 	}
 
 	// Primary read (verified).
-	v, st, err := k.fetchFrom(origin, key, allowed[0])
+	v, st, err := k.fetchFrom(sp, "fetch", origin, key, allowed[0])
 	total.Add(st)
 	if err == nil {
 		return v, 0, skips, nil
@@ -321,7 +492,11 @@ func (k *KV) hedgedLookup(origin, key string, total *overlay.OpStats) ([]byte, i
 		anyNotFound  = errors.Is(err, overlay.ErrNotFound)
 		anyRetryable bool
 		lastErr      = err
+		corrupters   []string
 	)
+	if Classify(err) == FaultCorruption {
+		corrupters = append(corrupters, allowed[0])
+	}
 	if RetryableElsewhere(Classify(err), true) {
 		anyRetryable = true
 	}
@@ -338,7 +513,7 @@ func (k *KV) hedgedLookup(origin, key string, total *overlay.OpStats) ([]byte, i
 		waveLat time.Duration
 	)
 	for _, name := range wave {
-		v, st, err := k.fetchFrom(origin, key, name)
+		v, st, err := k.fetchFrom(sp, "hedge", origin, key, name)
 		total.Hops += st.Hops
 		total.Messages += st.Messages
 		total.Bytes += st.Bytes
@@ -353,6 +528,9 @@ func (k *KV) hedgedLookup(origin, key string, total *overlay.OpStats) ([]byte, i
 		case errors.Is(err, overlay.ErrNotFound):
 			anyNotFound = true
 		default:
+			if Classify(err) == FaultCorruption {
+				corrupters = append(corrupters, name)
+			}
 			if RetryableElsewhere(Classify(err), true) {
 				anyRetryable = true
 			}
@@ -361,6 +539,7 @@ func (k *KV) hedgedLookup(origin, key string, total *overlay.OpStats) ([]byte, i
 	}
 	total.Latency += waveLat
 	if ok {
+		k.readRepair(sp, origin, key, found, corrupters, total)
 		return found, len(wave), skips, nil
 	}
 	// No replica produced a verified value. A transient failure anywhere
@@ -377,6 +556,32 @@ func (k *KV) hedgedLookup(origin, key string, total *overlay.OpStats) ([]byte, i
 	return nil, len(wave), skips, fmt.Errorf("resilience: hedged read failed: %w", overlay.ErrUnavailable)
 }
 
+// readRepair pushes the verified value a lookup elected over the replicas
+// that served corrupt copies during the same attempt (Config.ReadRepair).
+// A failed push is left for the scrubber; the lookup itself already
+// succeeded.
+func (k *KV) readRepair(sp *telemetry.Span, origin, key string, value []byte, corrupters []string, total *overlay.OpStats) {
+	if !k.cfg.ReadRepair || k.repair == nil || len(corrupters) == 0 {
+		return
+	}
+	for _, name := range corrupters {
+		psp := sp.Child("read-repair")
+		psp.Tag("to", name)
+		st, err := k.repair.StoreTo(origin, key, value, name)
+		total.Add(st)
+		psp.AddLatency(st.Latency)
+		psp.End(outcomeOf(err))
+		if err == nil {
+			k.mu.Lock()
+			k.metrics.ReadRepairs++
+			if k.tel != nil {
+				k.tel.readRepairs.Inc()
+			}
+			k.mu.Unlock()
+		}
+	}
+}
+
 // replicaHealthy interprets a per-replica fetch outcome for the breaker: a
 // replica that answered honestly — even with "not found" — is healthy; a
 // delivery failure or a corrupt payload counts against it.
@@ -386,8 +591,18 @@ func replicaHealthy(err error) bool {
 
 // Heal runs one anti-entropy repair pass on the wrapped overlay.
 func (k *KV) Heal() (overlay.HealReport, error) {
+	return k.HealSpan(nil)
+}
+
+// HealSpan runs one anti-entropy repair pass with tracing attached to sp
+// (nil: untraced), delegating to the overlay's span-aware pass when it has
+// one.
+func (k *KV) HealSpan(sp *telemetry.Span) (overlay.HealReport, error) {
 	if k.healer == nil {
 		return overlay.HealReport{}, ErrNoHealer
+	}
+	if sh, ok := k.healer.(overlay.SpanHealer); ok {
+		return sh.HealSpan(sp)
 	}
 	return k.healer.Heal()
 }

@@ -4,12 +4,15 @@ import (
 	"bytes"
 	"errors"
 	"sort"
+	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"godosn/internal/crypto/merkle"
 	"godosn/internal/overlay"
 	"godosn/internal/parallel"
 	"godosn/internal/resilience"
+	"godosn/internal/telemetry"
 )
 
 // Config parameterizes a Scrubber.
@@ -61,11 +64,21 @@ type Report struct {
 	CorruptCopies int
 	// MissingCopies is the number of replicas that answered not-found.
 	MissingCopies int
-	// Repaired is the number of copies overwritten with the canonical
-	// value.
+	// RepairedWrites is the number of copies overwritten with the
+	// canonical value (successful repair pushes).
+	RepairedWrites int
+	// RepairWriteFailures is the number of repair pushes that failed in
+	// flight (left for the next pass).
+	RepairWriteFailures int
+	// UnreachableHolders is the number of replica contacts that failed
+	// with a delivery error during drill-down — the copy's state is
+	// unknown, and liveness is the healer's job, not the scrubber's.
+	UnreachableHolders int
+	// Repaired mirrors RepairedWrites — kept as a thin view for callers
+	// of the pre-split accounting.
 	Repaired int
-	// Unrepairable is the number of repair pushes that failed (left for
-	// the next pass).
+	// Unrepairable mirrors RepairWriteFailures — kept as a thin view for
+	// callers of the pre-split accounting.
 	Unrepairable int
 	// Failed is the number of keys that could not be scrubbed: replica
 	// resolution failed, or no copy verified (no trusted value to repair
@@ -90,6 +103,47 @@ type Scrubber struct {
 	digests overlay.DigestKV // nil: overlay cannot summarize
 	cfg     Config
 	verdict func(node string, ok bool)
+	pass    atomic.Uint64   // freshness nonce source: one per Scrub call
+	tel     *scrubTelemetry // nil until SetTelemetry
+}
+
+// scrubTelemetry holds the scrubber's resolved registry instruments.
+type scrubTelemetry struct {
+	passes       *telemetry.Counter
+	keysScanned  *telemetry.Counter
+	digestClean  *telemetry.Counter
+	keysCompared *telemetry.Counter
+	corrupt      *telemetry.Counter
+	missing      *telemetry.Counter
+	unreachable  *telemetry.Counter
+	repaired     *telemetry.Counter
+	repairFails  *telemetry.Counter
+	failed       *telemetry.Counter
+	events       *telemetry.Log
+}
+
+// SetTelemetry mirrors the scrubber's per-pass accounting into reg's
+// counters and emits repair/verdict events to reg's event log. Counters
+// and events are updated in the deterministic merge loop only, so their
+// values and order are independent of Workers.
+func (s *Scrubber) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		s.tel = nil
+		return
+	}
+	s.tel = &scrubTelemetry{
+		passes:       reg.Counter("scrub_passes_total"),
+		keysScanned:  reg.Counter("scrub_keys_scanned_total"),
+		digestClean:  reg.Counter("scrub_digest_clean_groups_total"),
+		keysCompared: reg.Counter("scrub_keys_compared_total"),
+		corrupt:      reg.Counter("scrub_corrupt_copies_total"),
+		missing:      reg.Counter("scrub_missing_copies_total"),
+		unreachable:  reg.Counter("scrub_unreachable_holders_total"),
+		repaired:     reg.Counter("scrub_repaired_writes_total"),
+		repairFails:  reg.Counter("scrub_repair_write_failures_total"),
+		failed:       reg.Counter("scrub_failed_keys_total"),
+		events:       reg.Events(),
+	}
 }
 
 // New builds a scrubber over a replica-addressing overlay. Digest
@@ -129,10 +183,10 @@ type group struct {
 type copyState int
 
 const (
-	copyCanonical copyState = iota // verified, matches canonical
-	copyCondemned                  // failed verify or diverged, survived recheck
-	copyMissing                    // replica answered not-found
-	copyUnreachable                // delivery failure; liveness is the healer's job
+	copyCanonical   copyState = iota // verified, matches canonical
+	copyCondemned                    // failed verify or diverged, survived recheck
+	copyMissing                      // replica answered not-found
+	copyUnreachable                  // delivery failure; liveness is the healer's job
 )
 
 // keyOutcome is the drilled-down result for one key.
@@ -144,6 +198,13 @@ type keyOutcome struct {
 	failed    bool
 }
 
+// repairPush records one repair write for deterministic event emission.
+type repairPush struct {
+	key string
+	to  string
+	ok  bool
+}
+
 // groupResult carries a processed group's accounting back to the merge.
 type groupResult struct {
 	g           group
@@ -152,17 +213,29 @@ type groupResult struct {
 	outcomes    []keyOutcome
 	repaired    int
 	unrepair    int
+	pushes      []repairPush // in (key, replica) order
 	stats       overlay.OpStats
+	span        *telemetry.Span // detached per-group span; nil when untraced
 }
 
 // Scrub runs one pass over the given keys and reports what it found and
 // fixed. Keys are deduplicated and walked in sorted order.
 func (s *Scrubber) Scrub(keys []string) (Report, error) {
+	return s.ScrubSpan(nil, keys)
+}
+
+// ScrubSpan is Scrub with the pass's digest exchanges, drill-down
+// verifications, and repair pushes attributed to child spans of sp (nil
+// sp: identical untraced pass). Group spans are built detached by the
+// workers and adopted in deterministic group order.
+func (s *Scrubber) ScrubSpan(sp *telemetry.Span, keys []string) (Report, error) {
+	nonce := s.pass.Add(1)
 	report := Report{}
 	uniq := dedupe(keys)
 	report.KeysScanned = len(uniq)
 	if len(uniq) == 0 {
 		report.Digest = overlay.DigestOf(nil)
+		s.notePass(&report)
 		return report, nil
 	}
 
@@ -204,16 +277,26 @@ func (s *Scrubber) Scrub(keys []string) (Report, error) {
 	report.Groups = len(groups)
 
 	results, _ := parallel.Map(s.cfg.Workers, groups, func(_ int, g group) (groupResult, error) {
-		return s.scrubGroup(g), nil
+		var gsp *telemetry.Span
+		if sp != nil {
+			gsp = telemetry.NewSpan("group")
+		}
+		return s.scrubGroup(gsp, nonce, g), nil
 	})
 
-	// Merge deterministically in group order: verdicts, counters, and the
-	// pass fingerprint all follow sorted key order, independent of Workers.
+	// Merge deterministically in group order: verdicts, counters, events,
+	// spans, and the pass fingerprint all follow sorted key order,
+	// independent of Workers.
 	fp := &merkle.Tree{}
 	for _, r := range results {
+		sp.Adopt(r.span)
 		report.Stats.Add(r.stats)
-		report.Repaired += r.repaired
-		report.Unrepairable += r.unrepair
+		report.RepairedWrites += r.repaired
+		report.RepairWriteFailures += r.unrepair
+		for _, p := range r.pushes {
+			s.emit("scrub.repair", telemetry.A("key", p.key),
+				telemetry.A("to", p.to), telemetry.A("ok", strconv.FormatBool(p.ok)))
+		}
 		if r.digestClean {
 			report.DigestClean++
 			for _, key := range r.g.keys {
@@ -236,9 +319,12 @@ func (s *Scrubber) Scrub(keys []string) (Report, error) {
 					report.CorruptCopies++
 					divergent = true
 					s.sayVerdict(name, false)
+					s.emit("scrub.condemned", telemetry.A("key", o.key), telemetry.A("node", name))
 				case copyMissing:
 					report.MissingCopies++
 					divergent = true
+				case copyUnreachable:
+					report.UnreachableHolders++
 				}
 			}
 			if divergent {
@@ -251,7 +337,35 @@ func (s *Scrubber) Scrub(keys []string) (Report, error) {
 		}
 	}
 	report.Digest = fp.Root()
+	report.Repaired = report.RepairedWrites
+	report.Unrepairable = report.RepairWriteFailures
+	s.notePass(&report)
 	return report, nil
+}
+
+// notePass mirrors a finished pass's accounting into the registry.
+func (s *Scrubber) notePass(r *Report) {
+	t := s.tel
+	if t == nil {
+		return
+	}
+	t.passes.Inc()
+	t.keysScanned.Add(int64(r.KeysScanned))
+	t.digestClean.Add(int64(r.DigestClean))
+	t.keysCompared.Add(int64(r.KeysCompared))
+	t.corrupt.Add(int64(r.CorruptCopies))
+	t.missing.Add(int64(r.MissingCopies))
+	t.unreachable.Add(int64(r.UnreachableHolders))
+	t.repaired.Add(int64(r.RepairedWrites))
+	t.repairFails.Add(int64(r.RepairWriteFailures))
+	t.failed.Add(int64(r.Failed))
+}
+
+// emit sends one event to the registry's log, if telemetry is wired.
+func (s *Scrubber) emit(name string, attrs ...telemetry.Attr) {
+	if s.tel != nil {
+		s.tel.events.Emit(name, attrs...)
+	}
 }
 
 func (s *Scrubber) sayVerdict(node string, ok bool) {
@@ -262,9 +376,9 @@ func (s *Scrubber) sayVerdict(node string, ok bool) {
 
 // scrubGroup processes one replica set: digest comparison first, full value
 // comparison and repair only for groups whose digests diverge (or whose
-// overlay cannot digest).
-func (s *Scrubber) scrubGroup(g group) groupResult {
-	r := groupResult{g: g}
+// overlay cannot digest). The pass nonce binds every digest to this pass.
+func (s *Scrubber) scrubGroup(gsp *telemetry.Span, nonce uint64, g group) groupResult {
+	r := groupResult{g: g, span: gsp}
 
 	// Merkle fast path: one small RPC per replica instead of every value.
 	// Matching digests prove the replicas agree byte-for-byte over the
@@ -273,40 +387,51 @@ func (s *Scrubber) scrubGroup(g group) groupResult {
 	// the agreed bytes verify — the read path's Verify hook remains the
 	// last line of defense against uniformly-corrupt replica sets.
 	if s.digests != nil && len(g.replicas) > 1 {
-		roots := make([][32]byte, 0, len(g.replicas))
+		roots := make([]overlay.Digest, 0, len(g.replicas))
 		ok := true
 		for _, name := range g.replicas {
-			root, st, err := s.digests.DigestFrom(s.cfg.Origin, g.keys, name)
+			dsp := gsp.Child("digest")
+			dsp.Tag("replica", name)
+			root, st, err := s.digests.DigestFrom(s.cfg.Origin, g.keys, nonce, name)
 			r.stats.Add(st)
+			dsp.AddLatency(st.Latency)
 			if err != nil {
+				dsp.End("error")
 				ok = false
 				break
 			}
+			dsp.End("ok")
 			roots = append(roots, root)
 		}
 		if ok {
+			// Equality is judged on the nonce-bound roots, so a replayed
+			// reply (recorded under an older nonce) always diverges and
+			// forces the drill-down this pass. The nonce-free State root
+			// then fingerprints the agreed replica state across passes.
 			equal := true
 			for _, root := range roots[1:] {
-				if root != roots[0] {
+				if root.Fresh != roots[0].Fresh {
 					equal = false
 					break
 				}
 			}
 			if equal {
 				r.digestClean = true
-				r.digestRoot = roots[0]
+				r.digestRoot = roots[0].State
+				gsp.End("digest-clean")
 				return r
 			}
 		}
 	}
 
 	for _, key := range g.keys {
-		o := s.scrubKey(key, g.replicas, &r.stats)
+		o := s.scrubKey(gsp, key, g.replicas, &r.stats)
 		if o.found {
-			s.repairKey(&o, g.replicas, &r)
+			s.repairKey(gsp, &o, g.replicas, &r)
 		}
 		r.outcomes = append(r.outcomes, o)
 	}
+	gsp.End("drilled")
 	return r
 }
 
@@ -314,12 +439,15 @@ func (s *Scrubber) scrubGroup(g group) groupResult {
 // elects the canonical value: the largest set of verified byte-identical
 // copies (ties broken by smallest leaf hash, so the election is
 // deterministic). Condemnations are recheck-confirmed when configured.
-func (s *Scrubber) scrubKey(key string, replicas []string, stats *overlay.OpStats) keyOutcome {
+func (s *Scrubber) scrubKey(gsp *telemetry.Span, key string, replicas []string, stats *overlay.OpStats) keyOutcome {
 	o := keyOutcome{key: key, states: make(map[string]copyState, len(replicas))}
+	vsp := gsp.Child("verify")
+	vsp.Tag("key", key)
 	values := make(map[string][]byte, len(replicas))
 	for _, name := range replicas {
 		v, st, err := s.kv.LookupFrom(s.cfg.Origin, key, name)
 		stats.Add(st)
+		vsp.AddLatency(st.Latency)
 		switch {
 		case err == nil:
 			values[name] = v
@@ -355,6 +483,7 @@ func (s *Scrubber) scrubKey(key string, replicas []string, stats *overlay.OpStat
 		// or repair from. Detect-or-fail still holds (the read path rejects
 		// these copies); the key is reported failed, not silently skipped.
 		o.failed = len(values) > 0 || len(o.states) > 0
+		vsp.End("failed")
 		return o
 	}
 	for _, name := range replicas {
@@ -383,16 +512,28 @@ func (s *Scrubber) scrubKey(key string, replicas []string, stats *overlay.OpStat
 			}
 			v, st, err := s.kv.LookupFrom(s.cfg.Origin, key, name)
 			stats.Add(st)
+			vsp.AddLatency(st.Latency)
 			if err == nil && s.cfg.Verify(key, v) == nil && overlay.CopyLeaf(key, v, true) == best {
 				o.states[name] = copyCanonical
 			}
 		}
 	}
+	divergent := false
+	for _, st := range o.states {
+		if st == copyCondemned || st == copyMissing {
+			divergent = true
+		}
+	}
+	if divergent {
+		vsp.End("divergent")
+	} else {
+		vsp.End("clean")
+	}
 	return o
 }
 
 // repairKey pushes the canonical value over condemned and missing copies.
-func (s *Scrubber) repairKey(o *keyOutcome, replicas []string, r *groupResult) {
+func (s *Scrubber) repairKey(gsp *telemetry.Span, o *keyOutcome, replicas []string, r *groupResult) {
 	if !s.cfg.Repair || s.repair == nil {
 		return
 	}
@@ -401,13 +542,20 @@ func (s *Scrubber) repairKey(o *keyOutcome, replicas []string, r *groupResult) {
 		if st != copyCondemned && st != copyMissing {
 			continue
 		}
+		psp := gsp.Child("repair")
+		psp.Tag("key", o.key)
+		psp.Tag("to", name)
 		pst, err := s.repair.StoreTo(s.cfg.Origin, o.key, o.canonical, name)
 		r.stats.Add(pst)
+		psp.AddLatency(pst.Latency)
 		if err == nil {
+			psp.End("ok")
 			r.repaired++
 		} else {
+			psp.End("error")
 			r.unrepair++
 		}
+		r.pushes = append(r.pushes, repairPush{key: o.key, to: name, ok: err == nil})
 	}
 }
 

@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
+	"time"
 
 	"godosn/internal/overlay/dht"
 	"godosn/internal/overlay/simnet"
 	"godosn/internal/resilience"
+	"godosn/internal/telemetry"
 )
 
 // fixture builds a DHT over a lossless simnet with sealed records stored.
@@ -267,5 +270,177 @@ func TestScrubEmptyAndUnknownKeys(t *testing.T) {
 	}
 	if rep.Repaired != 0 {
 		t.Fatalf("repaired %d copies of a key that never existed", rep.Repaired)
+	}
+}
+
+func TestScrubNonceCatchesDigestReplayWithinOnePass(t *testing.T) {
+	// A ByzReplay node serves a previously recorded digest reply. That
+	// recording was made over clean data, so without the per-pass freshness
+	// nonce the replayed root would still match the honest replicas' and
+	// the node's later bit rot would digest-clean its way past the pass.
+	// The nonce binds every digest to the pass that requested it: the
+	// replayed reply answers for a stale nonce, diverges, and forces the
+	// drill-down that condemns and repairs the corrupt copy immediately.
+	f := newFixture(t, 108, 3, 1) // 3 nodes, RF 3: one group holding one key
+	key := f.keys[0]
+	replayer := f.replicasOf(t, key)[1]
+	if err := f.net.SetByzantine(simnet.NodeID(replayer), simnet.ByzantineConfig{Mode: simnet.ByzReplay, Rate: 1}); err != nil {
+		t.Fatalf("SetByzantine: %v", err)
+	}
+
+	s := New(f.d, DefaultConfig(f.client))
+	// Pass 1 (nonce 1): everything is clean; the replayer answers honestly
+	// (nothing recorded yet) and records its digest reply.
+	rep1, err := s.Scrub(f.keys)
+	if err != nil {
+		t.Fatalf("Scrub: %v", err)
+	}
+	if rep1.DigestClean != 1 || rep1.CorruptCopies != 0 {
+		t.Fatalf("pass 1 not clean: %+v", rep1)
+	}
+
+	// The replayer's stored copy rots between passes.
+	if !f.d.CorruptStored(replayer, key, func(b []byte) []byte {
+		b[0] ^= 0x80
+		return b
+	}) {
+		t.Fatalf("replayer %s does not hold %s", replayer, key)
+	}
+
+	// Pass 2 (nonce 2): the replayer replays its pass-1 digest reply.
+	var condemned []string
+	s.SetVerdict(func(node string, ok bool) {
+		if !ok {
+			condemned = append(condemned, node)
+		}
+	})
+	rep2, err := s.Scrub(f.keys)
+	if err != nil {
+		t.Fatalf("Scrub: %v", err)
+	}
+	if rep2.DigestClean != 0 {
+		t.Fatal("replayed stale digest passed as fresh: nonce binding failed")
+	}
+	if rep2.KeysCompared != 1 || rep2.CorruptCopies != 1 {
+		t.Fatalf("drill-down did not condemn the rotten copy: %+v", rep2)
+	}
+	if rep2.RepairedWrites != 1 || rep2.Repaired != 1 {
+		t.Fatalf("rotten copy not repaired within the pass: %+v", rep2)
+	}
+	if len(condemned) != 1 || condemned[0] != replayer {
+		t.Fatalf("condemned = %v, want exactly [%s]", condemned, replayer)
+	}
+
+	// With the Byzantine mode cleared, the repaired copy verifies.
+	if err := f.net.SetByzantine(simnet.NodeID(replayer), simnet.ByzantineConfig{Mode: simnet.ByzNone}); err != nil {
+		t.Fatalf("SetByzantine: %v", err)
+	}
+	v, _, err := f.d.LookupFrom(f.client, key, replayer)
+	if err != nil || Check(key, v) != nil {
+		t.Fatalf("repaired copy still bad: %v / %v", err, Check(key, v))
+	}
+}
+
+func TestScrubReportSplitsRepairAccounting(t *testing.T) {
+	// One rotten copy (repaired) and one unreachable replica: the split
+	// counters attribute each without conflating write failures with
+	// holders the pass could not reach.
+	f := newFixture(t, 109, 20, 24)
+	key := f.keys[2]
+	reps := f.replicasOf(t, key)
+	f.d.CorruptStored(reps[1], key, func(b []byte) []byte {
+		b[0] ^= 0x04
+		return b
+	})
+	if err := f.net.SetOnline(simnet.NodeID(reps[2]), false); err != nil {
+		t.Fatalf("SetOnline: %v", err)
+	}
+	s := New(f.d, DefaultConfig(f.client))
+	rep, err := s.Scrub([]string{key})
+	if err != nil {
+		t.Fatalf("Scrub: %v", err)
+	}
+	// The rotten copy is repaired; the extension replica that replaced the
+	// offline holder may also receive the missing copy.
+	if rep.CorruptCopies != 1 || rep.RepairedWrites < 1 {
+		t.Fatalf("corrupt=%d repairedWrites=%d, want 1/>=1", rep.CorruptCopies, rep.RepairedWrites)
+	}
+	if rep.UnreachableHolders == 0 {
+		t.Fatalf("offline replica not counted unreachable: %+v", rep)
+	}
+	if rep.Repaired != rep.RepairedWrites || rep.Unrepairable != rep.RepairWriteFailures {
+		t.Fatalf("view fields diverge from split counters: %+v", rep)
+	}
+}
+
+// TestScrubTelemetryDeterministicAcrossWorkers is the telemetry half of the
+// Workers contract: with a fixed-delay (zero-jitter, lossless) net, a scrub
+// pass over corrupted state must render byte-identical metric dumps and span
+// trees whether groups are scanned serially or eight at a time. Worker-built
+// group spans are detached and adopted in merge order, and every counter
+// commutes, so parallelism cannot reorder what the probes report.
+func TestScrubTelemetryDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) (metrics, trace string, rep Report) {
+		t.Helper()
+		net := simnet.New(simnet.Config{Seed: 110, BaseLatency: 10 * time.Millisecond})
+		names := make([]simnet.NodeID, 20)
+		for i := range names {
+			names[i] = simnet.NodeID(fmt.Sprintf("node-%d", i))
+		}
+		d, err := dht.New(net, names, dht.Config{ReplicationFactor: 3})
+		if err != nil {
+			t.Fatalf("dht.New: %v", err)
+		}
+		client := string(names[0])
+		keys := make([]string, 24)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("k%d", i)
+			if _, err := d.Store(client, keys[i], Seal(keys[i], []byte(fmt.Sprintf("payload-%d", i)))); err != nil {
+				t.Fatalf("Store: %v", err)
+			}
+		}
+		for _, i := range []int{2, 9, 17} {
+			reps, _, err := d.ReplicasFor(client, keys[i])
+			if err != nil {
+				t.Fatalf("ReplicasFor: %v", err)
+			}
+			if !d.CorruptStored(reps[1], keys[i], func(b []byte) []byte {
+				b[0] ^= 0x20
+				return b
+			}) {
+				t.Fatalf("replica %s does not hold %s", reps[1], keys[i])
+			}
+		}
+		cfg := DefaultConfig(client)
+		cfg.Workers = workers
+		s := New(d, cfg)
+		reg := telemetry.NewRegistry()
+		s.SetTelemetry(reg)
+		root := telemetry.NewSpan("scrub")
+		rep, err = s.ScrubSpan(root, keys)
+		if err != nil {
+			t.Fatalf("ScrubSpan: %v", err)
+		}
+		var mbuf, tbuf bytes.Buffer
+		reg.WriteText(&mbuf)
+		root.Render(&tbuf)
+		return mbuf.String(), tbuf.String(), rep
+	}
+	m1, tr1, r1 := run(1)
+	m8, tr8, r8 := run(8)
+	if r1.CorruptCopies != 3 || r1.RepairedWrites != 3 {
+		t.Fatalf("serial pass: corrupt=%d repairedWrites=%d, want 3/3", r1.CorruptCopies, r1.RepairedWrites)
+	}
+	if !reflect.DeepEqual(r1, r8) {
+		t.Errorf("reports differ between Workers 1 and 8:\nserial:   %+v\nparallel: %+v", r1, r8)
+	}
+	if m1 != m8 {
+		t.Errorf("metric dumps differ between Workers 1 and 8:\n--- serial ---\n%s\n--- parallel ---\n%s", m1, m8)
+	}
+	if tr1 != tr8 {
+		t.Errorf("span trees differ between Workers 1 and 8:\n--- serial ---\n%s\n--- parallel ---\n%s", tr1, tr8)
+	}
+	if !strings.Contains(tr1, "group") || !strings.Contains(tr1, "verify") || !strings.Contains(tr1, "repair") {
+		t.Errorf("span tree missing expected phases:\n%s", tr1)
 	}
 }

@@ -1,0 +1,140 @@
+package resilience
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"godosn/internal/overlay/dht"
+	"godosn/internal/overlay/simnet"
+	"godosn/internal/telemetry"
+)
+
+// TestTracedLookupShowsRecoveryPhases is the tentpole's end-to-end trace
+// check: one traced Get against a corrupt primary replica must yield a span
+// tree walking through attempt → fetch (verify: corruption) → hedge
+// (verify: ok) → read-repair, each phase carrying its outcome tag and the
+// fetches carrying simulated latency.
+func TestTracedLookupShowsRecoveryPhases(t *testing.T) {
+	const seed = 117
+	net := simnet.New(simnet.Config{Seed: seed, BaseLatency: 10 * time.Millisecond})
+	names := make([]simnet.NodeID, 20)
+	for i := range names {
+		names[i] = simnet.NodeID(fmt.Sprintf("node-%d", i))
+	}
+	d, err := dht.New(net, names, dht.Config{ReplicationFactor: 3})
+	if err != nil {
+		t.Fatalf("dht.New: %v", err)
+	}
+	client := string(names[0])
+	const key = "post-1"
+	payload := []byte("signed-bytes")
+	if _, err := d.Store(client, key, payload); err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	// Rot the primary's copy: the lookup's first fetch serves bytes that
+	// fail verification, forcing the hedge wave and then read-repair.
+	replicas, _, err := d.ReplicasFor(client, key)
+	if err != nil {
+		t.Fatalf("ReplicasFor: %v", err)
+	}
+	primary := replicas[0]
+	if !d.CorruptStored(primary, key, func(b []byte) []byte {
+		b[0] ^= 0x80
+		return b
+	}) {
+		t.Fatalf("primary %s does not hold %s", primary, key)
+	}
+
+	cfg := DefaultConfig(seed)
+	cfg.Verify = func(_ string, v []byte) error {
+		if !bytes.Equal(v, payload) {
+			return errors.New("payload mismatch")
+		}
+		return nil
+	}
+	cfg.ReadRepair = true
+	kv := Wrap(d, cfg)
+	reg := telemetry.NewRegistry()
+	kv.SetTelemetry(reg)
+
+	sp := telemetry.NewSpan("get")
+	v, _, err := kv.LookupSpan(sp, client, key)
+	if err != nil {
+		t.Fatalf("LookupSpan: %v", err)
+	}
+	if !bytes.Equal(v, payload) {
+		t.Fatalf("lookup returned %q, want %q", v, payload)
+	}
+
+	var (
+		counts        = map[string]int{}
+		corruptVerify bool
+		cleanVerify   bool
+		repairOK      bool
+		fetchLatency  time.Duration
+	)
+	sp.Walk(func(_ int, s *telemetry.Span) {
+		counts[s.Name]++
+		switch s.Name {
+		case "verify":
+			if s.Outcome == "corruption" {
+				corruptVerify = true
+			}
+			if s.Outcome == "ok" {
+				cleanVerify = true
+			}
+		case "read-repair":
+			if s.Outcome == "ok" {
+				repairOK = true
+			}
+		case "fetch", "hedge":
+			fetchLatency += s.Latency
+		}
+	})
+	for _, name := range []string{"attempt", "resolve", "fetch", "hedge", "verify", "read-repair"} {
+		if counts[name] == 0 {
+			var buf bytes.Buffer
+			sp.Render(&buf)
+			t.Fatalf("trace has no %q span:\n%s", name, buf.String())
+		}
+	}
+	if !corruptVerify || !cleanVerify {
+		t.Errorf("verify outcomes: corruption=%v ok=%v, want both", corruptVerify, cleanVerify)
+	}
+	if !repairOK {
+		t.Error("read-repair span did not succeed")
+	}
+	if fetchLatency == 0 {
+		t.Error("fetch/hedge spans carry no simulated latency")
+	}
+
+	// The registry mirrored what the trace shows.
+	for name, want := range map[string]int64{
+		"resilience_corrupt_reads_total": 1,
+		"resilience_hedges_total":        1,
+		"resilience_read_repairs_total":  1,
+		"resilience_ops_total":           1,
+	} {
+		if got := reg.Counter(name).Value(); got < want {
+			t.Errorf("%s = %d, want >= %d", name, got, want)
+		}
+	}
+
+	// Read-repair actually fixed the rotten copy.
+	fixed, _, err := d.LookupFrom(client, key, primary)
+	if err != nil || !bytes.Equal(fixed, payload) {
+		t.Fatalf("primary copy not repaired: %v %q", err, fixed)
+	}
+
+	// The rendered tree names all four recovery phases (README example).
+	var buf bytes.Buffer
+	sp.Render(&buf)
+	for _, phase := range []string{"attempt", "hedge", "verify", "read-repair"} {
+		if !bytes.Contains(buf.Bytes(), []byte(phase)) {
+			t.Errorf("rendered trace missing %q:\n%s", phase, buf.String())
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// This file implements the structured event log: discrete, low-rate
+// happenings (a breaker opening, a quarantine verdict, a scrub repair) kept
+// in a bounded ring buffer with per-name counts and an optional sink.
+// Unlike metrics, events preserve order and attributes; unlike spans, they
+// are not tied to one operation's lifetime.
+//
+// Determinism: events carry no timestamps (the simulation has no global
+// clock and the log must not read the wall clock). Sequence numbers are
+// assigned under the log's lock; emit events only from deterministic call
+// sites (serial paths, or a worker pool's ordered merge stage) when
+// byte-identical logs across runs matter.
+
+// DefaultLogCapacity is the ring size NewRegistry uses.
+const DefaultLogCapacity = 256
+
+// Attr is one key=value attribute on an event.
+type Attr struct {
+	// Key names the attribute.
+	Key string `json:"key"`
+	// Value is its rendered value.
+	Value string `json:"value"`
+}
+
+// A returns an Attr — shorthand for emit call sites.
+func A(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Event is one logged happening.
+type Event struct {
+	// Seq is the 1-based emission sequence number.
+	Seq uint64 `json:"seq"`
+	// Name identifies the event kind (e.g. "breaker.open").
+	Name string `json:"name"`
+	// Attrs are the event's attributes, ordered as given.
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// Log is a bounded structured event log. It is safe for concurrent use.
+type Log struct {
+	mu     sync.Mutex
+	cap    int
+	ring   []Event
+	start  int // index of the oldest event in ring
+	seq    uint64
+	counts map[string]int64
+	sink   func(Event) // optional, called under the lock in emission order
+}
+
+// NewLog creates an event log retaining the most recent capacity events
+// (minimum 1).
+func NewLog(capacity int) *Log {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Log{cap: capacity, counts: make(map[string]int64)}
+}
+
+// SetSink installs a function invoked for every emitted event, in emission
+// order (nil removes it). The sink runs under the log's lock: keep it
+// cheap and never emit from inside it.
+func (l *Log) SetSink(fn func(Event)) {
+	l.mu.Lock()
+	l.sink = fn
+	l.mu.Unlock()
+}
+
+// Emit appends an event. Nil-safe: emitting on a nil log is a no-op, so
+// layers can hold an optional *Log without guarding every call.
+func (l *Log) Emit(name string, attrs ...Attr) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	e := Event{Seq: l.seq, Name: name, Attrs: attrs}
+	if len(l.ring) < l.cap {
+		l.ring = append(l.ring, e)
+	} else {
+		l.ring[l.start] = e
+		l.start = (l.start + 1) % l.cap
+	}
+	l.counts[name]++
+	if l.sink != nil {
+		l.sink(e)
+	}
+}
+
+// Total returns how many events were emitted since the last reset
+// (including ones the ring has since evicted).
+func (l *Log) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Recent returns the retained events, oldest first.
+func (l *Log) Recent() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, len(l.ring))
+	for i := 0; i < len(l.ring); i++ {
+		out = append(out, l.ring[(l.start+i)%len(l.ring)])
+	}
+	return out
+}
+
+// Counts returns per-name emission counts, sorted by name.
+func (l *Log) Counts() []EventCount {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]EventCount, 0, len(l.counts))
+	for name, n := range l.counts {
+		out = append(out, EventCount{Name: name, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Reset clears the ring, counts, and sequence counter (the sink stays).
+func (l *Log) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ring = nil
+	l.start = 0
+	l.seq = 0
+	l.counts = make(map[string]int64)
+}
+
+// WriteText renders the retained events one per line:
+//
+//	#12 breaker.open node=node-31 tainted=true
+func (l *Log) WriteText(w io.Writer) {
+	for _, e := range l.Recent() {
+		fmt.Fprintf(w, "#%d %s", e.Seq, e.Name)
+		for _, a := range e.Attrs {
+			fmt.Fprintf(w, " %s=%s", a.Key, a.Value)
+		}
+		io.WriteString(w, "\n")
+	}
+}

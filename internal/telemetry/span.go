@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// This file implements request tracing: ordered span trees describing where
+// one logical operation (an overlay lookup, a scrub pass, a heal pass)
+// spent its simulated time and what each phase decided. Spans are
+// deliberately lightweight — a name, ordered tags, an outcome, a latency —
+// and every method is nil-receiver safe, so tracing threads through hot
+// paths as a single pointer that is simply nil when nobody is watching.
+//
+// Latency semantics: Span.Latency is the simulated latency charged to that
+// span exclusively (its own RPCs, its own backoff); Total() folds in the
+// children. Under the seeded simnet no wall clock is read — a span tree is
+// as deterministic as the operation it describes.
+
+// Tag is one key=value annotation on a span, ordered as added.
+type Tag struct {
+	// Key names the annotation.
+	Key string
+	// Value is its rendered value.
+	Value string
+}
+
+// Span is one node of a request trace tree. A span tree is built by a
+// single goroutine (detached subtrees may be built concurrently and
+// attached afterward with Adopt, which locks the parent).
+type Span struct {
+	// Name identifies the phase (e.g. "lookup", "attempt", "hedge",
+	// "verify", "repair").
+	Name string
+	// Outcome is the span's result tag ("" while open; e.g. "ok", "miss",
+	// "corrupt", "drop").
+	Outcome string
+	// Tags are ordered annotations.
+	Tags []Tag
+	// Latency is the simulated latency charged to this span itself,
+	// excluding children.
+	Latency time.Duration
+	// Children are sub-spans in creation order.
+	Children []*Span
+
+	mu sync.Mutex // guards Children during Adopt; tree building is otherwise single-goroutine
+}
+
+// NewSpan starts a root span.
+func NewSpan(name string) *Span { return &Span{Name: name} }
+
+// Child appends and returns a sub-span. Nil-safe: a nil receiver returns
+// nil, so untraced paths cost one pointer comparison.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name}
+	s.mu.Lock()
+	s.Children = append(s.Children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Adopt attaches an independently built span subtree as the next child —
+// how worker-pool stages merge their detached subtrees back into the pass
+// trace in deterministic order. Nil-safe on both sides.
+func (s *Span) Adopt(child *Span) {
+	if s == nil || child == nil {
+		return
+	}
+	s.mu.Lock()
+	s.Children = append(s.Children, child)
+	s.mu.Unlock()
+}
+
+// Tag appends an annotation. Nil-safe.
+func (s *Span) Tag(key, value string) {
+	if s == nil {
+		return
+	}
+	s.Tags = append(s.Tags, Tag{Key: key, Value: value})
+}
+
+// AddLatency charges simulated latency to this span. Nil-safe.
+func (s *Span) AddLatency(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.Latency += d
+}
+
+// End records the span's outcome. Nil-safe.
+func (s *Span) End(outcome string) {
+	if s == nil {
+		return
+	}
+	s.Outcome = outcome
+}
+
+// Total returns the span's latency including all children.
+func (s *Span) Total() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := s.Latency
+	for _, c := range s.Children {
+		d += c.Total()
+	}
+	return d
+}
+
+// Walk visits the span and its descendants depth-first in child order.
+// Nil-safe: walking a nil span visits nothing.
+func (s *Span) Walk(fn func(depth int, sp *Span)) {
+	s.walk(0, fn)
+}
+
+func (s *Span) walk(depth int, fn func(depth int, sp *Span)) {
+	if s == nil {
+		return
+	}
+	fn(depth, s)
+	for _, c := range s.Children {
+		c.walk(depth+1, fn)
+	}
+}
+
+// Render writes the span tree as indented text, one span per line:
+//
+//	lookup key=k7 [ok] 86ms (self 0ms)
+//	  attempt n=1 [corrupt] ...
+//
+// Deterministic for deterministic trees.
+func (s *Span) Render(w io.Writer) {
+	s.Walk(func(depth int, sp *Span) {
+		for i := 0; i < depth; i++ {
+			io.WriteString(w, "  ")
+		}
+		io.WriteString(w, sp.Name)
+		for _, t := range sp.Tags {
+			fmt.Fprintf(w, " %s=%s", t.Key, t.Value)
+		}
+		outcome := sp.Outcome
+		if outcome == "" {
+			outcome = "?"
+		}
+		fmt.Fprintf(w, " [%s] %dms", outcome, sp.Total()/time.Millisecond)
+		if len(sp.Children) > 0 {
+			fmt.Fprintf(w, " (self %dms)", sp.Latency/time.Millisecond)
+		}
+		io.WriteString(w, "\n")
+	})
+}
+
+// PhaseTotals sums each span name's exclusive latency and occurrence count
+// across the tree — the per-phase breakdown experiment E20 reports. Keys
+// are span names; a nil span yields empty maps.
+func (s *Span) PhaseTotals() (latency map[string]time.Duration, count map[string]int) {
+	latency = make(map[string]time.Duration)
+	count = make(map[string]int)
+	s.Walk(func(_ int, sp *Span) {
+		latency[sp.Name] += sp.Latency
+		count[sp.Name]++
+	})
+	return latency, count
+}
