@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test race bench bench-quick bench-hot experiments experiments-quick json-smoke telemetry-smoke lint-print chaos-soak examples clean
+.PHONY: all ci build vet test race bench bench-quick bench-hot experiments experiments-quick json-smoke telemetry-smoke lint-print chaos-soak cache-smoke examples clean
 
 all: build vet test
 
@@ -10,11 +10,13 @@ all: build vet test
 # concurrent paths (worker pool, simnet RPC, resilience decorator, breaker),
 # a smoke check that dosnbench -json emits a valid report, a telemetry smoke
 # check (E20 instrumented run validated against the strict v2 schema), a
-# print-hygiene lint, and a short-mode chaos soak proving corruption
+# print-hygiene lint, a short-mode chaos soak proving corruption
 # containment under loss + churn + Byzantine replies (E19's invariants fail
 # the run if the protected arm ever surfaces a corrupted read or loses
-# availability).
-ci: build vet test race json-smoke telemetry-smoke lint-print chaos-soak
+# availability), and a cache smoke run (E21's invariants fail the run if the
+# warm arm never hits, diverges byte-wise from the cold arm, or lets a
+# revoked reader's warm cache open post-revocation content).
+ci: build vet test race json-smoke telemetry-smoke lint-print chaos-soak cache-smoke
 
 # Run the instrumented experiment (E20) with -json and re-parse the report
 # with the strict validator (unknown fields rejected): the telemetry section
@@ -39,6 +41,14 @@ lint-print:
 # and exits non-zero if the integrity layer ever lets corruption through.
 chaos-soak:
 	$(GO) run ./cmd/dosnbench -quick -exp e19 >/dev/null
+
+# Cache smoke: E21 quick arms (cold vs warm, fault soak, revocation probe)
+# — the experiment asserts hit rate > 0, byte-identical arms, the ≥2x warm
+# speedup, and revoked-reader denial — plus the sharded cache's concurrent
+# hammer under the race detector.
+cache-smoke:
+	$(GO) run ./cmd/dosnbench -quick -exp e21 >/dev/null
+	$(GO) test -race -run 'TestCacheRaceHammer|TestCacheEvictionOrderShardedWorkers1vs8' -count=1 ./internal/cache/
 
 # Write a quick machine-readable report and re-parse it with the strict
 # validator; fails the gate if the JSON schema ever drifts or breaks.
@@ -66,12 +76,14 @@ bench-quick:
 	$(GO) test -bench=. -benchtime=10x -run='^$$' .
 
 # Hot-path microbenchmarks: per-scheme group Encrypt/Add/Remove (serial vs
-# pool), DHT Put/Get (serial vs fanout), and symmetric seal/open alloc deltas.
+# pool), DHT Put/Get (serial vs fanout), symmetric seal/open alloc deltas,
+# and the sharded cache (hit/miss/coalesced/contended).
 bench-hot:
 	$(GO) test -bench=. -benchmem -run='^$$' \
-		./internal/social/privacy/ ./internal/overlay/dht/ ./internal/crypto/symmetric/
+		./internal/social/privacy/ ./internal/overlay/dht/ ./internal/crypto/symmetric/ \
+		./internal/cache/
 
-# Regenerate the E1–E20 experiment tables (EXPERIMENTS.md).
+# Regenerate the E1–E21 experiment tables (EXPERIMENTS.md).
 experiments:
 	$(GO) run ./cmd/dosnbench
 

@@ -1,5 +1,5 @@
 // Command dosnbench runs the experiment harness: every experiment of
-// DESIGN.md's per-experiment index (E1–E20), printed as aligned tables.
+// DESIGN.md's per-experiment index (E1–E21), printed as aligned tables.
 //
 // Usage:
 //
@@ -9,6 +9,8 @@
 //	dosnbench -parallel 4       # run independent experiments concurrently
 //	dosnbench -json out.json    # also write machine-readable metrics
 //	dosnbench -validate f.json  # smoke-parse a previously written report
+//	dosnbench -zipf-s 1.5       # E21 read-popularity Zipf skew (> 1)
+//	dosnbench -hotset 16        # E21 hot-set size (0 = full key space)
 //	dosnbench -list             # list experiments
 //
 // Experiments are independent (own seeds, own simulated networks), and
@@ -37,8 +39,15 @@ func run() int {
 		parallelFlag = flag.Int("parallel", 1, "number of experiments to run concurrently (0 = all CPUs)")
 		jsonFlag     = flag.String("json", "", "write machine-readable per-experiment metrics to this file")
 		validateFlag = flag.String("validate", "", "validate a -json report file and exit")
+		zipfFlag     = flag.Float64("zipf-s", 1.2, "E21 read-popularity Zipf skew (must be > 1)")
+		hotsetFlag   = flag.Int("hotset", 0, "E21 hot-set size: restrict reads to the first N keys (0 = full key space)")
 	)
 	flag.Parse()
+
+	if err := bench.SetE21Workload(*zipfFlag, *hotsetFlag); err != nil {
+		fmt.Fprintf(os.Stderr, "dosnbench: %v\n", err)
+		return 2
+	}
 
 	if *validateFlag != "" {
 		data, err := os.ReadFile(*validateFlag)

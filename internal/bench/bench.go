@@ -1,5 +1,5 @@
 // Package bench is the experiment harness: it regenerates, as printed
-// tables, every experiment in DESIGN.md's per-experiment index (E1–E20).
+// tables, every experiment in DESIGN.md's per-experiment index (E1–E21).
 //
 // The paper is a survey with one classification table and no measurements;
 // each experiment here quantifies one slice of that classification or one
@@ -137,6 +137,7 @@ func All() []Experiment {
 		{ID: "e18", Description: "parallel execution: serial vs worker-pool revocation and replica writes", Run: E18Parallelism},
 		{ID: "e19", Description: "integrity scrubber: corruption containment under loss + churn + Byzantine replies", Run: E19ChaosScrub},
 		{ID: "e20", Description: "telemetry: per-phase latency breakdown (lookup/verify/repair) under E17/E19 conditions", Run: E20PhaseBreakdown},
+		{ID: "e21", Description: "hot-path read caches: cold vs warm Zipf workload, coherence under writes/faults/revocation", Run: E21CacheAcceleration},
 	}
 }
 

@@ -1,0 +1,89 @@
+package cache
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkCacheHit measures the steady-state hot path: a resident key
+// served without touching the fill function.
+func BenchmarkCacheHit(b *testing.B) {
+	c := New[[]byte](Config{Capacity: 1024, Shards: 8, Seed: 1})
+	c.Put("hot", []byte("value"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get("hot"); !ok {
+			b.Fatal("unexpected miss")
+		}
+	}
+}
+
+// BenchmarkCacheMiss measures a Do that always misses and fills (distinct
+// key per op, capacity pressure forcing evictions).
+func BenchmarkCacheMiss(b *testing.B) {
+	c := New[int](Config{Capacity: 256, Shards: 8, Seed: 1})
+	keys := make([]string, 4096)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%len(keys)]
+		c.Invalidate(k)
+		if _, _, err := c.Do(k, func() (int, error) { return i, nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheCoalescedMiss measures Do under contention for one cold
+// key: GOMAXPROCS goroutines racing, one fill winning per generation.
+func BenchmarkCacheCoalescedMiss(b *testing.B) {
+	c := New[int](Config{Capacity: 64, Shards: 8, Seed: 1})
+	var fills atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i%64 == 0 {
+				c.Invalidate("cold")
+			}
+			_, _, _ = c.Do("cold", func() (int, error) {
+				fills.Add(1)
+				return i, nil
+			})
+			i++
+		}
+	})
+	b.ReportMetric(float64(fills.Load())/float64(b.N), "fills/op")
+}
+
+// BenchmarkCacheShardedContention measures Get/Put throughput with
+// GOMAXPROCS goroutines spread across the shard space.
+func BenchmarkCacheShardedContention(b *testing.B) {
+	c := New[int](Config{Capacity: 4096, Shards: runtime.GOMAXPROCS(0) * 2, Seed: 1})
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+		c.Put(keys[i], i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			k := keys[i%len(keys)]
+			if i%16 == 0 {
+				c.Put(k, i)
+			} else {
+				c.Get(k)
+			}
+			i++
+		}
+	})
+}

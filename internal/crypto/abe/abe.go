@@ -244,9 +244,12 @@ func shareTree(params *PublicParams, node *Policy, secret *big.Int, ct *Cipherte
 	return nil
 }
 
-// Decrypt recovers the plaintext if the key's attributes satisfy the
-// ciphertext policy and the key epoch matches the ciphertext epoch.
-func (k *UserKey) Decrypt(ct *Ciphertext) ([]byte, error) {
+// RecoverKey runs the public-key phase of Decrypt — policy satisfaction,
+// share unwrapping, Shamir interpolation, and payload-key derivation — and
+// returns the payload key. It is split out so callers can memoize the key per
+// (reader, ciphertext) and skip the share recovery on repeat reads; OpenBody
+// completes the decryption.
+func (k *UserKey) RecoverKey(ct *Ciphertext) (symmetric.Key, error) {
 	if ct == nil || ct.Policy == nil {
 		return nil, ErrBadPolicy
 	}
@@ -258,15 +261,31 @@ func (k *UserKey) Decrypt(ct *Ciphertext) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	key, err := seedToKey(seed)
-	if err != nil {
-		return nil, err
+	return seedToKey(seed)
+}
+
+// OpenBody opens the ciphertext body with an already-recovered payload key —
+// the symmetric phase of Decrypt.
+func OpenBody(key symmetric.Key, ct *Ciphertext) ([]byte, error) {
+	if ct == nil || ct.Policy == nil {
+		return nil, ErrBadPolicy
 	}
 	plaintext, err := symmetric.Open(key, ct.Body, []byte(ct.Policy.String()))
 	if err != nil {
 		return nil, fmt.Errorf("abe: opening body: %w", err)
 	}
 	return plaintext, nil
+}
+
+// Decrypt recovers the plaintext if the key's attributes satisfy the
+// ciphertext policy and the key epoch matches the ciphertext epoch:
+// RecoverKey followed by OpenBody.
+func (k *UserKey) Decrypt(ct *Ciphertext) ([]byte, error) {
+	key, err := k.RecoverKey(ct)
+	if err != nil {
+		return nil, err
+	}
+	return OpenBody(key, ct)
 }
 
 // recoverTree walks the policy tree, decrypting leaf shares the key can open

@@ -220,8 +220,11 @@ func (p *PKG) EncryptBroadcastWorkers(recipients []string, plaintext []byte, wor
 	}, nil
 }
 
-// DecryptBroadcast decrypts a broadcast for one of its listed recipients.
-func (k *IdentityKey) DecryptBroadcast(b *Broadcast) ([]byte, error) {
+// UnwrapSession recovers the broadcast's session key for one of its listed
+// recipients — the public-key phase of DecryptBroadcast, split out so callers
+// can memoize the session key per (recipient, broadcast) and skip the ECIES
+// unwrap on repeat reads.
+func (k *IdentityKey) UnwrapSession(b *Broadcast) ([]byte, error) {
 	if b == nil || len(b.Recipients) != len(b.WrappedKeys) {
 		return nil, ErrBadCiphertext
 	}
@@ -239,9 +242,28 @@ func (k *IdentityKey) DecryptBroadcast(b *Broadcast) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ibe: unwrapping session key: %w", err)
 	}
+	return session, nil
+}
+
+// OpenBroadcast opens a broadcast body with an already-unwrapped session key
+// — the symmetric phase of DecryptBroadcast.
+func OpenBroadcast(session []byte, b *Broadcast) ([]byte, error) {
+	if b == nil {
+		return nil, ErrBadCiphertext
+	}
 	plaintext, err := symmetric.Open(session, b.Body, nil)
 	if err != nil {
 		return nil, fmt.Errorf("ibe: opening broadcast body: %w", err)
 	}
 	return plaintext, nil
+}
+
+// DecryptBroadcast decrypts a broadcast for one of its listed recipients:
+// UnwrapSession followed by OpenBroadcast.
+func (k *IdentityKey) DecryptBroadcast(b *Broadcast) ([]byte, error) {
+	session, err := k.UnwrapSession(b)
+	if err != nil {
+		return nil, err
+	}
+	return OpenBroadcast(session, b)
 }

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"godosn/internal/cache"
 	"godosn/internal/overlay"
 	"godosn/internal/overlay/simnet"
 	"godosn/internal/parallel"
@@ -55,6 +56,8 @@ type DHT struct {
 	ring       []uint64 // sorted node ids
 	names      map[simnet.NodeID]*node
 	allowPlace func(node string) bool // placement veto (integrity.go); nil = canonical
+
+	routes *cache.Cache[uint64] // key → successor root (routecache.go); nil = uncached
 }
 
 var _ overlay.KV = (*DHT)(nil)
@@ -74,6 +77,13 @@ type Config struct {
 	// aggregate loss rate is unchanged), so seeded fault experiments should
 	// keep the serial default.
 	FanoutWorkers int
+	// RouteCache memoizes key → successor-root resolution (routecache.go).
+	// The zero value (Capacity 0) disables it, preserving the exact RPC
+	// and seeded-RNG sequence of an uncached DHT. A cache hit skips the
+	// routing walk: fewer messages, and on a lossy network fewer RNG draws
+	// — so seeded fault experiments comparing against uncached baselines
+	// must assert invariants, not per-op equality.
+	RouteCache cache.Config
 }
 
 // New creates a DHT over the given nodes and builds routing state.
@@ -93,6 +103,7 @@ func New(net *simnet.Network, nodes []simnet.NodeID, cfg Config) (*DHT, error) {
 		fanout:  cfg.FanoutWorkers,
 		byID:    make(map[uint64]*node, len(nodes)),
 		names:   make(map[simnet.NodeID]*node, len(nodes)),
+		routes:  cache.New[uint64](cfg.RouteCache),
 	}
 	for _, name := range nodes {
 		id := hashID(string(name))
@@ -336,7 +347,7 @@ func (d *DHT) StoreSpan(sp *telemetry.Span, origin, key string, value []byte) (o
 	kid := hashID(key)
 	rtr := &simnet.Trace{}
 	route := sp.Child("route")
-	root, err := d.findSuccessor(rtr, simnet.NodeID(origin), kid)
+	root, err := d.resolveRoot(rtr, route, simnet.NodeID(origin), key, kid)
 	tr.Add(rtr)
 	route.AddLatency(rtr.Latency)
 	route.End(spanOutcome(err))
@@ -417,7 +428,7 @@ func (d *DHT) LookupSpan(sp *telemetry.Span, origin, key string) ([]byte, overla
 	kid := hashID(key)
 	rtr := &simnet.Trace{}
 	route := sp.Child("route")
-	root, err := d.findSuccessor(rtr, simnet.NodeID(origin), kid)
+	root, err := d.resolveRoot(rtr, route, simnet.NodeID(origin), key, kid)
 	tr.Add(rtr)
 	route.AddLatency(rtr.Latency)
 	route.End(spanOutcome(err))

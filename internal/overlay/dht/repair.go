@@ -37,7 +37,7 @@ func registerCrashHook(net *simnet.Network, n *node) {
 // replicas are down. At most 2× the replication factor names are returned.
 func (d *DHT) ReplicasFor(origin, key string) ([]string, overlay.OpStats, error) {
 	tr := &simnet.Trace{}
-	root, err := d.findSuccessor(tr, simnet.NodeID(origin), hashID(key))
+	root, err := d.resolveRoot(tr, nil, simnet.NodeID(origin), key, hashID(key))
 	if err != nil {
 		return nil, stats(tr), err
 	}
@@ -209,6 +209,10 @@ func (d *DHT) HealSpan(sp *telemetry.Span) (overlay.HealReport, error) {
 		}
 	}
 	report.Stats = stats(tr)
+	if report.Repaired > 0 {
+		// Copies moved: memoized routes may predate the repaired layout.
+		d.routes.BumpGeneration()
+	}
 	return report, nil
 }
 

@@ -1,0 +1,12 @@
+package overlay
+
+// RouteCached is implemented by overlays that memoize routing decisions
+// (e.g. the DHT's key → successor-root cache). Layers that change effective
+// placement out-of-band — the resilience breaker quarantining a node, an
+// operator draining one — call InvalidateRoutes so no memoized route
+// outlives the change. Overlays without a route cache simply don't
+// implement it; callers feature-detect with a type assertion.
+type RouteCached interface {
+	// InvalidateRoutes drops every memoized routing decision.
+	InvalidateRoutes()
+}

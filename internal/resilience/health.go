@@ -28,9 +28,20 @@ func DefaultBreakerConfig() BreakerConfig { return BreakerConfig{Threshold: 3, C
 type Breaker struct {
 	cfg BreakerConfig
 
-	mu     sync.Mutex
-	nodes  map[string]*breakerState
-	events *telemetry.Log // nil until SetEvents
+	mu         sync.Mutex
+	nodes      map[string]*breakerState
+	events     *telemetry.Log    // nil until SetEvents
+	quarantine func(node string) // nil until SetQuarantineHook
+}
+
+// SetQuarantineHook installs a callback fired (outside the breaker's lock)
+// each time a node transitions into quarantine — open + corruption-tainted.
+// The resilient KV uses it to drop cached values and memoized routes that
+// predate the quarantine.
+func (b *Breaker) SetQuarantineHook(fn func(node string)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.quarantine = fn
 }
 
 // SetEvents routes circuit transitions — breaker.open, breaker.close,
@@ -80,8 +91,8 @@ func (b *Breaker) Report(node string, ok bool) {
 	if b.cfg.Threshold <= 0 {
 		return
 	}
+	var quarantined func(string)
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	s := b.nodes[node]
 	if s == nil {
 		s = &breakerState{}
@@ -95,6 +106,7 @@ func (b *Breaker) Report(node string, ok bool) {
 		s.open = false
 		s.skips = 0
 		s.tainted = false
+		b.mu.Unlock()
 		return
 	}
 	s.fails++
@@ -103,10 +115,15 @@ func (b *Breaker) Report(node string, ok bool) {
 			b.events.Emit("breaker.open", telemetry.A("node", node))
 			if s.tainted {
 				b.events.Emit("breaker.quarantine", telemetry.A("node", node))
+				quarantined = b.quarantine
 			}
 		}
 		s.open = true
 		s.skips = b.cfg.Cooldown
+	}
+	b.mu.Unlock()
+	if quarantined != nil {
+		quarantined(node)
 	}
 }
 
@@ -120,6 +137,7 @@ func (b *Breaker) ReportCorrupt(node string) {
 	if b.cfg.Threshold <= 0 {
 		return
 	}
+	var quarantined func(string)
 	b.mu.Lock()
 	s := b.nodes[node]
 	if s == nil {
@@ -130,9 +148,13 @@ func (b *Breaker) ReportCorrupt(node string) {
 		// Already open for loss; the corruption verdict upgrades it to
 		// quarantine without a fresh open transition.
 		b.events.Emit("breaker.quarantine", telemetry.A("node", node))
+		quarantined = b.quarantine
 	}
 	s.tainted = true
 	b.mu.Unlock()
+	if quarantined != nil {
+		quarantined(node)
+	}
 	b.Report(node, false)
 }
 

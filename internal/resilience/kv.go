@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	cachepkg "godosn/internal/cache"
 	"godosn/internal/overlay"
 	"godosn/internal/telemetry"
 )
@@ -49,6 +50,15 @@ type Config struct {
 	// default: it adds write traffic to the read path, and the scrubber
 	// already repairs corruption out of band.
 	ReadRepair bool
+	// Cache configures the verified-value cache (cache.go): repeat lookups
+	// of a key are served from memory without re-fetching or re-verifying.
+	// The zero value (Capacity 0) disables it, preserving the exact RPC
+	// and seeded-RNG sequence of an uncached KV. Coherence: Store
+	// invalidates the key, a breaker quarantine bumps the whole cache (and
+	// the overlay's route cache), and the scrubber invalidates keys it
+	// found divergent or condemned via SetInvalidator — a cached value
+	// never outlives a condemnation of its holder group.
+	Cache cachepkg.Config
 }
 
 // DefaultConfig hedges across 2 extra replicas with the default retry
@@ -95,7 +105,8 @@ type KV struct {
 	spanInner overlay.SpanKV    // nil when inner cannot attribute spans
 	cfg       Config
 	breaker   *Breaker
-	rng       *rand.Rand // jitter source; safe via lockedSource
+	rng       *rand.Rand              // jitter source; safe via lockedSource
+	values    *cachepkg.Cache[[]byte] // verified-value cache (cache.go); nil = uncached
 
 	mu      sync.Mutex
 	metrics Metrics
@@ -131,8 +142,10 @@ func (k *KV) SetTelemetry(reg *telemetry.Registry) {
 	if reg == nil {
 		k.tel = nil
 		k.breaker.SetEvents(nil)
+		k.values.SetTelemetry(nil, "resilience_value_cache")
 		return
 	}
+	k.values.SetTelemetry(reg, "resilience_value_cache")
 	k.tel = &kvTelemetry{
 		ops:          reg.Counter("resilience_ops_total"),
 		attempts:     reg.Counter("resilience_attempts_total"),
@@ -205,6 +218,19 @@ func Wrap(inner overlay.KV, cfg Config) *KV {
 			// a node but never exclude it from holding data.
 			pf.SetPlacementFilter(func(node string) bool { return !k.breaker.Quarantined(node) })
 		}
+	}
+	k.values = cachepkg.New[[]byte](cfg.Cache)
+	if k.values != nil || cfg.Quarantine {
+		// A quarantine changes which copies are trustworthy and where new
+		// ones land: cached verified values and memoized routes must not
+		// outlive it.
+		rc, _ := inner.(overlay.RouteCached)
+		k.breaker.SetQuarantineHook(func(string) {
+			k.values.BumpGeneration()
+			if rc != nil {
+				rc.InvalidateRoutes()
+			}
+		})
 	}
 	return k
 }
@@ -306,6 +332,10 @@ func (k *KV) StoreSpan(sp *telemetry.Span, origin, key string, value []byte) (ov
 	total.Latency += out.Backoff
 	k.backoffSpan(sp, out.Backoff)
 	k.record(out, 0, 0, err != nil)
+	// Keep the value cache coherent with the write — unconditionally: even
+	// a failed store may have landed (ack-lost), so the cached value is
+	// suspect either way. In-flight fills for the key are fenced too.
+	k.values.Invalidate(key)
 	return total, err
 }
 
@@ -341,8 +371,39 @@ func (k *KV) Lookup(origin, key string) ([]byte, overlay.OpStats, error) {
 // LookupSpan implements overlay.SpanKV: Lookup with every attempt, replica
 // resolution, primary fetch, hedge fetch, read-repair push, and backoff
 // attributed to child spans of sp (nil sp: identical untraced operation).
+// With a value cache configured (Config.Cache) repeat lookups are served
+// from memory — a hit or a coalesced fill charges no messages and no
+// simulated latency, and a "cache" child span records how the read was
+// served. Cache hits are not counted in Metrics.Ops (no attempt ran); the
+// cache's own counters carry that accounting.
 func (k *KV) LookupSpan(sp *telemetry.Span, origin, key string) ([]byte, overlay.OpStats, error) {
 	sp.Tag("key", key)
+	if k.values == nil {
+		return k.lookupUncached(sp, origin, key)
+	}
+	var st overlay.OpStats
+	v, outcome, err := k.values.Do(key, func() ([]byte, error) {
+		vv, s, err := k.lookupUncached(sp, origin, key)
+		st = s
+		if err != nil {
+			return nil, err
+		}
+		// The cache owns its copy: callers and inner overlays must never
+		// share its backing array.
+		return append([]byte(nil), vv...), nil
+	})
+	csp := sp.Child("cache")
+	csp.End(outcome.String())
+	if err != nil {
+		// st is the leader's real cost; coalesced waiters charge nothing.
+		return nil, st, err
+	}
+	return append([]byte(nil), v...), st, nil
+}
+
+// lookupUncached is the cache-free lookup path: retries around either the
+// plain overlay lookup or the hedged replica read.
+func (k *KV) lookupUncached(sp *telemetry.Span, origin, key string) ([]byte, overlay.OpStats, error) {
 	var (
 		total  overlay.OpStats
 		value  []byte
@@ -609,3 +670,23 @@ func (k *KV) HealSpan(sp *telemetry.Span) (overlay.HealReport, error) {
 
 // CanHeal reports whether the wrapped overlay supports repair passes.
 func (k *KV) CanHeal() bool { return k.healer != nil }
+
+// InvalidateValue drops the cached verified value for key (no-op without a
+// value cache). The scrubber calls this, via scrub.SetInvalidator, for
+// every key it found divergent or condemned — a cached value must never
+// outlive a condemnation of its holder group.
+func (k *KV) InvalidateValue(key string) {
+	k.values.Invalidate(key)
+}
+
+// InvalidateValues drops every cached verified value (no-op without a
+// value cache).
+func (k *KV) InvalidateValues() {
+	k.values.BumpGeneration()
+}
+
+// ValueCacheStats returns the verified-value cache's counters (zero Stats
+// when the cache is disabled).
+func (k *KV) ValueCacheStats() cachepkg.Stats {
+	return k.values.Stats()
+}

@@ -1,0 +1,77 @@
+package scrub
+
+import (
+	"reflect"
+	"testing"
+)
+
+// SetInvalidator tests: the scrubber must tell its cache-invalidation sink
+// about exactly the keys whose cached values can no longer be trusted —
+// divergent keys (condemned or missing copies) and failed keys — in
+// deterministic merge order, and nothing else.
+
+func TestScrubInvalidatorFiresForDivergentKeysOnly(t *testing.T) {
+	f := newFixture(t, 110, 20, 24)
+	victimKey := f.keys[7]
+	victim := f.replicasOf(t, victimKey)[1]
+	if !f.d.CorruptStored(victim, victimKey, func(b []byte) []byte {
+		b[0] ^= 0x01
+		return b
+	}) {
+		t.Fatalf("victim %s does not hold %s", victim, victimKey)
+	}
+	var invalidated []string
+	s := New(f.d, DefaultConfig(f.client))
+	s.SetInvalidator(func(key string) { invalidated = append(invalidated, key) })
+	rep, err := s.Scrub(f.keys)
+	if err != nil {
+		t.Fatalf("Scrub: %v", err)
+	}
+	if rep.DivergentKeys != 1 {
+		t.Fatalf("DivergentKeys = %d; want 1", rep.DivergentKeys)
+	}
+	if want := []string{victimKey}; !reflect.DeepEqual(invalidated, want) {
+		t.Fatalf("invalidated = %v; want %v", invalidated, want)
+	}
+	// A clean follow-up pass invalidates nothing.
+	invalidated = nil
+	if _, err := s.Scrub(f.keys); err != nil {
+		t.Fatalf("Scrub: %v", err)
+	}
+	if len(invalidated) != 0 {
+		t.Fatalf("clean pass invalidated %v", invalidated)
+	}
+}
+
+func TestScrubInvalidatorDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) []string {
+		f := newFixture(t, 111, 20, 30)
+		for _, i := range []int{3, 11, 19} {
+			key := f.keys[i]
+			victim := f.replicasOf(t, key)[1]
+			if !f.d.CorruptStored(victim, key, func(b []byte) []byte {
+				b[0] ^= 0x02
+				return b
+			}) {
+				t.Fatalf("victim %s does not hold %s", victim, key)
+			}
+		}
+		cfg := DefaultConfig(f.client)
+		cfg.Workers = workers
+		var invalidated []string
+		s := New(f.d, cfg)
+		s.SetInvalidator(func(key string) { invalidated = append(invalidated, key) })
+		if _, err := s.Scrub(f.keys); err != nil {
+			t.Fatalf("Scrub: %v", err)
+		}
+		return invalidated
+	}
+	serial := run(1)
+	parallel := run(8)
+	if len(serial) != 3 {
+		t.Fatalf("invalidated %v; want the 3 corrupted keys", serial)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("invalidation order differs across workers:\n1: %v\n8: %v", serial, parallel)
+	}
+}

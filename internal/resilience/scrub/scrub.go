@@ -103,8 +103,9 @@ type Scrubber struct {
 	digests overlay.DigestKV // nil: overlay cannot summarize
 	cfg     Config
 	verdict func(node string, ok bool)
-	pass    atomic.Uint64   // freshness nonce source: one per Scrub call
-	tel     *scrubTelemetry // nil until SetTelemetry
+	invalid func(key string) // nil until SetInvalidator
+	pass    atomic.Uint64    // freshness nonce source: one per Scrub call
+	tel     *scrubTelemetry  // nil until SetTelemetry
 }
 
 // scrubTelemetry holds the scrubber's resolved registry instruments.
@@ -172,6 +173,14 @@ func New(kv overlay.ReplicaKV, cfg Config) *Scrubber {
 // quarantine persistent corrupters. Verdicts are applied in deterministic
 // key order regardless of Workers.
 func (s *Scrubber) SetVerdict(fn func(node string, ok bool)) { s.verdict = fn }
+
+// SetInvalidator installs a per-key cache-invalidation sink, called during
+// the deterministic merge for every key a pass found divergent (a condemned
+// or missing copy) or failed to compare. The resilient KV wires its
+// verified-value cache here so no cached value outlives a condemnation of
+// its holder group. Call before the first Scrub; not synchronized with
+// in-flight passes.
+func (s *Scrubber) SetInvalidator(fn func(key string)) { s.invalid = fn }
 
 // group is one replica set and the keys that resolve to it.
 type group struct {
@@ -308,6 +317,11 @@ func (s *Scrubber) ScrubSpan(sp *telemetry.Span, keys []string) (Report, error) 
 			report.KeysCompared++
 			if o.failed {
 				report.Failed++
+				if s.invalid != nil {
+					// The pass could not establish this key's canonical
+					// value — any cached copy is suspect.
+					s.invalid(o.key)
+				}
 				continue
 			}
 			divergent := false
@@ -329,6 +343,11 @@ func (s *Scrubber) ScrubSpan(sp *telemetry.Span, keys []string) (Report, error) 
 			}
 			if divergent {
 				report.DivergentKeys++
+				if s.invalid != nil {
+					// A condemned or missing copy existed: drop any cached
+					// value so the next read re-verifies post-repair state.
+					s.invalid(o.key)
+				}
 			} else {
 				report.CleanKeys++
 			}

@@ -22,6 +22,10 @@ import (
 // members holding them, and re-encrypts the archive. Experiment E2 measures
 // that overhead.
 type ABEGroup struct {
+	// envelopeKeyCache optionally memoizes each member's recovered payload
+	// key per ciphertext (SetKeyCache); Remove bumps its generation on rekey.
+	envelopeKeyCache
+
 	name      string
 	authority *abe.Authority
 	policy    *abe.Policy
@@ -120,6 +124,9 @@ func (g *ABEGroup) Remove(member string) (RevocationReport, error) {
 	if err := g.authority.Revoke(revokedAttrs); err != nil {
 		return RevocationReport{}, fmt.Errorf("privacy: revoking attributes: %w", err)
 	}
+	// Every memoized payload key predates the re-key; the revoked member's
+	// entries in particular must not survive.
+	g.keyCache.BumpGeneration()
 	report := RevocationReport{}
 	// Re-issue keys to remaining members who held a revoked attribute.
 	revoked := make(map[string]bool, len(revokedAttrs))
@@ -199,7 +206,11 @@ func (g *ABEGroup) Encrypt(plaintext []byte) (Envelope, error) {
 	return env, nil
 }
 
-// Decrypt implements Group using the member's issued attribute key.
+// Decrypt implements Group using the member's issued attribute key. The
+// public-key phase (share recovery) is memoized per (member, ciphertext
+// epoch, ciphertext) when a key cache is set; the membership check runs
+// before any cache consult, so a revoked member is denied even with a warm
+// cache.
 func (g *ABEGroup) Decrypt(user *identity.User, env Envelope) ([]byte, error) {
 	if err := checkEnvelope(g, env); err != nil {
 		return nil, err
@@ -212,7 +223,18 @@ func (g *ABEGroup) Decrypt(user *identity.User, env Envelope) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("privacy: malformed ABE payload")
 	}
-	pt, err := key.Decrypt(ct)
+	cacheKey := fmt.Sprintf("%s/%d/%s", user.Name, ct.Epoch, contentTag(ct.Body))
+	sym, _, err := g.keyCache.Do(cacheKey, func() ([]byte, error) {
+		k, err := key.RecoverKey(ct)
+		if err != nil {
+			return nil, err
+		}
+		return k, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("privacy: ABE decrypting for %q: %w", user.Name, err)
+	}
+	pt, err := abe.OpenBody(sym, ct)
 	if err != nil {
 		return nil, fmt.Errorf("privacy: ABE decrypting for %q: %w", user.Name, err)
 	}

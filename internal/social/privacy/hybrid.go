@@ -24,6 +24,10 @@ import (
 // making it possible to access in logarithmic time": membership lives in a
 // pad.Dict whose signed root lets untrusted replicas prove membership.
 type HybridGroup struct {
+	// envelopeKeyCache optionally memoizes each member's unwrapped data key
+	// per epoch (SetKeyCache); Remove bumps its generation on rekey.
+	envelopeKeyCache
+
 	name     string
 	epoch    uint64
 	registry *identity.Registry
@@ -135,6 +139,9 @@ func (g *HybridGroup) Remove(member string) (RevocationReport, error) {
 	}
 	g.dataKey = newKey
 	g.epoch++
+	// Every cached data key predates the rotation; the revoked member's copy
+	// in particular must not survive.
+	g.keyCache.BumpGeneration()
 	report := RevocationReport{}
 	// Public-key phase: the per-member wraps are independent ECIES
 	// operations — the dominant O(members) cost — so fan them out. Group
@@ -201,7 +208,9 @@ func (g *HybridGroup) Encrypt(plaintext []byte) (Envelope, error) {
 }
 
 // Decrypt implements Group: the member unwraps its data-key copy (public-key
-// phase, cached per epoch) and opens the body (symmetric phase).
+// phase, memoized per epoch when a key cache is set) and opens the body
+// (symmetric phase). The membership and epoch checks run before any cache
+// consult, so a revoked member is denied even with a warm cache.
 func (g *HybridGroup) Decrypt(user *identity.User, env Envelope) ([]byte, error) {
 	if err := checkEnvelope(g, env); err != nil {
 		return nil, err
@@ -213,9 +222,15 @@ func (g *HybridGroup) Decrypt(user *identity.User, env Envelope) ([]byte, error)
 	if env.Epoch != g.epoch {
 		return nil, fmt.Errorf("%w: envelope epoch %d, key epoch %d", ErrStaleEpoch, env.Epoch, g.epoch)
 	}
-	key, err := user.Decrypt(wrap)
+	key, _, err := g.keyCache.Do(fmt.Sprintf("%s/%d", user.Name, g.epoch), func() ([]byte, error) {
+		k, err := user.Decrypt(wrap)
+		if err != nil {
+			return nil, fmt.Errorf("privacy: unwrapping data key: %w", err)
+		}
+		return k, nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("privacy: unwrapping data key: %w", err)
+		return nil, err
 	}
 	ct, ok := env.Payload.([]byte)
 	if !ok {

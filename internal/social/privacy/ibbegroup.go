@@ -13,6 +13,10 @@ import (
 // the messages for them", and — the property the paper highlights against
 // ABE — "removing a recipient from the list would then have no extra cost".
 type IBBEGroup struct {
+	// envelopeKeyCache optionally memoizes each member's unwrapped broadcast
+	// session key per ciphertext (SetKeyCache); Remove bumps its generation.
+	envelopeKeyCache
+
 	name    string
 	pkg     *ibe.PKG
 	members memberSet
@@ -72,6 +76,9 @@ func (g *IBBEGroup) Remove(member string) (RevocationReport, error) {
 		return RevocationReport{}, err
 	}
 	delete(g.keys, member)
+	// The revocation itself is free, but the revoked member's memoized
+	// session keys must not survive it.
+	g.keyCache.BumpGeneration()
 	return RevocationReport{Free: true}, nil
 }
 
@@ -95,7 +102,10 @@ func (g *IBBEGroup) Encrypt(plaintext []byte) (Envelope, error) {
 	return env, nil
 }
 
-// Decrypt implements Group with the member's identity key.
+// Decrypt implements Group with the member's identity key. The public-key
+// phase (unwrapping the broadcast session key) is memoized per (member,
+// ciphertext) when a key cache is set; the membership check runs before any
+// cache consult, so a removed member is denied even with a warm cache.
 func (g *IBBEGroup) Decrypt(user *identity.User, env Envelope) ([]byte, error) {
 	if err := checkEnvelope(g, env); err != nil {
 		return nil, err
@@ -108,7 +118,13 @@ func (g *IBBEGroup) Decrypt(user *identity.User, env Envelope) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("privacy: malformed IBBE payload")
 	}
-	pt, err := key.DecryptBroadcast(b)
+	session, _, err := g.keyCache.Do(user.Name+"/"+contentTag(b.Body), func() ([]byte, error) {
+		return key.UnwrapSession(b)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("privacy: IBBE decrypting for %q: %w", user.Name, err)
+	}
+	pt, err := ibe.OpenBroadcast(session, b)
 	if err != nil {
 		return nil, fmt.Errorf("privacy: IBBE decrypting for %q: %w", user.Name, err)
 	}

@@ -1,0 +1,95 @@
+package telemetry
+
+import "sync/atomic"
+
+// This file implements span sampling for high-throughput paths (ROADMAP
+// "Telemetry sinks"). Without sampling every traced op allocates a full
+// span tree; with the hot-path caches in front of lookups that allocation
+// becomes a measurable fraction of a cache hit's cost. A Sampler records
+// every Nth root span fully and merely counts the rest — the nil-receiver
+// span contract means a sampled-out op pays one atomic add plus the nil
+// checks it already paid.
+//
+// Determinism: the sampler's only state is a monotonic op counter, so for a
+// serial caller the set of sampled ops is a pure function of (SampleEvery,
+// op index). TestSamplerDeterministicN1vsN4 pins the contract: every span
+// recorded at N=4 is byte-identical to the corresponding span at N=1.
+
+// Config carries telemetry tuning knobs.
+type Config struct {
+	// SampleEvery records every Nth root span fully; the rest are counted
+	// but not allocated. 0 or 1 samples everything; negative disables
+	// tracing entirely (all roots counted, none recorded).
+	SampleEvery int
+}
+
+// Sampler decides per root span whether to record or just count. Safe for
+// concurrent use; nil-receiver safe (a nil sampler records everything).
+type Sampler struct {
+	every   int64
+	ops     atomic.Int64
+	sampled atomic.Int64
+	skipped atomic.Int64
+
+	sampledCtr *Counter
+	skippedCtr *Counter
+}
+
+// NewSampler builds a sampler from cfg. SampleEvery <= 1 means record
+// every root (the sampler still counts ops); negative means record none.
+func NewSampler(cfg Config) *Sampler {
+	return &Sampler{every: int64(cfg.SampleEvery)}
+}
+
+// SetTelemetry mirrors sampled/skipped tallies into reg as
+// "telemetry_spans_sampled_total" / "telemetry_spans_skipped_total".
+// Nil-safe; counts deltas from this call on.
+func (s *Sampler) SetTelemetry(reg *Registry) {
+	if s == nil || reg == nil {
+		return
+	}
+	s.sampledCtr = reg.Counter("telemetry_spans_sampled_total")
+	s.skippedCtr = reg.Counter("telemetry_spans_skipped_total")
+}
+
+// Root returns a new root span for the nth operation, or nil when this op
+// is sampled out — callers thread the result through exactly as they would
+// an always-on span, relying on nil-receiver safety. A nil sampler records
+// everything.
+func (s *Sampler) Root(name string) *Span {
+	if s == nil {
+		return NewSpan(name)
+	}
+	n := s.ops.Add(1)
+	record := false
+	switch {
+	case s.every < 0:
+		// record nothing
+	case s.every <= 1:
+		record = true
+	default:
+		// Sample ops 1, 1+N, 1+2N, ... so the very first op of a run is
+		// always traced.
+		record = (n-1)%s.every == 0
+	}
+	if record {
+		s.sampled.Add(1)
+		if s.sampledCtr != nil {
+			s.sampledCtr.Inc()
+		}
+		return NewSpan(name)
+	}
+	s.skipped.Add(1)
+	if s.skippedCtr != nil {
+		s.skippedCtr.Inc()
+	}
+	return nil
+}
+
+// Counts returns (ops seen, spans recorded, spans skipped). Nil-safe.
+func (s *Sampler) Counts() (ops, sampled, skipped int64) {
+	if s == nil {
+		return 0, 0, 0
+	}
+	return s.ops.Load(), s.sampled.Load(), s.skipped.Load()
+}

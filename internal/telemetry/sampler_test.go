@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSamplerDeterministicN1vsN4(t *testing.T) {
+	render := func(sp *Span) string {
+		var b strings.Builder
+		sp.Render(&b)
+		return b.String()
+	}
+	run := func(every int) map[int]string {
+		s := NewSampler(Config{SampleEvery: every})
+		out := make(map[int]string)
+		for i := 0; i < 32; i++ {
+			sp := s.Root("lookup")
+			if sp != nil {
+				sp.Tag("op", fmt.Sprintf("%d", i))
+				c := sp.Child("fetch")
+				c.End("ok")
+				sp.End("ok")
+				out[i] = render(sp)
+			}
+		}
+		return out
+	}
+	full := run(1)
+	sampled := run(4)
+	if len(full) != 32 {
+		t.Fatalf("N=1 recorded %d spans; want 32", len(full))
+	}
+	if len(sampled) != 8 {
+		t.Fatalf("N=4 recorded %d spans; want 8", len(sampled))
+	}
+	for i, tree := range sampled {
+		if i%4 != 0 {
+			t.Fatalf("N=4 sampled op %d; want only multiples of 4", i)
+		}
+		if tree != full[i] {
+			t.Fatalf("op %d tree differs between N=1 and N=4:\n%s\n---\n%s", i, full[i], tree)
+		}
+	}
+}
+
+func TestSamplerFirstOpAlwaysTraced(t *testing.T) {
+	s := NewSampler(Config{SampleEvery: 100})
+	if s.Root("x") == nil {
+		t.Fatalf("first op must be traced")
+	}
+	for i := 0; i < 99; i++ {
+		if s.Root("x") != nil {
+			t.Fatalf("op %d should be sampled out", i+2)
+		}
+	}
+	if s.Root("x") == nil {
+		t.Fatalf("op 101 should be traced")
+	}
+	ops, sampled, skipped := s.Counts()
+	if ops != 101 || sampled != 2 || skipped != 99 {
+		t.Fatalf("Counts = %d, %d, %d; want 101, 2, 99", ops, sampled, skipped)
+	}
+}
+
+func TestSamplerDisabledAndNil(t *testing.T) {
+	s := NewSampler(Config{SampleEvery: -1})
+	for i := 0; i < 5; i++ {
+		if s.Root("x") != nil {
+			t.Fatalf("negative SampleEvery must record nothing")
+		}
+	}
+	_, sampled, skipped := s.Counts()
+	if sampled != 0 || skipped != 5 {
+		t.Fatalf("sampled/skipped = %d/%d; want 0/5", sampled, skipped)
+	}
+
+	var nilS *Sampler
+	if nilS.Root("x") == nil {
+		t.Fatalf("nil sampler must record everything")
+	}
+	if o, sa, sk := nilS.Counts(); o != 0 || sa != 0 || sk != 0 {
+		t.Fatalf("nil Counts = %d, %d, %d", o, sa, sk)
+	}
+}
+
+func TestSamplerTelemetryMirror(t *testing.T) {
+	reg := NewRegistry()
+	s := NewSampler(Config{SampleEvery: 2})
+	s.SetTelemetry(reg)
+	for i := 0; i < 6; i++ {
+		s.Root("x")
+	}
+	snap := reg.Snapshot()
+	got := map[string]int64{}
+	for _, c := range snap.Counters {
+		got[c.Name] = c.Value
+	}
+	if got["telemetry_spans_sampled_total"] != 3 || got["telemetry_spans_skipped_total"] != 3 {
+		t.Fatalf("mirrored counters = %v; want 3/3", got)
+	}
+}
