@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test race bench bench-quick bench-hot experiments experiments-quick json-smoke telemetry-smoke lint-print chaos-soak cache-smoke examples clean
+.PHONY: all ci build vet test race bench bench-quick bench-hot experiments experiments-quick json-smoke telemetry-smoke lint-print chaos-soak cache-smoke overload-soak examples clean
 
 all: build vet test
 
@@ -15,8 +15,11 @@ all: build vet test
 # the run if the protected arm ever surfaces a corrupted read or loses
 # availability), and a cache smoke run (E21's invariants fail the run if the
 # warm arm never hits, diverges byte-wise from the cold arm, or lets a
-# revoked reader's warm cache open post-revocation content).
-ci: build vet test race json-smoke telemetry-smoke lint-print chaos-soak cache-smoke
+# revoked reader's warm cache open post-revocation content), and an
+# overload soak (E22's invariants fail the run if the load-aware arm ever
+# drops below 99% success or 3x-baseline p99 under a flash crowd, if the
+# bare arm fails to degrade, or if back-to-back runs diverge).
+ci: build vet test race json-smoke telemetry-smoke lint-print chaos-soak cache-smoke overload-soak
 
 # Run the instrumented experiment (E20) with -json and re-parse the report
 # with the strict validator (unknown fields rejected): the telemetry section
@@ -49,6 +52,14 @@ chaos-soak:
 cache-smoke:
 	$(GO) run ./cmd/dosnbench -quick -exp e21 >/dev/null
 	$(GO) test -race -run 'TestCacheRaceHammer|TestCacheEvictionOrderShardedWorkers1vs8' -count=1 ./internal/cache/
+
+# Overload soak: E22 quick flash crowd (one replica at 5x capacity). The
+# experiment enforces its own invariants in-run — load-aware arm >= 99%
+# served with bounded p99, bare arm demonstrably collapsing, shed/queue
+# evidence present in telemetry, DeepEqual determinism at workers 1 and 8
+# — and exits non-zero on any violation.
+overload-soak:
+	$(GO) run ./cmd/dosnbench -quick -exp e22 >/dev/null
 
 # Write a quick machine-readable report and re-parse it with the strict
 # validator; fails the gate if the JSON schema ever drifts or breaks.
@@ -83,7 +94,7 @@ bench-hot:
 		./internal/social/privacy/ ./internal/overlay/dht/ ./internal/crypto/symmetric/ \
 		./internal/cache/
 
-# Regenerate the E1–E21 experiment tables (EXPERIMENTS.md).
+# Regenerate the E1–E22 experiment tables (EXPERIMENTS.md).
 experiments:
 	$(GO) run ./cmd/dosnbench
 

@@ -1,5 +1,5 @@
 // Command dosnbench runs the experiment harness: every experiment of
-// DESIGN.md's per-experiment index (E1–E21), printed as aligned tables.
+// DESIGN.md's per-experiment index (E1–E22), printed as aligned tables.
 //
 // Usage:
 //
@@ -11,6 +11,8 @@
 //	dosnbench -validate f.json  # smoke-parse a previously written report
 //	dosnbench -zipf-s 1.5       # E21 read-popularity Zipf skew (> 1)
 //	dosnbench -hotset 16        # E21 hot-set size (0 = full key space)
+//	dosnbench -hotnode 5        # E22 flash-crowd load factor on the hot node (>= 3)
+//	dosnbench -capacity 2       # E22 hot-node capacity in requests/tick (>= 1)
 //	dosnbench -list             # list experiments
 //
 // Experiments are independent (own seeds, own simulated networks), and
@@ -41,10 +43,16 @@ func run() int {
 		validateFlag = flag.String("validate", "", "validate a -json report file and exit")
 		zipfFlag     = flag.Float64("zipf-s", 1.2, "E21 read-popularity Zipf skew (must be > 1)")
 		hotsetFlag   = flag.Int("hotset", 0, "E21 hot-set size: restrict reads to the first N keys (0 = full key space)")
+		hotnodeFlag  = flag.Float64("hotnode", 5, "E22 flash-crowd load factor on the hot node, as a multiple of its capacity (must be >= 3)")
+		capacityFlag = flag.Int("capacity", 2, "E22 hot-node capacity in full-speed requests per tick (must be >= 1)")
 	)
 	flag.Parse()
 
 	if err := bench.SetE21Workload(*zipfFlag, *hotsetFlag); err != nil {
+		fmt.Fprintf(os.Stderr, "dosnbench: %v\n", err)
+		return 2
+	}
+	if err := bench.SetE22Workload(*hotnodeFlag, *capacityFlag); err != nil {
 		fmt.Fprintf(os.Stderr, "dosnbench: %v\n", err)
 		return 2
 	}

@@ -138,6 +138,7 @@ func All() []Experiment {
 		{ID: "e19", Description: "integrity scrubber: corruption containment under loss + churn + Byzantine replies", Run: E19ChaosScrub},
 		{ID: "e20", Description: "telemetry: per-phase latency breakdown (lookup/verify/repair) under E17/E19 conditions", Run: E20PhaseBreakdown},
 		{ID: "e21", Description: "hot-path read caches: cold vs warm Zipf workload, coherence under writes/faults/revocation", Run: E21CacheAcceleration},
+		{ID: "e22", Description: "overload: flash crowd on one replica — bare stack vs load-aware selection + admission control", Run: E22FlashCrowd},
 	}
 }
 

@@ -55,7 +55,8 @@ type DHT struct {
 	byID       map[uint64]*node
 	ring       []uint64 // sorted node ids
 	names      map[simnet.NodeID]*node
-	allowPlace func(node string) bool // placement veto (integrity.go); nil = canonical
+	allowPlace func(node string) bool        // placement veto (integrity.go); nil = canonical
+	rankRepl   func(names []string) []string // replica-selection order (repair.go); nil = ring order
 
 	routes *cache.Cache[uint64] // key → successor root (routecache.go); nil = uncached
 }
@@ -543,6 +544,8 @@ func spanOutcome(err error) string {
 		return "offline"
 	case errors.Is(err, simnet.ErrPartitioned):
 		return "partitioned"
+	case errors.Is(err, simnet.ErrOverloaded):
+		return "overload"
 	case errors.Is(err, overlay.ErrUnavailable):
 		return "unavailable"
 	default:

@@ -1,0 +1,69 @@
+package dht
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"godosn/internal/overlay/simnet"
+)
+
+func TestSetReplicaRankerReordersReplicasFor(t *testing.T) {
+	net := simnet.New(simnet.DefaultConfig(1))
+	names := make([]simnet.NodeID, 16)
+	for i := range names {
+		names[i] = simnet.NodeID(fmt.Sprintf("node-%d", i))
+	}
+	d, err := New(net, names, Config{ReplicationFactor: 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := d.Store(string(names[0]), "k", []byte("v")); err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	canonical, _, err := d.ReplicasFor(string(names[0]), "k")
+	if err != nil {
+		t.Fatalf("ReplicasFor: %v", err)
+	}
+	if len(canonical) < 2 {
+		t.Fatalf("need >= 2 replicas to observe ordering, got %v", canonical)
+	}
+
+	reverse := func(in []string) []string {
+		out := make([]string, len(in))
+		for i, name := range in {
+			out[len(in)-1-i] = name
+		}
+		return out
+	}
+	d.SetReplicaRanker(reverse)
+	ranked, _, err := d.ReplicasFor(string(names[0]), "k")
+	if err != nil {
+		t.Fatalf("ReplicasFor ranked: %v", err)
+	}
+	if !reflect.DeepEqual(ranked, reverse(canonical)) {
+		t.Fatalf("ranked = %v, want reverse of canonical %v", ranked, canonical)
+	}
+
+	// The hook steers selection order only: the candidate set is unchanged.
+	set := func(names []string) map[string]bool {
+		m := make(map[string]bool, len(names))
+		for _, n := range names {
+			m[n] = true
+		}
+		return m
+	}
+	if !reflect.DeepEqual(set(ranked), set(canonical)) {
+		t.Fatalf("ranking changed candidate membership: %v vs %v", ranked, canonical)
+	}
+
+	// nil restores canonical ring order.
+	d.SetReplicaRanker(nil)
+	restored, _, err := d.ReplicasFor(string(names[0]), "k")
+	if err != nil {
+		t.Fatalf("ReplicasFor restored: %v", err)
+	}
+	if !reflect.DeepEqual(restored, canonical) {
+		t.Fatalf("restored = %v, want canonical %v", restored, canonical)
+	}
+}

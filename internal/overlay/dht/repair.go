@@ -15,11 +15,23 @@ import (
 // (overlay.Healer) that re-replicates under-replicated keys after churn.
 
 var (
-	_ overlay.ReplicaKV  = (*DHT)(nil)
-	_ overlay.Healer     = (*DHT)(nil)
-	_ overlay.SpanKV     = (*DHT)(nil)
-	_ overlay.SpanHealer = (*DHT)(nil)
+	_ overlay.ReplicaKV       = (*DHT)(nil)
+	_ overlay.Healer          = (*DHT)(nil)
+	_ overlay.SpanKV          = (*DHT)(nil)
+	_ overlay.SpanHealer      = (*DHT)(nil)
+	_ overlay.ReplicaRankable = (*DHT)(nil)
 )
+
+// SetReplicaRanker implements overlay.ReplicaRankable: rank reorders the
+// candidate list ReplicasFor returns (nil restores canonical ring order).
+// The resilience layer wires its replica-health tracker in here so hedged
+// reads prefer lightly-loaded replicas. Only selection order changes —
+// membership of the candidate set is still ring position and liveness.
+func (d *DHT) SetReplicaRanker(rank func(names []string) []string) {
+	d.mu.Lock()
+	d.rankRepl = rank
+	d.mu.Unlock()
+}
 
 // registerCrashHook wires a node's volatile storage to simnet crash
 // injection: a crash-restart loses every key the node held.
@@ -78,6 +90,9 @@ func (d *DHT) ReplicasFor(origin, key string) ([]string, overlay.OpStats, error)
 				online++
 			}
 		}
+	}
+	if d.rankRepl != nil {
+		names = d.rankRepl(names)
 	}
 	return names, stats(tr), nil
 }

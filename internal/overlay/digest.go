@@ -109,3 +109,17 @@ type PlacementFilterable interface {
 	// consulted on every placement decision.
 	SetPlacementFilter(allow func(node string) bool)
 }
+
+// ReplicaRankable is implemented by overlays whose replica *selection*
+// order can be steered by a health layer: ReplicasFor returns candidates in
+// the ranker's order instead of canonical ring order. The resilience layer
+// wires its load/health tracker in here so reads prefer lightly-loaded
+// healthy replicas. Ranking reorders candidates only — it never adds or
+// removes any, so correctness (which nodes hold the key) is untouched.
+type ReplicaRankable interface {
+	// SetReplicaRanker installs the ordering hook (nil restores canonical
+	// order). rank must be safe for concurrent use, deterministic for a
+	// given tracker state, and must return a permutation of its input; it
+	// must not mutate the input slice.
+	SetReplicaRanker(rank func(replicas []string) []string)
+}

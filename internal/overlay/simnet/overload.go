@@ -1,0 +1,148 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// This file implements per-node service capacity: a deterministic model of
+// overload as a first-class fault. Every other fault in this package is
+// binary — a node is reachable or it isn't — but a flash crowd on a
+// celebrity profile produces a third state: the node is up, honest, and
+// simply cannot absorb the traffic directed at it. A capacity-configured
+// node serves up to PerTick requests per tick window at full speed, absorbs
+// the next QueueDepth requests with a deterministic queueing delay
+// (position × ServiceTime, charged to the trace like propagation delay),
+// and sheds everything beyond that with ErrOverloaded — an explicit,
+// immediate refusal, distinct from loss (the request never arrived) and
+// corruption (the reply lies).
+//
+// Determinism: the model draws no randomness. Within a tick window the
+// queue position of a request is its arrival index at the node, so a serial
+// experiment loop reproduces byte-identical delays and shed decisions from
+// the seed alone; experiments advance windows themselves with TickCapacity.
+
+// ErrOverloaded reports that a request was refused because the destination
+// node's admission queue was full: the node is online and honest but cannot
+// absorb the offered load. The request was not served and had no side
+// effects — retrying is safe, and a retry directed at a different replica
+// (or after backing off) may succeed.
+var ErrOverloaded = errors.New("simnet: node overloaded, request shed")
+
+// CapacityConfig caps one node's per-tick service rate.
+type CapacityConfig struct {
+	// PerTick is the number of requests the node serves at full speed per
+	// tick window (<= 0 removes the cap).
+	PerTick int
+	// QueueDepth is the number of requests absorbed beyond PerTick per
+	// window; each is served after a queueing delay of its queue position
+	// (1-based) times ServiceTime. 0 means every request beyond PerTick is
+	// shed immediately.
+	QueueDepth int
+	// ServiceTime is the per-position queueing delay. <= 0 defaults to the
+	// network's BaseLatency.
+	ServiceTime time.Duration
+}
+
+// capacityState is one node's admission bookkeeping for the current tick
+// window.
+type capacityState struct {
+	cfg    CapacityConfig
+	served int // requests admitted (fast + queued) this window
+}
+
+// OverloadStats aggregates the network's overload accounting since the last
+// ResetTotals.
+type OverloadStats struct {
+	// Queued is the number of requests served after a queueing delay.
+	Queued int
+	// Sheds is the number of requests refused with ErrOverloaded.
+	Sheds int
+	// PeakQueueDepth is the deepest queue position any request was served
+	// from.
+	PeakQueueDepth int
+	// QueueDelay is the total queueing delay charged.
+	QueueDelay time.Duration
+}
+
+// SetCapacity configures (or, with PerTick <= 0, removes) a node's service
+// capacity. Unregistered nodes are rejected, mirroring SetOnline.
+func (n *Network) SetCapacity(id NodeID, cfg CapacityConfig) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
+	if cfg.PerTick <= 0 {
+		delete(n.capacity, id)
+		return nil
+	}
+	if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0
+	}
+	if cfg.ServiceTime <= 0 {
+		cfg.ServiceTime = n.cfg.BaseLatency
+	}
+	if n.capacity == nil {
+		n.capacity = make(map[NodeID]*capacityState)
+	}
+	n.capacity[id] = &capacityState{cfg: cfg}
+	return nil
+}
+
+// TickCapacity opens a new tick window: every capacity-configured node's
+// served count resets, so the next PerTick requests are again served at
+// full speed. Experiments drive it from the same loop that ticks fault
+// schedules.
+func (n *Network) TickCapacity() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, st := range n.capacity {
+		st.served = 0
+	}
+}
+
+// Overload returns the overload accounting since the last ResetTotals.
+func (n *Network) Overload() OverloadStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.overload
+}
+
+// admitCapacity applies the destination's capacity model to one request.
+// It returns the queueing delay to charge, or ErrOverloaded when the
+// request is shed. Call with n.mu held.
+func (n *Network) admitCapacity(to NodeID) (time.Duration, error) {
+	st := n.capacity[to]
+	if st == nil {
+		return 0, nil
+	}
+	st.served++
+	if st.served <= st.cfg.PerTick {
+		return 0, nil
+	}
+	qpos := st.served - st.cfg.PerTick
+	if qpos > st.cfg.QueueDepth {
+		st.served-- // shed requests occupy no service slot
+		n.overload.Sheds++
+		if n.tel != nil {
+			n.tel.sheds.Inc()
+		}
+		return 0, fmt.Errorf("%w: %s", ErrOverloaded, to)
+	}
+	delay := time.Duration(qpos) * st.cfg.ServiceTime
+	n.overload.Queued++
+	n.overload.QueueDelay += delay
+	if qpos > n.overload.PeakQueueDepth {
+		n.overload.PeakQueueDepth = qpos
+	}
+	if n.tel != nil {
+		n.tel.queued.Inc()
+		n.tel.queueDelay.ObserveDuration(delay)
+		if float64(qpos) > n.tel.queueDepth.Value() {
+			n.tel.queueDepth.Set(float64(qpos))
+		}
+	}
+	return delay, nil
+}

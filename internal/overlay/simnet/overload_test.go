@@ -1,0 +1,145 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// newCapacityNet builds a two-node lossless jitter-free network with a
+// capacity cap on the server, so every delay is exactly base latency plus
+// the deterministic queueing delay.
+func newCapacityNet(t *testing.T, cfg CapacityConfig) *Network {
+	t.Helper()
+	net := New(Config{Seed: 1, BaseLatency: 10 * time.Millisecond})
+	for _, id := range []NodeID{"client", "server"} {
+		if err := net.Register(id, echoHandler()); err != nil {
+			t.Fatalf("register %s: %v", id, err)
+		}
+	}
+	if err := net.SetCapacity("server", cfg); err != nil {
+		t.Fatalf("SetCapacity: %v", err)
+	}
+	return net
+}
+
+func TestCapacityServesQueuesThenSheds(t *testing.T) {
+	net := newCapacityNet(t, CapacityConfig{PerTick: 2, QueueDepth: 2, ServiceTime: 5 * time.Millisecond})
+	var latencies []time.Duration
+	var errs []error
+	for i := 0; i < 6; i++ {
+		tr := &Trace{}
+		_, err := net.RPC(tr, "client", "server", Message{Kind: "ping", Size: 8})
+		latencies = append(latencies, tr.Latency)
+		errs = append(errs, err)
+	}
+	// Requests 1-2: full speed (10ms request + 10ms reply). 3-4: queued
+	// (+5ms, +10ms on the request leg). 5-6: shed.
+	want := []time.Duration{20, 20, 25, 30}
+	for i, w := range want {
+		if errs[i] != nil {
+			t.Fatalf("request %d failed: %v", i+1, errs[i])
+		}
+		if latencies[i] != w*time.Millisecond {
+			t.Fatalf("request %d latency %v, want %v", i+1, latencies[i], w*time.Millisecond)
+		}
+	}
+	for i := 4; i < 6; i++ {
+		if !errors.Is(errs[i], ErrOverloaded) {
+			t.Fatalf("request %d: error %v, want ErrOverloaded", i+1, errs[i])
+		}
+	}
+	ov := net.Overload()
+	if ov.Queued != 2 || ov.Sheds != 2 || ov.PeakQueueDepth != 2 {
+		t.Fatalf("overload stats %+v, want 2 queued / 2 sheds / peak 2", ov)
+	}
+	if ov.QueueDelay != 15*time.Millisecond {
+		t.Fatalf("queue delay %v, want 15ms", ov.QueueDelay)
+	}
+}
+
+func TestCapacityWindowResetsOnTick(t *testing.T) {
+	net := newCapacityNet(t, CapacityConfig{PerTick: 1, QueueDepth: 0, ServiceTime: 5 * time.Millisecond})
+	if _, err := net.RPC(nil, "client", "server", Message{Kind: "ping"}); err != nil {
+		t.Fatalf("first request: %v", err)
+	}
+	if _, err := net.RPC(nil, "client", "server", Message{Kind: "ping"}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-capacity request: %v, want ErrOverloaded", err)
+	}
+	net.TickCapacity()
+	if _, err := net.RPC(nil, "client", "server", Message{Kind: "ping"}); err != nil {
+		t.Fatalf("request after tick: %v", err)
+	}
+}
+
+func TestCapacityDoesNotApplyToReplies(t *testing.T) {
+	// The *client* is capacity-limited; its outgoing requests are not
+	// served by it, and replies to it must not enter its admission queue.
+	net := New(Config{Seed: 1, BaseLatency: 10 * time.Millisecond})
+	for _, id := range []NodeID{"client", "server"} {
+		if err := net.Register(id, echoHandler()); err != nil {
+			t.Fatalf("register %s: %v", id, err)
+		}
+	}
+	if err := net.SetCapacity("client", CapacityConfig{PerTick: 1, QueueDepth: 0}); err != nil {
+		t.Fatalf("SetCapacity: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := net.RPC(nil, "client", "server", Message{Kind: "ping"}); err != nil {
+			t.Fatalf("request %d: %v", i+1, err)
+		}
+	}
+	if ov := net.Overload(); ov.Sheds != 0 || ov.Queued != 0 {
+		t.Fatalf("replies consumed the client's capacity: %+v", ov)
+	}
+}
+
+func TestSetCapacityValidatesAndClears(t *testing.T) {
+	net := New(Config{Seed: 1})
+	if err := net.SetCapacity("ghost", CapacityConfig{PerTick: 1}); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("unknown node: %v, want ErrUnknownNode", err)
+	}
+	if err := net.Register("n", echoHandler()); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if err := net.SetCapacity("n", CapacityConfig{PerTick: 1, QueueDepth: 0}); err != nil {
+		t.Fatalf("SetCapacity: %v", err)
+	}
+	if err := net.Register("c", echoHandler()); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if _, err := net.RPC(nil, "c", "n", Message{}); err != nil {
+		t.Fatalf("within capacity: %v", err)
+	}
+	if _, err := net.RPC(nil, "c", "n", Message{}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over capacity: %v, want ErrOverloaded", err)
+	}
+	// PerTick <= 0 removes the cap.
+	if err := net.SetCapacity("n", CapacityConfig{}); err != nil {
+		t.Fatalf("clear capacity: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := net.RPC(nil, "c", "n", Message{}); err != nil {
+			t.Fatalf("uncapped request %d: %v", i+1, err)
+		}
+	}
+}
+
+func TestCapacityShedChargesNoTraffic(t *testing.T) {
+	net := newCapacityNet(t, CapacityConfig{PerTick: 1, QueueDepth: 0})
+	if _, err := net.RPC(nil, "client", "server", Message{Kind: "ping", Size: 8}); err != nil {
+		t.Fatalf("first request: %v", err)
+	}
+	before := net.Totals()
+	tr := &Trace{}
+	if _, err := net.RPC(tr, "client", "server", Message{Kind: "ping", Size: 8}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	after := net.Totals()
+	if tr.Messages != 0 || tr.Latency != 0 {
+		t.Fatalf("shed charged the trace: %+v", tr)
+	}
+	if after.Messages != before.Messages || after.Bytes != before.Bytes {
+		t.Fatalf("shed charged network totals: %+v vs %+v", before, after)
+	}
+}

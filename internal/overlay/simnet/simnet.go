@@ -114,6 +114,8 @@ type Network struct {
 	onCrash   map[NodeID]func()
 	byz       map[NodeID]*byzState // Byzantine reply corruption (byzantine.go)
 	corrupted int                  // replies corrupted since last reset
+	capacity  map[NodeID]*capacityState
+	overload  OverloadStats
 	totals    Trace
 	rpcCount  int
 	tel       *netTelemetry // nil until SetTelemetry
@@ -122,21 +124,28 @@ type Network struct {
 // netTelemetry holds the network's registry-backed counters, resolved once
 // at SetTelemetry so the RPC path pays pointer loads, not map lookups.
 type netTelemetry struct {
-	rpcs      *telemetry.Counter
-	messages  *telemetry.Counter
-	bytes     *telemetry.Counter
-	dropped   *telemetry.Counter
-	offline   *telemetry.Counter
-	partition *telemetry.Counter
-	replyLost *telemetry.Counter
-	corrupted *telemetry.Counter
-	delay     *telemetry.Histogram
+	rpcs       *telemetry.Counter
+	messages   *telemetry.Counter
+	bytes      *telemetry.Counter
+	dropped    *telemetry.Counter
+	offline    *telemetry.Counter
+	partition  *telemetry.Counter
+	replyLost  *telemetry.Counter
+	corrupted  *telemetry.Counter
+	sheds      *telemetry.Counter
+	queued     *telemetry.Counter
+	queueDepth *telemetry.Gauge
+	delay      *telemetry.Histogram
+	queueDelay *telemetry.Histogram
 }
 
 // SetTelemetry wires the network's traffic and fault accounting into a
 // metrics registry: simnet_rpcs_total, simnet_messages_total,
 // simnet_bytes_total, per-fault-class drop counters,
-// simnet_corrupted_replies_total, and a one-way delay histogram
+// simnet_corrupted_replies_total, the overload instruments
+// (simnet_overload_sheds_total, simnet_overload_queued_total, the
+// simnet_overload_queue_depth_peak gauge, and the
+// simnet_overload_queue_delay_ms histogram), and a one-way delay histogram
 // (simnet_delay_ms, simulated milliseconds — never wall clock). nil
 // detaches. The pre-existing Totals/RPCCount/CorruptedReplies accessors
 // keep working; the registry is the shared view other layers report into.
@@ -148,15 +157,19 @@ func (n *Network) SetTelemetry(reg *telemetry.Registry) {
 		return
 	}
 	n.tel = &netTelemetry{
-		rpcs:      reg.Counter("simnet_rpcs_total"),
-		messages:  reg.Counter("simnet_messages_total"),
-		bytes:     reg.Counter("simnet_bytes_total"),
-		dropped:   reg.Counter("simnet_dropped_total"),
-		offline:   reg.Counter("simnet_offline_refusals_total"),
-		partition: reg.Counter("simnet_partition_refusals_total"),
-		replyLost: reg.Counter("simnet_replies_lost_total"),
-		corrupted: reg.Counter("simnet_corrupted_replies_total"),
-		delay:     reg.Histogram("simnet_delay_ms", "ms", telemetry.LatencyBuckets()),
+		rpcs:       reg.Counter("simnet_rpcs_total"),
+		messages:   reg.Counter("simnet_messages_total"),
+		bytes:      reg.Counter("simnet_bytes_total"),
+		dropped:    reg.Counter("simnet_dropped_total"),
+		offline:    reg.Counter("simnet_offline_refusals_total"),
+		partition:  reg.Counter("simnet_partition_refusals_total"),
+		replyLost:  reg.Counter("simnet_replies_lost_total"),
+		corrupted:  reg.Counter("simnet_corrupted_replies_total"),
+		sheds:      reg.Counter("simnet_overload_sheds_total"),
+		queued:     reg.Counter("simnet_overload_queued_total"),
+		queueDepth: reg.Gauge("simnet_overload_queue_depth_peak"),
+		delay:      reg.Histogram("simnet_delay_ms", "ms", telemetry.LatencyBuckets()),
+		queueDelay: reg.Histogram("simnet_overload_queue_delay_ms", "ms", telemetry.LatencyBuckets()),
 	}
 }
 
@@ -288,6 +301,7 @@ func (n *Network) ResetTotals() {
 	n.totals = Trace{}
 	n.rpcCount = 0
 	n.corrupted = 0
+	n.overload = OverloadStats{}
 }
 
 // RPCCount returns the number of RPC invocations since the last reset.
@@ -298,8 +312,10 @@ func (n *Network) RPCCount() int {
 }
 
 // admit checks deliverability and charges one message to the trace and
-// totals. It returns the handler to invoke.
-func (n *Network) admit(tr *Trace, from, to NodeID, size int) (Handler, error) {
+// totals. It returns the handler to invoke. serving marks the request
+// direction: only then does the destination's capacity model apply —
+// replies ride back without re-entering the receiver's admission queue.
+func (n *Network) admit(tr *Trace, from, to NodeID, size int, serving bool) (Handler, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	h, ok := n.nodes[to]
@@ -324,13 +340,21 @@ func (n *Network) admit(tr *Trace, from, to NodeID, size int) (Handler, error) {
 		}
 		return nil, fmt.Errorf("%w: %s / %s", ErrPartitioned, from, to)
 	}
+	var queueDelay time.Duration
+	if serving {
+		var err error
+		queueDelay, err = n.admitCapacity(to)
+		if err != nil {
+			return nil, err
+		}
+	}
 	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
 		if n.tel != nil {
 			n.tel.dropped.Inc()
 		}
 		return nil, fmt.Errorf("%w: %s -> %s", ErrDropped, from, to)
 	}
-	delay := n.cfg.BaseLatency
+	delay := n.cfg.BaseLatency + queueDelay
 	if n.cfg.JitterLatency > 0 {
 		delay += time.Duration(n.rng.Int63n(int64(n.cfg.JitterLatency)))
 	}
@@ -354,7 +378,7 @@ func (n *Network) RPC(tr *Trace, from, to NodeID, msg Message) (Message, error) 
 	if tr == nil {
 		tr = &Trace{}
 	}
-	h, err := n.admit(tr, from, to, msg.Size)
+	h, err := n.admit(tr, from, to, msg.Size, true)
 	if err != nil {
 		return Message{}, err
 	}
@@ -377,7 +401,7 @@ func (n *Network) RPC(tr *Trace, from, to NodeID, msg Message) (Message, error) 
 	// Charge the reply direction. A failure here is NOT equivalent to the
 	// request being lost: the handler has already run, so the caller must
 	// learn that the operation may have been applied.
-	if _, aerr := n.admit(tr, to, from, reply.Size); aerr != nil {
+	if _, aerr := n.admit(tr, to, from, reply.Size, false); aerr != nil {
 		n.mu.Lock()
 		if n.tel != nil {
 			n.tel.replyLost.Inc()
@@ -394,7 +418,7 @@ func (n *Network) Cast(tr *Trace, from, to NodeID, msg Message) error {
 	if tr == nil {
 		tr = &Trace{}
 	}
-	h, err := n.admit(tr, from, to, msg.Size)
+	h, err := n.admit(tr, from, to, msg.Size, true)
 	if err != nil {
 		return err
 	}

@@ -10,6 +10,7 @@ import (
 
 	cachepkg "godosn/internal/cache"
 	"godosn/internal/overlay"
+	"godosn/internal/resilience/load"
 	"godosn/internal/telemetry"
 )
 
@@ -59,6 +60,24 @@ type Config struct {
 	// found divergent or condemned via SetInvalidator — a cached value
 	// never outlives a condemnation of its holder group.
 	Cache cachepkg.Config
+	// Health configures the EWMA replica-health tracker (load.Tracker):
+	// every per-replica fetch feeds an observation (latency; served,
+	// errored, or shed), and hedged reads rank their candidates
+	// healthiest-first instead of canonical order — so a flash-crowded or
+	// flaky replica is tried last while its siblings have spare capacity.
+	// When the overlay supports it (overlay.ReplicaRankable) the same
+	// ranking is installed as the overlay's replica-selection hook. The
+	// zero value (Alpha 0) disables ranking entirely, preserving the exact
+	// replica order of an unranked KV.
+	Health load.TrackerConfig
+	// Admission configures the client-side token-bucket gate (load.Gate):
+	// operations beyond the per-tick budget are queued (their wait charged
+	// to simulated latency) and, beyond the queue, shed locally with
+	// load.ErrShed before a single message is sent — backpressure at the
+	// source instead of one more request on an overloaded replica's queue.
+	// Drive the bucket with KV.Tick. The zero value (PerTick 0) disables
+	// admission control.
+	Admission load.GateConfig
 }
 
 // DefaultConfig hedges across 2 extra replicas with the default retry
@@ -83,6 +102,12 @@ type Metrics struct {
 	// CorruptReads counts replica reads whose bytes failed verification —
 	// every one was detected and rejected, never returned to the caller.
 	CorruptReads int
+	// ClientSheds counts operations refused by the client-side admission
+	// gate (Config.Admission) before any message was sent.
+	ClientSheds int
+	// AdmissionWait is the total queueing delay the admission gate charged
+	// to operations it absorbed over budget.
+	AdmissionWait time.Duration
 	// ReadRepairs counts verified values pushed over corrupt copies during
 	// lookups (Config.ReadRepair).
 	ReadRepairs int
@@ -107,6 +132,8 @@ type KV struct {
 	breaker   *Breaker
 	rng       *rand.Rand              // jitter source; safe via lockedSource
 	values    *cachepkg.Cache[[]byte] // verified-value cache (cache.go); nil = uncached
+	health    *load.Tracker           // replica-health ranking; nil = canonical order
+	gate      *load.Gate              // client-side admission; nil = admit everything
 
 	mu      sync.Mutex
 	metrics Metrics
@@ -130,6 +157,7 @@ type kvTelemetry struct {
 	breakerSkips *telemetry.Counter
 	corruptReads *telemetry.Counter
 	readRepairs  *telemetry.Counter
+	clientSheds  *telemetry.Counter
 	failures     *telemetry.Counter
 	backoff      *telemetry.Histogram
 }
@@ -143,9 +171,13 @@ func (k *KV) SetTelemetry(reg *telemetry.Registry) {
 		k.tel = nil
 		k.breaker.SetEvents(nil)
 		k.values.SetTelemetry(nil, "resilience_value_cache")
+		k.health.SetTelemetry(nil)
+		k.gate.SetTelemetry(nil)
 		return
 	}
 	k.values.SetTelemetry(reg, "resilience_value_cache")
+	k.health.SetTelemetry(reg)
+	k.gate.SetTelemetry(reg)
 	k.tel = &kvTelemetry{
 		ops:          reg.Counter("resilience_ops_total"),
 		attempts:     reg.Counter("resilience_attempts_total"),
@@ -154,6 +186,7 @@ func (k *KV) SetTelemetry(reg *telemetry.Registry) {
 		breakerSkips: reg.Counter("resilience_breaker_skips_total"),
 		corruptReads: reg.Counter("resilience_corrupt_reads_total"),
 		readRepairs:  reg.Counter("resilience_read_repairs_total"),
+		clientSheds:  reg.Counter("resilience_client_sheds_total"),
 		failures:     reg.Counter("resilience_failures_total"),
 		backoff:      reg.Histogram("resilience_backoff_ms", "ms", telemetry.LatencyBuckets()),
 	}
@@ -196,6 +229,16 @@ func Wrap(inner overlay.KV, cfg Config) *KV {
 		cfg:     cfg,
 		breaker: NewBreaker(cfg.Breaker),
 		rng:     rand.New(&lockedSource{src: rand.NewSource(cfg.Seed).(rand.Source64)}),
+		health:  load.NewTracker(cfg.Health),
+		gate:    load.NewGate(cfg.Admission),
+	}
+	if k.health != nil {
+		if rr, ok := inner.(overlay.ReplicaRankable); ok {
+			// The overlay's replica selection consults the same health
+			// tracker the hedged reads feed, so fan-out and extension
+			// ordering also prefer lightly-loaded replicas.
+			rr.SetReplicaRanker(k.health.Rank)
+		}
 	}
 	if r, ok := inner.(overlay.ReplicaKV); ok {
 		k.replicas = r
@@ -237,6 +280,50 @@ func Wrap(inner overlay.KV, cfg Config) *KV {
 
 // Name implements overlay.KV.
 func (k *KV) Name() string { return k.inner.Name() + "+resilient" }
+
+// Tick advances the client-side admission gate's simulated clock one step
+// (no-op without Config.Admission). Experiments drive it from the same loop
+// that ticks simnet fault schedules and capacity windows.
+func (k *KV) Tick() { k.gate.Tick() }
+
+// HealthSnapshot returns the replica-health tracker's per-node scores,
+// sorted by node (nil without Config.Health).
+func (k *KV) HealthSnapshot() []load.NodeScore { return k.health.Snapshot() }
+
+// admitOp applies the client-side admission gate to one network-bound
+// operation. An over-budget operation absorbed by the queue is charged its
+// wait as simulated latency (an "admission" child span makes the phase
+// visible in traces); beyond the queue it is shed before any message is
+// sent, and the shed is the operation's outcome — FaultOverload, counted
+// as a failure and a ClientShed.
+func (k *KV) admitOp(sp *telemetry.Span, total *overlay.OpStats) error {
+	wait, err := k.gate.Admit()
+	if err != nil {
+		k.mu.Lock()
+		k.metrics.Ops++
+		k.metrics.Failures++
+		k.metrics.ClientSheds++
+		if t := k.tel; t != nil {
+			t.ops.Inc()
+			t.failures.Inc()
+			t.clientSheds.Inc()
+		}
+		k.mu.Unlock()
+		asp := sp.Child("admission")
+		asp.End("overload")
+		return err
+	}
+	if wait > 0 {
+		total.Latency += wait
+		k.mu.Lock()
+		k.metrics.AdmissionWait += wait
+		k.mu.Unlock()
+		asp := sp.Child("admission")
+		asp.AddLatency(wait)
+		asp.End("queued")
+	}
+	return nil
+}
 
 // Inner returns the wrapped overlay.
 func (k *KV) Inner() overlay.KV { return k.inner }
@@ -313,6 +400,9 @@ func (k *KV) Store(origin, key string, value []byte) (overlay.OpStats, error) {
 func (k *KV) StoreSpan(sp *telemetry.Span, origin, key string, value []byte) (overlay.OpStats, error) {
 	sp.Tag("key", key)
 	var total overlay.OpStats
+	if err := k.admitOp(sp, &total); err != nil {
+		return total, err
+	}
 	out, err := Do(k.cfg.Policy, k.rng, true, func(n int) error {
 		asp := k.attemptSpan(sp, n)
 		var (
@@ -410,6 +500,9 @@ func (k *KV) lookupUncached(sp *telemetry.Span, origin, key string) ([]byte, ove
 		hedges int
 		skips  int
 	)
+	if err := k.admitOp(sp, &total); err != nil {
+		return nil, total, err
+	}
 	op := func(n int) error {
 		asp := k.attemptSpan(sp, n)
 		if k.replicas == nil {
@@ -501,10 +594,20 @@ func (k *KV) fetchFrom(sp *telemetry.Span, spanName, origin, key, name string) (
 	switch {
 	case replicaHealthy(err):
 		k.breaker.Report(name, true)
+		k.health.Observe(name, st.Latency, load.OutcomeOK)
 	case Classify(err) == FaultCorruption:
 		k.breaker.ReportCorrupt(name)
+		k.health.Observe(name, st.Latency, load.OutcomeError)
+	case Classify(err) == FaultOverload:
+		// Shed ≠ Byzantine and shed ≠ down: the node refused honestly and
+		// immediately. The breaker hears a plain (untainted) failure — a
+		// persistent shedder is routed around, never quarantined — and the
+		// health tracker hears the stronger shed signal.
+		k.breaker.Report(name, false)
+		k.health.Observe(name, st.Latency, load.OutcomeShed)
 	default:
 		k.breaker.Report(name, false)
+		k.health.Observe(name, st.Latency, load.OutcomeError)
 	}
 	fsp.End(outcomeOf(err))
 	if err != nil {
@@ -542,6 +645,11 @@ func (k *KV) hedgedLookup(sp *telemetry.Span, origin, key string, total *overlay
 		// without a message.
 		allowed = names
 	}
+	// Load-aware selection: the healthiest replica serves as primary and
+	// the hedge wave follows in health order, so a flash-crowded node is
+	// tried last while its siblings have spare capacity. A nil tracker
+	// (Config.Health zero) keeps canonical order.
+	allowed = k.health.Rank(allowed)
 
 	// Primary read (verified).
 	v, st, err := k.fetchFrom(sp, "fetch", origin, key, allowed[0])

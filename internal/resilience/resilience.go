@@ -32,6 +32,7 @@ import (
 
 	"godosn/internal/overlay"
 	"godosn/internal/overlay/simnet"
+	"godosn/internal/resilience/load"
 )
 
 // Fault classifies an operation error by what recovery it admits.
@@ -58,6 +59,15 @@ const (
 	// which is what RetryableElsewhere expresses. A corruption verdict also
 	// counts as a breaker failure, so persistent corrupters are quarantined.
 	FaultCorruption
+	// FaultOverload means a node (or the client's own admission gate) shed
+	// the operation because the offered load exceeded capacity. The node is
+	// online and honest — shed ≠ Byzantine, so overload never taints the
+	// breaker's quarantine state — and the request had no side effects, so
+	// retrying is always safe. But retrying *immediately against the same
+	// node* is exactly how overload cascades: recovery must either go
+	// elsewhere (a sibling replica has spare capacity) or back off harder
+	// than for loss, which is what the overload backoff schedule does.
+	FaultOverload
 )
 
 // String renders the fault class.
@@ -73,6 +83,8 @@ func (f Fault) String() string {
 		return "permanent"
 	case FaultCorruption:
 		return "corruption"
+	case FaultOverload:
+		return "overload"
 	default:
 		return "fault(?)"
 	}
@@ -98,6 +110,8 @@ func Classify(err error) Fault {
 		return FaultAckLost
 	case errors.Is(err, ErrCorrupt):
 		return FaultCorruption
+	case errors.Is(err, simnet.ErrOverloaded), errors.Is(err, load.ErrShed):
+		return FaultOverload
 	case errors.Is(err, simnet.ErrDropped),
 		errors.Is(err, simnet.ErrNodeOffline),
 		errors.Is(err, simnet.ErrPartitioned),
@@ -112,10 +126,11 @@ func Classify(err error) Fault {
 // attempted again against the same endpoint; idempotent says whether
 // re-applying the operation is harmless (required for AckLost retries).
 // FaultCorruption is NOT retryable here: the same node will serve the same
-// bad bytes.
+// bad bytes. FaultOverload is retryable — a shed has no side effects — but
+// retries must use the harder overload backoff schedule (BackoffFor).
 func Retryable(f Fault, idempotent bool) bool {
 	switch f {
-	case FaultTransient:
+	case FaultTransient, FaultOverload:
 		return true
 	case FaultAckLost:
 		return idempotent

@@ -28,18 +28,29 @@ type Policy struct {
 	// LatencyBudget caps the total backoff charged per operation; a retry
 	// whose backoff would exceed it is not attempted (0 = uncapped).
 	LatencyBudget time.Duration
+	// OverloadMultiplier grows the backoff *ceiling* per retry after a
+	// FaultOverload, which backs off on a separate, more aggressive
+	// schedule: multiplicative growth with full jitter (the delay is drawn
+	// uniformly from [0, ceiling], not ±JitterFrac around a midpoint).
+	// Overloaded nodes recover only when offered load actually falls, so
+	// retries must both spread out (full jitter decorrelates the retrying
+	// crowd) and slow down faster than loss retries (a bigger multiplier
+	// than the transient schedule's). < 1 falls back to max(Multiplier, 2).
+	OverloadMultiplier float64
 }
 
 // DefaultPolicy retries up to 4 times beyond the first attempt, starting at
-// 20ms and doubling, capped at 200ms per step and 1s total.
+// 20ms and doubling, capped at 200ms per step and 1s total; overload
+// retries grow their full-jitter ceiling 3x per step.
 func DefaultPolicy() Policy {
 	return Policy{
-		MaxAttempts:   5,
-		BaseDelay:     20 * time.Millisecond,
-		MaxDelay:      200 * time.Millisecond,
-		Multiplier:    2,
-		JitterFrac:    0.2,
-		LatencyBudget: time.Second,
+		MaxAttempts:        5,
+		BaseDelay:          20 * time.Millisecond,
+		MaxDelay:           200 * time.Millisecond,
+		Multiplier:         2,
+		JitterFrac:         0.2,
+		LatencyBudget:      time.Second,
+		OverloadMultiplier: 3,
 	}
 }
 
@@ -71,6 +82,48 @@ func (p Policy) Backoff(rng *rand.Rand, retry int) time.Duration {
 		d = 0
 	}
 	return time.Duration(d)
+}
+
+// overloadBackoff is the FaultOverload schedule: the ceiling grows by
+// OverloadMultiplier per retry (from BaseDelay, capped at MaxDelay) and the
+// delay is drawn uniformly from [0, ceiling] — full jitter, so a crowd of
+// shed clients decorrelates instead of returning in synchronized waves.
+func (p Policy) overloadBackoff(rng *rand.Rand, retry int) time.Duration {
+	if retry < 1 {
+		return 0
+	}
+	mult := p.OverloadMultiplier
+	if mult < 1 {
+		mult = p.Multiplier
+		if mult < 2 {
+			mult = 2
+		}
+	}
+	ceiling := float64(p.BaseDelay)
+	for i := 1; i < retry; i++ {
+		ceiling *= mult
+		if p.MaxDelay > 0 && ceiling > float64(p.MaxDelay) {
+			break
+		}
+	}
+	if p.MaxDelay > 0 && ceiling > float64(p.MaxDelay) {
+		ceiling = float64(p.MaxDelay)
+	}
+	if rng == nil {
+		return time.Duration(ceiling)
+	}
+	return time.Duration(rng.Float64() * ceiling)
+}
+
+// BackoffFor returns the simulated delay before retry number retry
+// (1-based) after a failure of class fault: FaultOverload backs off on the
+// multiplicative full-jitter schedule, every other retryable class keeps
+// the standard exponential schedule.
+func (p Policy) BackoffFor(rng *rand.Rand, retry int, fault Fault) time.Duration {
+	if fault == FaultOverload {
+		return p.overloadBackoff(rng, retry)
+	}
+	return p.Backoff(rng, retry)
 }
 
 // Outcome reports what a retried operation cost beyond its own attempts.
@@ -113,7 +166,7 @@ func DoWith(p Policy, rng *rand.Rand, retryable func(Fault) bool, op func(attemp
 		if attempt == p.MaxAttempts {
 			break
 		}
-		backoff := p.Backoff(rng, attempt)
+		backoff := p.BackoffFor(rng, attempt, out.Fault)
 		if p.LatencyBudget > 0 && out.Backoff+backoff > p.LatencyBudget {
 			return out, fmt.Errorf("resilience: latency budget %v exhausted after %d attempts: %w", p.LatencyBudget, attempt, err)
 		}
