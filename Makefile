@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test race bench bench-quick bench-hot experiments experiments-quick json-smoke telemetry-smoke lint-print chaos-soak cache-smoke overload-soak examples clean
+.PHONY: all ci build vet test race bench bench-quick bench-hot experiments experiments-quick json-smoke telemetry-smoke lint-print chaos-soak cache-smoke overload-soak scale-smoke examples clean
 
 all: build vet test
 
@@ -18,8 +18,12 @@ all: build vet test
 # revoked reader's warm cache open post-revocation content), and an
 # overload soak (E22's invariants fail the run if the load-aware arm ever
 # drops below 99% success or 3x-baseline p99 under a flash crowd, if the
-# bare arm fails to degrade, or if back-to-back runs diverge).
-ci: build vet test race json-smoke telemetry-smoke lint-print chaos-soak cache-smoke overload-soak
+# bare arm fails to degrade, or if back-to-back runs diverge), and a scale
+# smoke (E23's invariants fail the run if batched transport saves < 3x
+# messages/op, if the two arms' read outcomes diverge byte-wise, if memory
+# grows with the streamed population, or if runs differ across repeats or
+# worker counts).
+ci: build vet test race json-smoke telemetry-smoke lint-print chaos-soak cache-smoke overload-soak scale-smoke
 
 # Run the instrumented experiment (E20) with -json and re-parse the report
 # with the strict validator (unknown fields rejected): the telemetry section
@@ -61,6 +65,17 @@ cache-smoke:
 overload-soak:
 	$(GO) run ./cmd/dosnbench -quick -exp e22 >/dev/null
 
+# Scale smoke: E23 quick streaming sweep (10k -> 100k users, same action
+# stream through sequential and batched transport). The experiment enforces
+# its own invariants in-run — >= 3x messages/op saved by batching, digest-
+# identical read outcomes between arms, flat live heap across the 10x user
+# growth, zero batch-key rescues on the lossless network, DeepEqual
+# determinism back to back and at FanoutWorkers 1 vs 8 — and exits non-zero
+# on any violation. The full (non-quick) run adds the in-harness 1M-user
+# point.
+scale-smoke:
+	$(GO) run ./cmd/dosnbench -quick -exp e23 >/dev/null
+
 # Write a quick machine-readable report and re-parse it with the strict
 # validator; fails the gate if the JSON schema ever drifts or breaks.
 json-smoke:
@@ -94,7 +109,7 @@ bench-hot:
 		./internal/social/privacy/ ./internal/overlay/dht/ ./internal/crypto/symmetric/ \
 		./internal/cache/
 
-# Regenerate the E1–E22 experiment tables (EXPERIMENTS.md).
+# Regenerate the E1–E23 experiment tables (EXPERIMENTS.md).
 experiments:
 	$(GO) run ./cmd/dosnbench
 

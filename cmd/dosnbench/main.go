@@ -1,5 +1,5 @@
 // Command dosnbench runs the experiment harness: every experiment of
-// DESIGN.md's per-experiment index (E1–E22), printed as aligned tables.
+// DESIGN.md's per-experiment index (E1–E23), printed as aligned tables.
 //
 // Usage:
 //
@@ -13,6 +13,7 @@
 //	dosnbench -hotset 16        # E21 hot-set size (0 = full key space)
 //	dosnbench -hotnode 5        # E22 flash-crowd load factor on the hot node (>= 3)
 //	dosnbench -capacity 2       # E22 hot-node capacity in requests/tick (>= 1)
+//	dosnbench -batch 256        # E23 read/write batch size ([2, 4096])
 //	dosnbench -list             # list experiments
 //
 // Experiments are independent (own seeds, own simulated networks), and
@@ -45,6 +46,7 @@ func run() int {
 		hotsetFlag   = flag.Int("hotset", 0, "E21 hot-set size: restrict reads to the first N keys (0 = full key space)")
 		hotnodeFlag  = flag.Float64("hotnode", 5, "E22 flash-crowd load factor on the hot node, as a multiple of its capacity (must be >= 3)")
 		capacityFlag = flag.Int("capacity", 2, "E22 hot-node capacity in full-speed requests per tick (must be >= 1)")
+		batchFlag    = flag.Int("batch", 256, "E23 read/write batch size (must be in [2, 4096])")
 	)
 	flag.Parse()
 
@@ -53,6 +55,10 @@ func run() int {
 		return 2
 	}
 	if err := bench.SetE22Workload(*hotnodeFlag, *capacityFlag); err != nil {
+		fmt.Fprintf(os.Stderr, "dosnbench: %v\n", err)
+		return 2
+	}
+	if err := bench.SetE23Workload(*batchFlag); err != nil {
 		fmt.Fprintf(os.Stderr, "dosnbench: %v\n", err)
 		return 2
 	}

@@ -1,0 +1,158 @@
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"godosn/internal/telemetry"
+)
+
+// Budget is a byte budget shared by several cache instances (Config.Budget):
+// the DHT route cache, the verified-value cache, and the envelope-key cache
+// can be bounded as one memory pool instead of three independent entry
+// counts. Every entry write charges its estimated size (SetSizer) against
+// the shared limit; overflow reclaims the globally least-recently-touched
+// entry across all enrolled caches, wherever it lives — a cold route makes
+// room for a hot value and vice versa.
+//
+// Recency is tracked with a shared monotone stamp assigned on every touch
+// (write or hit), so "globally oldest" is a pure function of the operation
+// history: serial workloads reclaim identically run to run. Reclaim order
+// among concurrent writers follows their interleaving, like any LRU.
+type Budget struct {
+	limit int64
+	used  atomic.Int64
+	seq   atomic.Uint64
+
+	mu      sync.Mutex // guards members and serializes reclaim sweeps
+	members []budgetMember
+}
+
+// budgetMember is the view a Budget has of an enrolled cache, independent
+// of the cache's value type.
+type budgetMember interface {
+	// oldestSeq reports the smallest recency stamp among resident entries.
+	oldestSeq() (uint64, bool)
+	// evictOldest removes the least-recently-touched entry, reporting
+	// whether one existed. The entry's size is credited back via the
+	// shard's onRemove hook.
+	evictOldest() bool
+}
+
+// NewBudget creates a shared byte budget. A non-positive limit returns nil
+// — a valid, disabled budget (caches run unbounded-by-bytes).
+func NewBudget(limit int64) *Budget {
+	if limit <= 0 {
+		return nil
+	}
+	return &Budget{limit: limit}
+}
+
+// Limit returns the configured byte ceiling. Nil-safe (0).
+func (b *Budget) Limit() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.limit
+}
+
+// Used returns the bytes currently charged across all enrolled caches.
+// Nil-safe (0).
+func (b *Budget) Used() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.used.Load()
+}
+
+// register enrols a cache; called once from New, in construction order —
+// which is also the tie-break order for reclaim scans.
+func (b *Budget) register(m budgetMember) {
+	b.mu.Lock()
+	b.members = append(b.members, m)
+	b.mu.Unlock()
+}
+
+// nextSeq issues the next global recency stamp.
+func (b *Budget) nextSeq() uint64 { return b.seq.Add(1) }
+
+// charge adds delta bytes (possibly negative, on a shrinking refresh) to
+// the shared usage. Reclaim is a separate step so charge can run under a
+// shard lock.
+func (b *Budget) charge(delta int) { b.used.Add(int64(delta)) }
+
+// credit returns size bytes to the pool when an entry leaves its cache for
+// any reason (eviction, invalidation, expiry, reclaim).
+func (b *Budget) credit(size int) { b.used.Add(-int64(size)) }
+
+// reclaim evicts globally least-recently-touched entries until usage is
+// back under the limit (or every member is empty). Called with no shard
+// lock held; b.mu orders the lock hierarchy budget → shard, never the
+// reverse.
+func (b *Budget) reclaim() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.used.Load() > b.limit {
+		var (
+			victim budgetMember
+			best   uint64
+			found  bool
+		)
+		for _, m := range b.members {
+			if s, ok := m.oldestSeq(); ok && (!found || s < best) {
+				best, victim, found = s, m, true
+			}
+		}
+		if !found || !victim.evictOldest() {
+			return
+		}
+	}
+}
+
+// oldestSeq implements budgetMember: the smallest recency stamp across
+// shard tails (each shard's tail is its least-recently-touched entry, and
+// stamps are assigned under the same lock that maintains LRU order).
+func (c *Cache[V]) oldestSeq() (uint64, bool) {
+	var (
+		best  uint64
+		found bool
+	)
+	for _, s := range c.shards {
+		s.mu.Lock()
+		if s.tail != nil && (!found || s.tail.seq < best) {
+			best, found = s.tail.seq, true
+		}
+		s.mu.Unlock()
+	}
+	return best, found
+}
+
+// evictOldest implements budgetMember: drop the entry with the smallest
+// recency stamp, counted as an expiration (budget pressure, not capacity
+// pressure — the SetOnEvict hook observes capacity evictions only).
+func (c *Cache[V]) evictOldest() bool {
+	var (
+		victim *shard[V]
+		best   uint64
+		found  bool
+	)
+	for _, s := range c.shards {
+		s.mu.Lock()
+		if s.tail != nil && (!found || s.tail.seq < best) {
+			best, victim, found = s.tail.seq, s, true
+		}
+		s.mu.Unlock()
+	}
+	if !found {
+		return false
+	}
+	victim.mu.Lock()
+	if victim.tail == nil {
+		victim.mu.Unlock()
+		return false
+	}
+	victim.remove(victim.tail)
+	victim.mu.Unlock()
+	c.count(&c.expirations, func(t *cacheTelemetry) *telemetry.Counter { return t.expirations })
+	return true
+}

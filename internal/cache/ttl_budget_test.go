@@ -1,0 +1,144 @@
+package cache
+
+import "testing"
+
+// TTL expiry is tick-driven: an entry written at tick T survives every
+// Tick until the clock reaches T + TTLTicks, then is swept.
+func TestTTLExpiresEntriesOnTick(t *testing.T) {
+	c := New[string](Config{Capacity: 8, Shards: 1, TTLTicks: 2})
+	c.Put("a", "1")
+	c.Tick() // age 1 < 2: survives
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("entry expired before its TTL")
+	}
+	c.Tick() // age 2: swept
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("entry survived past its TTL")
+	}
+	if got := c.Stats().Expirations; got != 1 {
+		t.Fatalf("Expirations = %d, want 1", got)
+	}
+}
+
+// A refresh (Put on a resident key) restarts the entry's age; a read does
+// not — TTL bounds staleness since the last write, not the last use.
+func TestTTLRefreshResetsAgeButGetDoesNot(t *testing.T) {
+	c := New[string](Config{Capacity: 8, Shards: 1, TTLTicks: 2})
+	c.Put("a", "1")
+	c.Put("b", "1")
+	c.Tick()
+	c.Put("a", "2") // a reborn at tick 1
+	c.Get("b")      // touching b must not extend its life
+	c.Tick()        // b (age 2) swept, a (age 1) survives
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("Get extended a TTL'd entry's life")
+	}
+	if v, ok := c.Get("a"); !ok || v != "2" {
+		t.Fatalf("refreshed entry = %q, %v; want \"2\", true", v, ok)
+	}
+}
+
+// Without a TTL, Tick never expires anything.
+func TestNoTTLNeverExpires(t *testing.T) {
+	c := New[string](Config{Capacity: 8, Shards: 1})
+	c.Put("a", "1")
+	for i := 0; i < 100; i++ {
+		c.Tick()
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("entry expired with TTLTicks = 0")
+	}
+	var nilCache *Cache[string]
+	nilCache.Tick() // nil-safe
+}
+
+// A shared budget evicts the globally least-recently-touched entry across
+// instances: the cold entry goes, whichever cache holds it.
+func TestBudgetEvictsGloballyOldestAcrossCaches(t *testing.T) {
+	b := NewBudget(100)
+	c1 := New[string](Config{Capacity: 100, Shards: 1, Budget: b})
+	c2 := New[string](Config{Capacity: 100, Shards: 1, Budget: b})
+	size40 := func(string, string) int { return 40 }
+	c1.SetSizer(size40)
+	c2.SetSizer(size40)
+
+	c1.Put("a", "v")
+	c2.Put("b", "v")
+	if got := b.Used(); got != 80 {
+		t.Fatalf("Used = %d, want 80", got)
+	}
+	c1.Get("a") // a is now globally newest; b is the cold one
+	c2.Put("c", "v")
+	if _, ok := c2.Get("b"); ok {
+		t.Fatal("globally oldest entry survived budget pressure")
+	}
+	if _, ok := c1.Get("a"); !ok {
+		t.Fatal("recently touched entry was reclaimed instead of the cold one")
+	}
+	if _, ok := c2.Get("c"); !ok {
+		t.Fatal("the entry that triggered reclaim was itself reclaimed")
+	}
+	if got := b.Used(); got != 80 {
+		t.Fatalf("Used after reclaim = %d, want 80", got)
+	}
+	if got := c2.Stats().Expirations; got != 1 {
+		t.Fatalf("victim cache Expirations = %d, want 1", got)
+	}
+}
+
+// Every exit path — invalidation, generation bump + lazy purge, capacity
+// eviction, TTL sweep — credits the entry's bytes back to the budget.
+func TestBudgetCreditsOnEveryRemovalPath(t *testing.T) {
+	b := NewBudget(1000)
+	c := New[string](Config{Capacity: 2, Shards: 1, TTLTicks: 1, Budget: b})
+	c.SetSizer(func(string, string) int { return 10 })
+
+	c.Put("a", "v")
+	c.Invalidate("a")
+	if got := b.Used(); got != 0 {
+		t.Fatalf("Used after Invalidate = %d, want 0", got)
+	}
+	c.Put("a", "v")
+	c.Put("b", "v")
+	c.Put("c", "v") // capacity 2: evicts the LRU
+	if got := b.Used(); got != 20 {
+		t.Fatalf("Used after capacity eviction = %d, want 20", got)
+	}
+	c.Tick() // TTL 1: sweeps both
+	if got := b.Used(); got != 0 {
+		t.Fatalf("Used after TTL sweep = %d, want 0", got)
+	}
+}
+
+// A refresh charges only the size delta.
+func TestBudgetRefreshChargesDelta(t *testing.T) {
+	b := NewBudget(1000)
+	c := New[[]byte](Config{Capacity: 8, Shards: 1, Budget: b})
+	c.SetSizer(func(key string, val []byte) int { return len(key) + len(val) })
+	c.Put("k", make([]byte, 10)) // 11
+	c.Put("k", make([]byte, 30)) // 31
+	if got := b.Used(); got != 31 {
+		t.Fatalf("Used after growing refresh = %d, want 31", got)
+	}
+	c.Put("k", make([]byte, 4)) // 5
+	if got := b.Used(); got != 5 {
+		t.Fatalf("Used after shrinking refresh = %d, want 5", got)
+	}
+}
+
+// NewBudget with a non-positive limit returns nil, and a nil budget is a
+// valid disabled budget.
+func TestBudgetDisabled(t *testing.T) {
+	if b := NewBudget(0); b != nil {
+		t.Fatal("NewBudget(0) should return nil")
+	}
+	var b *Budget
+	if b.Used() != 0 || b.Limit() != 0 {
+		t.Fatal("nil budget should report zero usage and limit")
+	}
+	c := New[string](Config{Capacity: 4, Shards: 1, Budget: nil})
+	c.Put("a", "v")
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("cache without budget must behave normally")
+	}
+}

@@ -78,6 +78,11 @@ func SealTo(dst []byte, key Key, plaintext, associatedData []byte) ([]byte, erro
 	if err != nil {
 		return nil, err
 	}
+	return sealTo(aead, dst, plaintext, associatedData)
+}
+
+// sealTo is the AEAD-level seal body shared by the one-shot path and Sealer.
+func sealTo(aead cipher.AEAD, dst, plaintext, associatedData []byte) ([]byte, error) {
 	need := nonceSize + len(plaintext) + aead.Overhead()
 	if free := cap(dst) - len(dst); free < need {
 		grown := make([]byte, len(dst), len(dst)+need)
@@ -109,6 +114,11 @@ func OpenTo(dst []byte, key Key, ciphertext, associatedData []byte) ([]byte, err
 	if err != nil {
 		return nil, err
 	}
+	return openTo(aead, dst, ciphertext, associatedData)
+}
+
+// openTo is the AEAD-level open body shared by the one-shot path and Sealer.
+func openTo(aead cipher.AEAD, dst, ciphertext, associatedData []byte) ([]byte, error) {
 	if len(ciphertext) < nonceSize {
 		return nil, ErrCiphertextTooShort
 	}

@@ -1,0 +1,426 @@
+package dht
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"godosn/internal/cache"
+	"godosn/internal/overlay"
+	"godosn/internal/overlay/simnet"
+)
+
+func batchKeys(n int) ([]string, [][]byte) {
+	keys := make([]string, n)
+	vals := make([][]byte, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("batch-key-%03d", i)
+		vals[i] = []byte(fmt.Sprintf("batch-value-%03d", i))
+	}
+	return keys, vals
+}
+
+// The batch path must be a pure transport optimization: same values land,
+// same values come back, and the counted stats are byte-identical at any
+// FanoutWorkers setting (the batch cost model is worker-independent).
+func TestBatchMatchesSequentialAcrossWorkers(t *testing.T) {
+	keys, vals := batchKeys(96)
+	var prevPut, prevGet overlay.OpStats
+	for wi, workers := range []int{1, 8} {
+		d, _, names := buildDHT(t, 48, Config{ReplicationFactor: 3, FanoutWorkers: workers})
+		client := string(names[0])
+		errs, putSt, err := d.PutBatch(client, keys, vals)
+		if err != nil {
+			t.Fatalf("PutBatch: %v", err)
+		}
+		for i, e := range errs {
+			if e != nil {
+				t.Fatalf("PutBatch key %s: %v", keys[i], e)
+			}
+		}
+		// Each key must be readable through the plain single-key path.
+		for i, key := range keys {
+			v, _, err := d.Lookup(client, key)
+			if err != nil {
+				t.Fatalf("Lookup(%s): %v", key, err)
+			}
+			if !bytes.Equal(v, vals[i]) {
+				t.Fatalf("Lookup(%s) = %q, want %q", key, v, vals[i])
+			}
+		}
+		results, getSt, err := d.GetBatch(client, keys)
+		if err != nil {
+			t.Fatalf("GetBatch: %v", err)
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("GetBatch key %s: %v", keys[i], r.Err)
+			}
+			if !bytes.Equal(r.Value, vals[i]) {
+				t.Fatalf("GetBatch key %s = %q, want %q", keys[i], r.Value, vals[i])
+			}
+		}
+		// Latency draws from the simnet jitter stream, whose consumption
+		// order legitimately shifts with worker scheduling; the counted
+		// costs (hops, messages, bytes) must not.
+		putSt.Latency, getSt.Latency = 0, 0
+		if wi > 0 {
+			if putSt != prevPut {
+				t.Fatalf("PutBatch stats differ across workers: %+v vs %+v", putSt, prevPut)
+			}
+			if getSt != prevGet {
+				t.Fatalf("GetBatch stats differ across workers: %+v vs %+v", getSt, prevGet)
+			}
+		}
+		prevPut, prevGet = putSt, getSt
+	}
+}
+
+// Route-grouped envelopes must beat the key-by-key loop by a wide margin:
+// the batch pays per replica group, the loop pays per key.
+func TestBatchCheaperThanSequential(t *testing.T) {
+	keys, vals := batchKeys(128)
+	seqD, _, seqNames := buildDHT(t, 48, Config{ReplicationFactor: 3})
+	batD, _, batNames := buildDHT(t, 48, Config{ReplicationFactor: 3})
+
+	var seqPut overlay.OpStats
+	for i, key := range keys {
+		st, err := seqD.Store(string(seqNames[0]), key, vals[i])
+		if err != nil {
+			t.Fatalf("Store(%s): %v", key, err)
+		}
+		seqPut.Add(st)
+	}
+	_, batPut, err := batD.PutBatch(string(batNames[0]), keys, vals)
+	if err != nil {
+		t.Fatalf("PutBatch: %v", err)
+	}
+	if seqPut.Messages < 3*batPut.Messages {
+		t.Fatalf("PutBatch saved only %.2fx messages (seq %d, batch %d), want >= 3x",
+			float64(seqPut.Messages)/float64(batPut.Messages), seqPut.Messages, batPut.Messages)
+	}
+
+	var seqGet overlay.OpStats
+	for _, key := range keys {
+		_, st, err := seqD.Lookup(string(seqNames[1]), key)
+		if err != nil {
+			t.Fatalf("Lookup(%s): %v", key, err)
+		}
+		seqGet.Add(st)
+	}
+	_, batGet, err := batD.GetBatch(string(batNames[1]), keys)
+	if err != nil {
+		t.Fatalf("GetBatch: %v", err)
+	}
+	if seqGet.Messages < 3*batGet.Messages {
+		t.Fatalf("GetBatch saved only %.2fx messages (seq %d, batch %d), want >= 3x",
+			float64(seqGet.Messages)/float64(batGet.Messages), seqGet.Messages, batGet.Messages)
+	}
+}
+
+// A missing key is a per-slot miss, never a batch failure.
+func TestBatchMissingKeyIsolation(t *testing.T) {
+	keys, vals := batchKeys(32)
+	d, _, names := buildDHT(t, 32, Config{ReplicationFactor: 3})
+	client := string(names[0])
+	if _, _, err := d.PutBatch(client, keys, vals); err != nil {
+		t.Fatalf("PutBatch: %v", err)
+	}
+	probe := append(append([]string(nil), keys[:16]...), "never-stored-a", "never-stored-b")
+	probe = append(probe, keys[16:]...)
+	results, _, err := d.GetBatch(client, probe)
+	if err != nil {
+		t.Fatalf("GetBatch: %v", err)
+	}
+	for i, r := range results {
+		switch probe[i] {
+		case "never-stored-a", "never-stored-b":
+			if !errors.Is(r.Err, overlay.ErrNotFound) {
+				t.Fatalf("missing key %s: err = %v, want ErrNotFound", probe[i], r.Err)
+			}
+		default:
+			if r.Err != nil {
+				t.Fatalf("stored key %s failed beside misses: %v", probe[i], r.Err)
+			}
+		}
+	}
+}
+
+// Taking one key's whole replica set offline must fail exactly the keys
+// owned by that replica set; every key with a reachable replica resolves.
+func TestBatchOfflineReplicaSetIsolation(t *testing.T) {
+	keys, vals := batchKeys(64)
+	d, net, names := buildDHT(t, 48, Config{
+		ReplicationFactor: 3,
+		RouteCache:        cache.Config{Capacity: 256, Shards: 1, Seed: 7},
+	})
+	client := string(names[0])
+	if _, _, err := d.PutBatch(client, keys, vals); err != nil {
+		t.Fatalf("PutBatch: %v", err)
+	}
+	replicaSet := func(key string) string {
+		reps, _, err := d.ReplicasFor(client, key)
+		if err != nil {
+			t.Fatalf("ReplicasFor(%s): %v", key, err)
+		}
+		sorted := append([]string(nil), reps...)
+		sort.Strings(sorted)
+		return fmt.Sprint(sorted)
+	}
+	victim := keys[5]
+	victimSet := replicaSet(victim)
+	expectFail := map[string]bool{}
+	for _, key := range keys {
+		expectFail[key] = replicaSet(key) == victimSet
+	}
+	victimReplicas, _, err := d.ReplicasFor(client, victim)
+	if err != nil {
+		t.Fatalf("ReplicasFor: %v", err)
+	}
+	for _, name := range victimReplicas {
+		if name == client {
+			t.Skip("client is a victim replica at this seed; offline client cannot originate")
+		}
+		if err := net.SetOnline(simnet.NodeID(name), false); err != nil {
+			t.Fatalf("SetOnline: %v", err)
+		}
+	}
+	results, _, err := d.GetBatch(client, keys)
+	if err != nil {
+		t.Fatalf("GetBatch: %v", err)
+	}
+	failed := 0
+	for i, r := range results {
+		if expectFail[keys[i]] {
+			failed++
+			if r.Err == nil {
+				t.Fatalf("key %s owned by the offline replica set returned a value", keys[i])
+			}
+			if errors.Is(r.Err, overlay.ErrNotFound) {
+				t.Fatalf("key %s reported a definitive miss for a delivery failure: %v", keys[i], r.Err)
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Fatalf("key %s with reachable replicas failed: %v", keys[i], r.Err)
+		}
+		if !bytes.Equal(r.Value, vals[i]) {
+			t.Fatalf("key %s = %q, want %q", keys[i], r.Value, vals[i])
+		}
+	}
+	if failed == 0 {
+		t.Fatal("victim key set empty; isolation test proved nothing")
+	}
+	if failed == len(keys) {
+		t.Fatal("whole batch failed; no isolation demonstrated")
+	}
+}
+
+// Direct unit coverage of the learned-ownership interval cache.
+func TestOwnershipCacheUnit(t *testing.T) {
+	var c ownershipCache
+	if _, ok := c.lookup(10); ok {
+		t.Fatal("empty cache answered a lookup")
+	}
+	// learn(100, 200): the walk resolved kid 100 itself to root 200, so
+	// both 100 and the interval (100, 200] are known to be owned by 200.
+	c.learn(100, 200)
+	for _, kid := range []uint64{100, 101, 150, 200} {
+		if root, ok := c.lookup(kid); !ok || root != 200 {
+			t.Fatalf("lookup(%d) = %d,%v, want 200,true", kid, root, ok)
+		}
+	}
+	for _, kid := range []uint64{99, 201} {
+		if _, ok := c.lookup(kid); ok {
+			t.Fatalf("lookup(%d) hit outside the learned interval", kid)
+		}
+	}
+	// A farther-counterclockwise observation widens the interval.
+	c.learn(50, 200)
+	if root, ok := c.lookup(75); !ok || root != 200 {
+		t.Fatalf("widened interval missed: lookup(75) = %d,%v", root, ok)
+	}
+	// A narrower observation must not shrink it.
+	c.learn(150, 200)
+	if _, ok := c.lookup(75); !ok {
+		t.Fatal("narrower observation shrank the learned interval")
+	}
+	// kid == root would claim the whole ring; it must be skipped.
+	c.learn(300, 300)
+	if _, ok := c.lookup(250); ok {
+		t.Fatal("degenerate (root, root] interval claimed the ring")
+	}
+	// Wrap-around: with only root 200 learned from 50, a kid past every
+	// learned root must try the first root circularly (and miss here, since
+	// 4000 is not in (50, 200]).
+	if _, ok := c.lookup(4000); ok {
+		t.Fatal("wrap-around lookup hit outside the learned interval")
+	}
+	c.clear()
+	if _, ok := c.lookup(150); ok {
+		t.Fatal("cleared cache answered a lookup")
+	}
+}
+
+// Intervals learned by one batch must pay off in the next: the same probe
+// batch costs strictly less on a DHT that already ran an unrelated batch,
+// and the whole difference is routing (the replica probes are identical).
+func TestOwnershipAmortizesRoutingAcrossBatches(t *testing.T) {
+	warm, _, warmNames := buildDHT(t, 48, Config{ReplicationFactor: 3})
+	fresh, _, freshNames := buildDHT(t, 48, Config{ReplicationFactor: 3})
+	first := make([]string, 128)
+	probe := make([]string, 128)
+	vals := make([][]byte, 128)
+	for i := range first {
+		first[i] = fmt.Sprintf("wave1-%03d", i)
+		probe[i] = fmt.Sprintf("wave2-%03d", i)
+		vals[i] = []byte("v")
+	}
+	// Teach the warm DHT ownership intervals with an unrelated key wave.
+	if _, _, err := warm.PutBatch(string(warmNames[0]), first, vals); err != nil {
+		t.Fatalf("PutBatch wave1: %v", err)
+	}
+	// Same probe batch on both rings: every key misses everywhere, so the
+	// per-group replica probes cost exactly the same; only routing differs.
+	_, warmSt, err := warm.GetBatch(string(warmNames[0]), probe)
+	if err != nil {
+		t.Fatalf("GetBatch warm: %v", err)
+	}
+	_, freshSt, err := fresh.GetBatch(string(freshNames[0]), probe)
+	if err != nil {
+		t.Fatalf("GetBatch fresh: %v", err)
+	}
+	saved := freshSt.Messages - warmSt.Messages
+	if saved <= 0 {
+		t.Fatalf("warm batch spent %d messages vs fresh %d; learned intervals amortized nothing", warmSt.Messages, freshSt.Messages)
+	}
+	// Miss-probes (identical on both rings) dominate the total, so the
+	// routing saving shows up as a modest slice of the whole batch.
+	if saved*7 < freshSt.Messages {
+		t.Fatalf("learned intervals saved only %d of %d messages (want >= ~15%%)", saved, freshSt.Messages)
+	}
+}
+
+// Ring mutations must invalidate learned intervals along with the route
+// cache, and batches must stay correct afterwards.
+func TestOwnershipInvalidatedOnMembershipChange(t *testing.T) {
+	keys, vals := batchKeys(64)
+	d, _, names := buildDHT(t, 48, Config{ReplicationFactor: 3})
+	client := string(names[0])
+	if _, _, err := d.PutBatch(client, keys, vals); err != nil {
+		t.Fatalf("PutBatch: %v", err)
+	}
+	d.ownership.mu.Lock()
+	learned := len(d.ownership.roots)
+	d.ownership.mu.Unlock()
+	if learned == 0 {
+		t.Fatal("batch routing learned no intervals")
+	}
+	leaver := names[len(names)-1]
+	if string(leaver) == client {
+		leaver = names[len(names)-2]
+	}
+	if err := d.Leave(leaver); err != nil {
+		t.Fatalf("Leave: %v", err)
+	}
+	d.ownership.mu.Lock()
+	learned = len(d.ownership.roots)
+	d.ownership.mu.Unlock()
+	if learned != 0 {
+		t.Fatalf("%d learned intervals survived a ring change", learned)
+	}
+	results, _, err := d.GetBatch(client, keys)
+	if err != nil {
+		t.Fatalf("GetBatch after Leave: %v", err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("key %s after Leave: %v", keys[i], r.Err)
+		}
+		if !bytes.Equal(r.Value, vals[i]) {
+			t.Fatalf("key %s after Leave = %q, want %q", keys[i], r.Value, vals[i])
+		}
+	}
+}
+
+const benchBatch = 256
+
+func newBatchBenchDHT(b *testing.B) (*DHT, string) {
+	b.Helper()
+	net := simnet.New(simnet.DefaultConfig(4242))
+	names := make([]simnet.NodeID, benchNodes)
+	for i := range names {
+		names[i] = simnet.NodeID(fmt.Sprintf("node-%d", i))
+	}
+	d, err := New(net, names, Config{
+		ReplicationFactor: benchReplicas,
+		RouteCache:        cache.Config{Capacity: 4096, Shards: 1, Seed: 4242},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d, string(names[0])
+}
+
+// One iteration moves benchBatch keys, so ns/op and allocs/op compare the
+// batched envelope path against the equivalent single-key loop directly.
+// Both arms run behind a warm route cache: the delta is pure transport.
+func BenchmarkPutBatch(b *testing.B) {
+	keys, vals := batchKeys(benchBatch)
+	b.Run("sequential", func(b *testing.B) {
+		d, client := newBatchBenchDHT(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j, key := range keys {
+				if _, err := d.Store(client, key, vals[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		d, client := newBatchBenchDHT(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := d.PutBatch(client, keys, vals); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkGetBatch(b *testing.B) {
+	keys, vals := batchKeys(benchBatch)
+	b.Run("sequential", func(b *testing.B) {
+		d, client := newBatchBenchDHT(b)
+		if _, _, err := d.PutBatch(client, keys, vals); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, key := range keys {
+				if _, _, err := d.Lookup(client, key); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		d, client := newBatchBenchDHT(b)
+		if _, _, err := d.PutBatch(client, keys, vals); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := d.GetBatch(client, keys); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -58,7 +58,8 @@ type DHT struct {
 	allowPlace func(node string) bool        // placement veto (integrity.go); nil = canonical
 	rankRepl   func(names []string) []string // replica-selection order (repair.go); nil = ring order
 
-	routes *cache.Cache[uint64] // key → successor root (routecache.go); nil = uncached
+	routes    *cache.Cache[uint64] // key → successor root (routecache.go); nil = uncached
+	ownership ownershipCache       // learned successor intervals (ownership.go)
 }
 
 var _ overlay.KV = (*DHT)(nil)
@@ -106,6 +107,9 @@ func New(net *simnet.Network, nodes []simnet.NodeID, cfg Config) (*DHT, error) {
 		names:   make(map[simnet.NodeID]*node, len(nodes)),
 		routes:  cache.New[uint64](cfg.RouteCache),
 	}
+	// A memoized route is the key string plus an 8-byte root — the charge
+	// against any shared byte budget (cache.Config.Budget).
+	d.routes.SetSizer(func(key string, _ uint64) int { return len(key) + 8 })
 	for _, name := range nodes {
 		id := hashID(string(name))
 		for {
@@ -269,6 +273,20 @@ func (d *DHT) handlerFor(n *node) simnet.HandlerFunc {
 				return simnet.Message{}, fmt.Errorf("dht: bad payload for %s", msg.Kind)
 			}
 			return simnet.Message{Kind: msg.Kind, Payload: localDigest(n, req.Keys, req.Nonce), Size: 64}, nil
+
+		case kindStoreBatch:
+			req, ok := msg.Payload.(storeBatchReq)
+			if !ok {
+				return simnet.Message{}, fmt.Errorf("dht: bad payload for %s", msg.Kind)
+			}
+			return handleStoreBatch(n, req)
+
+		case kindFetchBatch:
+			req, ok := msg.Payload.(fetchBatchReq)
+			if !ok {
+				return simnet.Message{}, fmt.Errorf("dht: bad payload for %s", msg.Kind)
+			}
+			return handleFetchBatch(n, req)
 		}
 		return simnet.Message{}, fmt.Errorf("dht: unknown message kind %q", msg.Kind)
 	}

@@ -114,7 +114,7 @@ func (d *DHT) SetPlacementFilter(allow func(node string) bool) {
 	d.mu.Lock()
 	d.allowPlace = allow
 	d.mu.Unlock()
-	d.routes.BumpGeneration() // placement changed under memoized routes
+	d.bumpRoutes() // placement changed under memoized routes
 }
 
 // placementAllowed consults the filter; call with d.mu held.

@@ -58,7 +58,7 @@ func (d *DHT) Join(name simnet.NodeID) error {
 		succ.mu.Unlock()
 	}
 	d.rebuildFingers()
-	d.routes.BumpGeneration() // memoized routes predate the new node's range
+	d.bumpRoutes() // memoized routes predate the new node's range
 	return nil
 }
 
@@ -94,7 +94,7 @@ func (d *DHT) Leave(name simnet.NodeID) error {
 	}
 	d.net.SetOnline(name, false)
 	d.rebuildFingers()
-	d.routes.BumpGeneration() // memoized routes may point at the departed node
+	d.bumpRoutes() // memoized routes may point at the departed node
 	return nil
 }
 

@@ -226,7 +226,7 @@ func (d *DHT) HealSpan(sp *telemetry.Span) (overlay.HealReport, error) {
 	report.Stats = stats(tr)
 	if report.Repaired > 0 {
 		// Copies moved: memoized routes may predate the repaired layout.
-		d.routes.BumpGeneration()
+		d.bumpRoutes()
 	}
 	return report, nil
 }

@@ -42,7 +42,15 @@ func (d *DHT) resolveRoot(tr *simnet.Trace, route *telemetry.Span, origin simnet
 // route (e.g. after a quarantine changes effective placement). No-op
 // without a route cache.
 func (d *DHT) InvalidateRoutes() {
-	d.routes.BumpGeneration()
+	d.bumpRoutes()
+}
+
+// TickRoutes advances the route cache's logical TTL clock one step
+// (cache.Config.TTLTicks): memoized routes older than the TTL are swept, a
+// second staleness bound alongside the generation bumps. No-op without a
+// route cache or a TTL.
+func (d *DHT) TickRoutes() {
+	d.routes.Tick()
 }
 
 // RouteCacheStats returns the route cache's counters (zero Stats when the

@@ -216,10 +216,12 @@ func truncateBytes(rng *rand.Rand, b []byte) []byte {
 func copyBytes(b []byte) []byte { return append([]byte(nil), b...) }
 
 // mutatePayload applies mut to every exported non-empty []byte field of the
-// message payload, operating on a fresh copy of the payload struct. It
-// reports whether any field was visited. Payloads that are themselves
-// []byte are handled directly; payloads without byte fields (routing
-// replies, acks) pass through unchanged.
+// message payload — including each element of exported [][]byte fields, so
+// batch replies carrying many values are as corruptible as single-value
+// replies — operating on a fresh copy of the payload struct. It reports
+// whether any field was visited. Payloads that are themselves []byte are
+// handled directly; payloads without byte fields (routing replies, acks)
+// pass through unchanged.
 func mutatePayload(msg Message, mut func([]byte) []byte) (Message, bool) {
 	if msg.Payload == nil {
 		return msg, false
@@ -240,7 +242,32 @@ func mutatePayload(msg Message, mut func([]byte) []byte) (Message, bool) {
 	mutated := false
 	for i := 0; i < cp.NumField(); i++ {
 		f := cp.Field(i)
-		if !f.CanSet() || f.Kind() != reflect.Slice || f.Type().Elem().Kind() != reflect.Uint8 {
+		if !f.CanSet() || f.Kind() != reflect.Slice {
+			continue
+		}
+		// [][]byte: mutate each non-empty element (batch value lists).
+		if f.Type().Elem().Kind() == reflect.Slice && f.Type().Elem().Elem().Kind() == reflect.Uint8 {
+			vs, ok := f.Interface().([][]byte)
+			if !ok || len(vs) == 0 {
+				continue
+			}
+			out := make([][]byte, len(vs))
+			touched := false
+			for j, b := range vs {
+				if len(b) == 0 {
+					out[j] = b
+					continue
+				}
+				out[j] = mut(b)
+				touched = true
+			}
+			if touched {
+				f.Set(reflect.ValueOf(out))
+				mutated = true
+			}
+			continue
+		}
+		if f.Type().Elem().Kind() != reflect.Uint8 {
 			continue
 		}
 		b, ok := f.Interface().([]byte)

@@ -111,6 +111,15 @@ type Metrics struct {
 	// ReadRepairs counts verified values pushed over corrupt copies during
 	// lookups (Config.ReadRepair).
 	ReadRepairs int
+	// Batches counts PutBatch/GetBatch calls served (each charged one
+	// admission slot regardless of key count).
+	Batches int
+	// BatchKeys is the total keys carried by those batches.
+	BatchKeys int
+	// BatchFallbacks counts keys a batch rescued through the single-key
+	// resilient path after a per-key batch fault (corrupt bytes, unreachable
+	// group) — the measurable cost of per-key fault isolation.
+	BatchFallbacks int
 	// Failures is the number of operations that still failed.
 	Failures int
 	// Backoff is the total simulated retry delay charged to operations.
@@ -124,6 +133,7 @@ type Metrics struct {
 // concurrent use when the wrapped overlay is.
 type KV struct {
 	inner     overlay.KV
+	batch     overlay.BatchKV   // nil when inner cannot serve batches
 	replicas  overlay.ReplicaKV // nil when inner cannot address replicas
 	healer    overlay.Healer    // nil when inner cannot self-heal
 	repair    overlay.RepairKV  // nil when inner cannot write per-replica
@@ -159,6 +169,9 @@ type kvTelemetry struct {
 	readRepairs  *telemetry.Counter
 	clientSheds  *telemetry.Counter
 	failures     *telemetry.Counter
+	batches      *telemetry.Counter
+	batchKeys    *telemetry.Counter
+	batchFalls   *telemetry.Counter
 	backoff      *telemetry.Histogram
 }
 
@@ -188,6 +201,9 @@ func (k *KV) SetTelemetry(reg *telemetry.Registry) {
 		readRepairs:  reg.Counter("resilience_read_repairs_total"),
 		clientSheds:  reg.Counter("resilience_client_sheds_total"),
 		failures:     reg.Counter("resilience_failures_total"),
+		batches:      reg.Counter("resilience_batches_total"),
+		batchKeys:    reg.Counter("resilience_batch_keys_total"),
+		batchFalls:   reg.Counter("resilience_batch_fallbacks_total"),
 		backoff:      reg.Histogram("resilience_backoff_ms", "ms", telemetry.LatencyBuckets()),
 	}
 	k.breaker.SetEvents(reg.Events())
@@ -240,6 +256,9 @@ func Wrap(inner overlay.KV, cfg Config) *KV {
 			rr.SetReplicaRanker(k.health.Rank)
 		}
 	}
+	if b, ok := inner.(overlay.BatchKV); ok {
+		k.batch = b
+	}
 	if r, ok := inner.(overlay.ReplicaKV); ok {
 		k.replicas = r
 	}
@@ -263,6 +282,9 @@ func Wrap(inner overlay.KV, cfg Config) *KV {
 		}
 	}
 	k.values = cachepkg.New[[]byte](cfg.Cache)
+	// A cached verified value costs its key plus its bytes — the charge
+	// against any shared byte budget (cache.Config.Budget).
+	k.values.SetSizer(func(key string, val []byte) int { return len(key) + len(val) })
 	if k.values != nil || cfg.Quarantine {
 		// A quarantine changes which copies are trustworthy and where new
 		// ones land: cached verified values and memoized routes must not
@@ -281,10 +303,17 @@ func Wrap(inner overlay.KV, cfg Config) *KV {
 // Name implements overlay.KV.
 func (k *KV) Name() string { return k.inner.Name() + "+resilient" }
 
-// Tick advances the client-side admission gate's simulated clock one step
-// (no-op without Config.Admission). Experiments drive it from the same loop
-// that ticks simnet fault schedules and capacity windows.
-func (k *KV) Tick() { k.gate.Tick() }
+// Tick advances the decorator's simulated clock one step: the admission
+// gate refills its token budget, the verified-value cache sweeps entries
+// past their TTL, and the replica-health tracker decays idle scores toward
+// baseline (each a no-op when its feature is unconfigured). Experiments
+// drive it from the same loop that ticks simnet fault schedules and
+// capacity windows.
+func (k *KV) Tick() {
+	k.gate.Tick()
+	k.values.Tick()
+	k.health.Tick()
+}
 
 // HealthSnapshot returns the replica-health tracker's per-node scores,
 // sorted by node (nil without Config.Health).
@@ -403,6 +432,14 @@ func (k *KV) StoreSpan(sp *telemetry.Span, origin, key string, value []byte) (ov
 	if err := k.admitOp(sp, &total); err != nil {
 		return total, err
 	}
+	err := k.storeRetry(sp, origin, key, value, &total)
+	return total, err
+}
+
+// storeRetry is the admission-free retrying store: the body of StoreSpan
+// after the gate, also used by the batch pipeline's per-key fallback (a
+// batch charges admission once, not once per rescued key).
+func (k *KV) storeRetry(sp *telemetry.Span, origin, key string, value []byte, total *overlay.OpStats) error {
 	out, err := Do(k.cfg.Policy, k.rng, true, func(n int) error {
 		asp := k.attemptSpan(sp, n)
 		var (
@@ -426,7 +463,7 @@ func (k *KV) StoreSpan(sp *telemetry.Span, origin, key string, value []byte) (ov
 	// a failed store may have landed (ack-lost), so the cached value is
 	// suspect either way. In-flight fills for the key are fenced too.
 	k.values.Invalidate(key)
-	return total, err
+	return err
 }
 
 // attemptSpan opens the n-th (1-based) attempt's child span under sp.
@@ -494,15 +531,24 @@ func (k *KV) LookupSpan(sp *telemetry.Span, origin, key string) ([]byte, overlay
 // lookupUncached is the cache-free lookup path: retries around either the
 // plain overlay lookup or the hedged replica read.
 func (k *KV) lookupUncached(sp *telemetry.Span, origin, key string) ([]byte, overlay.OpStats, error) {
+	var total overlay.OpStats
+	if err := k.admitOp(sp, &total); err != nil {
+		return nil, total, err
+	}
+	v, err := k.lookupRetry(sp, origin, key, &total)
+	return v, total, err
+}
+
+// lookupRetry is the admission-free retrying (optionally hedged) lookup:
+// the body of lookupUncached after the gate, also used by the batch
+// pipeline's per-key fallback (a batch charges admission once, not once per
+// rescued key).
+func (k *KV) lookupRetry(sp *telemetry.Span, origin, key string, total *overlay.OpStats) ([]byte, error) {
 	var (
-		total  overlay.OpStats
 		value  []byte
 		hedges int
 		skips  int
 	)
-	if err := k.admitOp(sp, &total); err != nil {
-		return nil, total, err
-	}
 	op := func(n int) error {
 		asp := k.attemptSpan(sp, n)
 		if k.replicas == nil {
@@ -528,7 +574,7 @@ func (k *KV) lookupUncached(sp *telemetry.Span, origin, key string) ([]byte, ove
 			value = v
 			return nil
 		}
-		v, h, s, err := k.hedgedLookup(asp, origin, key, &total)
+		v, h, s, err := k.hedgedLookup(asp, origin, key, total)
 		asp.End(outcomeOf(err))
 		value = v
 		hedges += h
@@ -547,9 +593,9 @@ func (k *KV) lookupUncached(sp *telemetry.Span, origin, key string) ([]byte, ove
 	k.backoffSpan(sp, out.Backoff)
 	k.record(out, hedges, skips, err != nil)
 	if err != nil {
-		return nil, total, err
+		return nil, err
 	}
-	return value, total, nil
+	return value, nil
 }
 
 // verifyValue applies the configured integrity check, wrapping failures in

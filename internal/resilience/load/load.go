@@ -24,6 +24,7 @@ package load
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -187,11 +188,21 @@ type TrackerConfig struct {
 	// away from a node that says "stop" matters more than routing around
 	// one that merely drops).
 	ShedPenalty float64
+	// HalfLife rehabilitates idle nodes: every Tick multiplies each node's
+	// failure and shed EWMAs by 0.5^(1/HalfLife) and relaxes its latency
+	// EWMA toward BaseLatency by the same factor, so a demoted node's score
+	// halves its distance to baseline every HalfLife ticks even when no
+	// probe traffic reaches it — without decay, a flash-crowded replica
+	// that sheds hard is ranked last forever, because being ranked last is
+	// exactly what starves it of the observations that would clear it.
+	// <= 0 disables decay (scores move only on observations).
+	HalfLife int
 }
 
-// DefaultTrackerConfig returns the standard health-tracking parameters.
+// DefaultTrackerConfig returns the standard health-tracking parameters:
+// EWMA smoothing 0.3 with a 50-tick rehabilitation half-life.
 func DefaultTrackerConfig() TrackerConfig {
-	return TrackerConfig{Alpha: 0.3, BaseLatency: 10 * time.Millisecond, ErrorPenalty: 4, ShedPenalty: 8}
+	return TrackerConfig{Alpha: 0.3, BaseLatency: 10 * time.Millisecond, ErrorPenalty: 4, ShedPenalty: 8, HalfLife: 50}
 }
 
 // nodeHealth is one node's EWMA state.
@@ -206,7 +217,8 @@ type nodeHealth struct {
 // lists healthiest-first. Lower scores are healthier. It is safe for
 // concurrent use.
 type Tracker struct {
-	cfg TrackerConfig
+	cfg   TrackerConfig
+	decay float64 // per-tick factor 0.5^(1/HalfLife); 1 = no decay
 
 	mu    sync.Mutex
 	nodes map[string]*nodeHealth
@@ -232,7 +244,41 @@ func NewTracker(cfg TrackerConfig) *Tracker {
 	if cfg.ShedPenalty < 0 {
 		cfg.ShedPenalty = 0
 	}
-	return &Tracker{cfg: cfg, nodes: make(map[string]*nodeHealth)}
+	decay := 1.0
+	if cfg.HalfLife > 0 {
+		decay = math.Pow(0.5, 1/float64(cfg.HalfLife))
+	}
+	return &Tracker{cfg: cfg, decay: decay, nodes: make(map[string]*nodeHealth)}
+}
+
+// Tick applies one step of idle decay (TrackerConfig.HalfLife) to every
+// tracked node: failure and shed EWMAs shrink by the per-tick half-life
+// factor and the latency EWMA relaxes toward BaseLatency, so demotion is
+// always temporary — absent fresh evidence, a node's score converges back
+// to the unseen-node prior. Nodes are visited in sorted-name order (the
+// floating-point updates commute anyway, but determinism is cheap). Nil-
+// safe, and a no-op without a half-life.
+func (t *Tracker) Tick() {
+	if t == nil || t.decay >= 1 {
+		return
+	}
+	base := float64(t.cfg.BaseLatency) / float64(time.Millisecond)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, 0, len(t.nodes))
+	for name := range t.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := t.nodes[name]
+		h.failRate *= t.decay
+		h.shedRate *= t.decay
+		h.latencyMS = base + (h.latencyMS-base)*t.decay
+		if t.obs != nil {
+			t.reg.Gauge("load_health_score_" + name).Set(t.scoreLocked(h))
+		}
+	}
 }
 
 // SetTelemetry mirrors per-node health scores into reg as

@@ -37,6 +37,12 @@ type HybridGroup struct {
 	workers int
 
 	dataKey symmetric.Key
+	// sealer holds the precomputed AEAD for the current data key and adBuf
+	// the current epoch's associated data; both are rebuilt on rotation so
+	// the per-message seal pays neither a key schedule nor a Sprintf. The
+	// sealer is safe for the concurrent re-seal fan-out in Remove.
+	sealer *symmetric.Sealer
+	adBuf  []byte
 	// keyWraps holds the per-member wrap of the current epoch's data key.
 	keyWraps map[string][]byte
 	members  memberSet
@@ -68,8 +74,23 @@ func NewHybridGroup(name string, registry *identity.Registry, owner *pubkey.Sign
 		members:  newMemberSet(),
 		acl:      pad.New(),
 	}
+	if err := g.rebuildSealer(); err != nil {
+		return nil, err
+	}
 	g.signACL()
 	return g, nil
+}
+
+// rebuildSealer recomputes the pooled AEAD and the epoch-bound associated
+// data after the data key or epoch changed.
+func (g *HybridGroup) rebuildSealer() error {
+	sealer, err := symmetric.NewSealer(g.dataKey)
+	if err != nil {
+		return fmt.Errorf("privacy: building sealer for %q: %w", g.name, err)
+	}
+	g.sealer = sealer
+	g.adBuf = []byte(fmt.Sprintf("hybrid/%s/%d", g.name, g.epoch))
+	return nil
 }
 
 // Scheme implements Group.
@@ -139,6 +160,9 @@ func (g *HybridGroup) Remove(member string) (RevocationReport, error) {
 	}
 	g.dataKey = newKey
 	g.epoch++
+	if err := g.rebuildSealer(); err != nil {
+		return RevocationReport{}, err
+	}
 	// Every cached data key predates the rotation; the revoked member's copy
 	// in particular must not survive.
 	g.keyCache.BumpGeneration()
@@ -175,12 +199,10 @@ func (g *HybridGroup) Remove(member string) (RevocationReport, error) {
 	return report, nil
 }
 
-func (g *HybridGroup) ad() []byte {
-	return []byte(fmt.Sprintf("hybrid/%s/%d", g.name, g.epoch))
-}
+func (g *HybridGroup) ad() []byte { return g.adBuf }
 
 func (g *HybridGroup) seal(plaintext []byte) (Envelope, error) {
-	ct, err := symmetric.Seal(g.dataKey, plaintext, g.ad())
+	ct, err := g.sealer.Seal(plaintext, g.ad())
 	if err != nil {
 		return Envelope{}, fmt.Errorf("privacy: sealing for %q: %w", g.name, err)
 	}

@@ -18,9 +18,14 @@ import (
 // also notes, "if someone already decrypted the data and kept a copy, we
 // cannot revoke that" — re-encryption protects the stored copies only.
 type SymmetricGroup struct {
-	name    string
-	epoch   uint64
-	key     symmetric.Key
+	name  string
+	epoch uint64
+	key   symmetric.Key
+	// sealer carries the precomputed AEAD for the current key; adBuf the
+	// current epoch's associated data. Both are rebuilt on rotation, so the
+	// per-operation hot path pays neither a key schedule nor a Sprintf.
+	sealer  *symmetric.Sealer
+	adBuf   []byte
 	members memberSet
 	archive []Envelope
 	// plaintexts retains the cleartext alongside the archive so revocation
@@ -37,7 +42,23 @@ func NewSymmetricGroup(name string) (*SymmetricGroup, error) {
 	if err != nil {
 		return nil, fmt.Errorf("privacy: creating symmetric group %q: %w", name, err)
 	}
-	return &SymmetricGroup{name: name, epoch: 1, key: key, members: newMemberSet()}, nil
+	g := &SymmetricGroup{name: name, epoch: 1, key: key, members: newMemberSet()}
+	if err := g.rebuildSealer(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// rebuildSealer recomputes the pooled AEAD and the epoch-bound associated
+// data after the key or epoch changed.
+func (g *SymmetricGroup) rebuildSealer() error {
+	sealer, err := symmetric.NewSealer(g.key)
+	if err != nil {
+		return fmt.Errorf("privacy: building sealer for %q: %w", g.name, err)
+	}
+	g.sealer = sealer
+	g.adBuf = []byte(fmt.Sprintf("sym/%s/%d", g.name, g.epoch))
+	return nil
 }
 
 // Scheme implements Group.
@@ -70,6 +91,9 @@ func (g *SymmetricGroup) Remove(member string) (RevocationReport, error) {
 	}
 	g.key = newKey
 	g.epoch++
+	if err := g.rebuildSealer(); err != nil {
+		return RevocationReport{}, err
+	}
 	report := RevocationReport{RekeyedMembers: g.members.len()}
 	for i, pt := range g.plaintexts {
 		env, err := g.seal(pt)
@@ -82,12 +106,10 @@ func (g *SymmetricGroup) Remove(member string) (RevocationReport, error) {
 	return report, nil
 }
 
-func (g *SymmetricGroup) ad() []byte {
-	return []byte(fmt.Sprintf("sym/%s/%d", g.name, g.epoch))
-}
+func (g *SymmetricGroup) ad() []byte { return g.adBuf }
 
 func (g *SymmetricGroup) seal(plaintext []byte) (Envelope, error) {
-	ct, err := symmetric.Seal(g.key, plaintext, g.ad())
+	ct, err := g.sealer.Seal(plaintext, g.ad())
 	if err != nil {
 		return Envelope{}, fmt.Errorf("privacy: sealing for %q: %w", g.name, err)
 	}
@@ -130,7 +152,7 @@ func (g *SymmetricGroup) Decrypt(user *identity.User, env Envelope) ([]byte, err
 	if !ok {
 		return nil, fmt.Errorf("privacy: malformed symmetric payload")
 	}
-	pt, err := symmetric.Open(g.key, ct, g.ad())
+	pt, err := g.sealer.Open(ct, g.ad())
 	if err != nil {
 		return nil, fmt.Errorf("privacy: opening for %q: %w", g.name, err)
 	}
