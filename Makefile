@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test race bench bench-quick bench-hot experiments experiments-quick json-smoke telemetry-smoke lint-print chaos-soak cache-smoke overload-soak scale-smoke examples clean
+.PHONY: all ci build vet test race bench bench-quick bench-hot experiments experiments-quick json-smoke telemetry-smoke lint-print chaos-soak cache-smoke overload-soak scale-smoke scenario-smoke examples clean
 
 all: build vet test
 
@@ -22,8 +22,10 @@ all: build vet test
 # smoke (E23's invariants fail the run if batched transport saves < 3x
 # messages/op, if the two arms' read outcomes diverge byte-wise, if memory
 # grows with the streamed population, or if runs differ across repeats or
-# worker counts).
-ci: build vet test race json-smoke telemetry-smoke lint-print chaos-soak cache-smoke overload-soak scale-smoke
+# worker counts), and a scenario smoke (every committed chaos scenario in
+# scenarios/ replayed deterministically — run-twice and workers 1 vs 8
+# DeepEqual, calibrated invariants held, expect digest and counters exact).
+ci: build vet test race json-smoke telemetry-smoke lint-print chaos-soak cache-smoke overload-soak scale-smoke scenario-smoke
 
 # Run the instrumented experiment (E20) with -json and re-parse the report
 # with the strict validator (unknown fields rejected): the telemetry section
@@ -76,6 +78,13 @@ overload-soak:
 scale-smoke:
 	$(GO) run ./cmd/dosnbench -quick -exp e23 >/dev/null
 
+# Scenario smoke: replay the committed chaos-scenario library. Each file is
+# run twice at workers 1 and once at workers 8 (DeepEqual all three),
+# checked against its calibrated invariants, and pinned to its recorded
+# digest and counters; any drift fails the gate.
+scenario-smoke:
+	$(GO) run ./cmd/dosnbench -scenario 'scenarios/*.scenario' >/dev/null
+
 # Write a quick machine-readable report and re-parse it with the strict
 # validator; fails the gate if the JSON schema ever drifts or breaks.
 json-smoke:
@@ -109,7 +118,7 @@ bench-hot:
 		./internal/social/privacy/ ./internal/overlay/dht/ ./internal/crypto/symmetric/ \
 		./internal/cache/
 
-# Regenerate the E1–E23 experiment tables (EXPERIMENTS.md).
+# Regenerate the E1–E24 experiment tables (EXPERIMENTS.md).
 experiments:
 	$(GO) run ./cmd/dosnbench
 

@@ -1,5 +1,5 @@
 // Command dosnbench runs the experiment harness: every experiment of
-// DESIGN.md's per-experiment index (E1–E23), printed as aligned tables.
+// DESIGN.md's per-experiment index (E1–E24), printed as aligned tables.
 //
 // Usage:
 //
@@ -16,18 +16,34 @@
 //	dosnbench -batch 256        # E23 read/write batch size ([2, 4096])
 //	dosnbench -list             # list experiments
 //
+// Chaos-scenario modes (mutually exclusive with each other; see
+// internal/scenario):
+//
+//	dosnbench -scenario 'scenarios/*.scenario'   # replay files (globs/commas), enforce invariants
+//	dosnbench -scenario f.scenario -trace-out t.jsonl  # also leave a JSONL trace artifact
+//	dosnbench -scenario-record-library scenarios # (re)record the builtin library into a directory
+//	dosnbench -scenario-minimize failing.scenario # shrink a failing scenario, write .min.scenario
+//
+// Exit codes: 0 success, 1 failed invariants / failed runs, 2 malformed
+// scenario files or invalid flags.
+//
 // Experiments are independent (own seeds, own simulated networks), and
 // -parallel buffers each experiment's output, so tables print in registry
 // order and byte-identically at any parallelism level.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"godosn/internal/bench"
+	"godosn/internal/scenario"
+	"godosn/internal/telemetry"
 )
 
 func main() {
@@ -47,8 +63,37 @@ func run() int {
 		hotnodeFlag  = flag.Float64("hotnode", 5, "E22 flash-crowd load factor on the hot node, as a multiple of its capacity (must be >= 3)")
 		capacityFlag = flag.Int("capacity", 2, "E22 hot-node capacity in full-speed requests per tick (must be >= 1)")
 		batchFlag    = flag.Int("batch", 256, "E23 read/write batch size (must be in [2, 4096])")
+
+		scenarioFlag      = flag.String("scenario", "", "replay .scenario files (comma-separated paths/globs) and enforce their invariants")
+		recordLibraryFlag = flag.String("scenario-record-library", "", "record the builtin scenario library into this directory")
+		minimizeFlag      = flag.String("scenario-minimize", "", "minimize a failing .scenario file, writing <name>.min.scenario next to it")
+		traceOutFlag      = flag.String("trace-out", "", "write a JSONL telemetry trace of a single -scenario replay to this file")
 	)
 	flag.Parse()
+
+	scenarioModes := 0
+	for _, f := range []string{*scenarioFlag, *recordLibraryFlag, *minimizeFlag} {
+		if f != "" {
+			scenarioModes++
+		}
+	}
+	if scenarioModes > 1 {
+		fmt.Fprintf(os.Stderr, "dosnbench: -scenario, -scenario-record-library and -scenario-minimize are mutually exclusive\n")
+		return 2
+	}
+	if *traceOutFlag != "" && *scenarioFlag == "" {
+		fmt.Fprintf(os.Stderr, "dosnbench: -trace-out requires -scenario\n")
+		return 2
+	}
+	if *scenarioFlag != "" {
+		return runScenarios(*scenarioFlag, *traceOutFlag)
+	}
+	if *recordLibraryFlag != "" {
+		return recordLibrary(*recordLibraryFlag)
+	}
+	if *minimizeFlag != "" {
+		return minimizeScenario(*minimizeFlag)
+	}
 
 	if err := bench.SetE21Workload(*zipfFlag, *hotsetFlag); err != nil {
 		fmt.Fprintf(os.Stderr, "dosnbench: %v\n", err)
@@ -129,5 +174,183 @@ func run() int {
 		}
 		fmt.Printf("\nwrote %s (%d experiments)\n", *jsonFlag, len(report.Experiments))
 	}
+	return 0
+}
+
+// expandScenarioArgs resolves the -scenario value (comma-separated paths
+// and/or globs) to a sorted, de-duplicated file list.
+func expandScenarioArgs(arg string) ([]string, error) {
+	seen := make(map[string]bool)
+	var files []string
+	for _, part := range strings.Split(arg, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if strings.ContainsAny(part, "*?[") {
+			matches, err := filepath.Glob(part)
+			if err != nil {
+				return nil, fmt.Errorf("bad glob %q: %w", part, err)
+			}
+			if len(matches) == 0 {
+				return nil, fmt.Errorf("glob %q matches no files", part)
+			}
+			for _, m := range matches {
+				if !seen[m] {
+					seen[m] = true
+					files = append(files, m)
+				}
+			}
+			continue
+		}
+		if !seen[part] {
+			seen[part] = true
+			files = append(files, part)
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("-scenario %q names no files", arg)
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// loadScenario reads and strictly parses one .scenario file.
+func loadScenario(path string) (*scenario.Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", scenario.ErrScenario, path, err)
+	}
+	sc, err := scenario.Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sc, nil
+}
+
+// runScenarios replays every named scenario file through the full protocol
+// (run-twice and workers-1-vs-8 determinism, invariants, pinned counters).
+// Exit 2 on malformed files, 1 on any failed check, 0 when all pass.
+func runScenarios(arg, traceOut string) int {
+	files, err := expandScenarioArgs(arg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dosnbench: %v\n", err)
+		return 2
+	}
+	if traceOut != "" && len(files) != 1 {
+		fmt.Fprintf(os.Stderr, "dosnbench: -trace-out wants exactly one scenario, got %d\n", len(files))
+		return 2
+	}
+
+	failed := 0
+	for _, path := range files {
+		sc, err := loadScenario(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dosnbench: %v\n", err)
+			return 2
+		}
+		report, err := scenario.Replay(sc)
+		if err != nil {
+			// Engine-level failure (e.g. determinism divergence).
+			fmt.Fprintf(os.Stderr, "dosnbench: %s: %v\n", path, err)
+			return 1
+		}
+		res := report.Result
+		status := "PASS"
+		if report.Failed() {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("scenario %-20s %s  events=%d served=%.4f p99=%.1fms sheds=%d digest=%016x\n",
+			sc.Name, status, len(sc.Events), res.ServedRate(), res.P99MS(), res.ServerSheds, res.Digest)
+		for _, v := range report.Violations {
+			fmt.Printf("  violation %s\n", v)
+		}
+		if traceOut != "" {
+			if code := writeScenarioTrace(sc, traceOut); code != 0 {
+				return code
+			}
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("%d of %d scenarios failed\n", failed, len(files))
+		return 1
+	}
+	fmt.Printf("%d scenarios passed\n", len(files))
+	return 0
+}
+
+// writeScenarioTrace runs the scenario once more with a JSONL sink attached
+// and reports the artifact. The traced run is identical to the replay runs
+// (tracing is nil-safe annotation on the same code path).
+func writeScenarioTrace(sc *scenario.Scenario, path string) int {
+	sink, err := telemetry.NewFileSink(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dosnbench: %v\n", err)
+		return 1
+	}
+	_, rerr := scenario.Run(sc, scenario.RunConfig{Workers: 1, Trace: sink})
+	records := sink.Records()
+	cerr := sink.Close()
+	if rerr != nil {
+		fmt.Fprintf(os.Stderr, "dosnbench: trace run: %v\n", rerr)
+		return 1
+	}
+	if cerr != nil {
+		fmt.Fprintf(os.Stderr, "dosnbench: trace sink: %v\n", cerr)
+		return 1
+	}
+	fmt.Printf("wrote %s (%d records)\n", path, records)
+	return 0
+}
+
+// recordLibrary records every builtin scenario into dir as canonical
+// .scenario files (creating dir if needed).
+func recordLibrary(dir string) int {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "dosnbench: %v\n", err)
+		return 1
+	}
+	for _, cfg := range scenario.BuiltinLibrary() {
+		sc, rep, err := scenario.Record(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dosnbench: %v\n", err)
+			return 1
+		}
+		path := filepath.Join(dir, sc.Name+".scenario")
+		if err := os.WriteFile(path, sc.Format(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "dosnbench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("recorded %-40s events=%d invariants=%d served=%.4f\n",
+			path, len(sc.Events), len(sc.Invariants), rep.Result.ServedRate())
+	}
+	return 0
+}
+
+// minimizeScenario shrinks a failing scenario file and writes the minimal
+// reproduction next to it as <name>.min.scenario. A scenario that passes
+// its invariants is an operational error (exit 1); a malformed file exits 2.
+func minimizeScenario(path string) int {
+	sc, err := loadScenario(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dosnbench: %v\n", err)
+		return 2
+	}
+	min, err := scenario.Minimize(sc, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dosnbench: %v\n", err)
+		if errors.Is(err, scenario.ErrScenario) && !errors.Is(err, scenario.ErrScenarioPasses) {
+			return 2
+		}
+		return 1
+	}
+	out := strings.TrimSuffix(path, ".scenario") + ".min.scenario"
+	if err := os.WriteFile(out, min.Scenario.Format(), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "dosnbench: %v\n", err)
+		return 1
+	}
+	fmt.Printf("minimized %s: %d -> %d events in %d runs (violated: %v)\nwrote %s\n",
+		path, min.OriginalEvents, min.MinimizedEvents, min.Runs, min.Violated, out)
 	return 0
 }

@@ -1,5 +1,5 @@
 // Package bench is the experiment harness: it regenerates, as printed
-// tables, every experiment in DESIGN.md's per-experiment index (E1–E23).
+// tables, every experiment in DESIGN.md's per-experiment index (E1–E24).
 //
 // The paper is a survey with one classification table and no measurements;
 // each experiment here quantifies one slice of that classification or one
@@ -140,6 +140,7 @@ func All() []Experiment {
 		{ID: "e21", Description: "hot-path read caches: cold vs warm Zipf workload, coherence under writes/faults/revocation", Run: E21CacheAcceleration},
 		{ID: "e22", Description: "overload: flash crowd on one replica — bare stack vs load-aware selection + admission control", Run: E22FlashCrowd},
 		{ID: "e23", Description: "scale: streaming 10k→1M-user workload — sequential vs route-grouped batched transport, flat-memory check", Run: E23ScaleSweep},
+		{ID: "e24", Description: "chaos scenarios: record/replay library sweep with invariants, delta-debugging minimizer convergence", Run: E24ScenarioLibrary},
 	}
 }
 

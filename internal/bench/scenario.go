@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+
+	"godosn/internal/scenario"
+)
+
+// E24ScenarioLibrary sweeps the committed chaos-scenario library: every
+// builtin capture config is recorded (sample schedule → measure → calibrate
+// invariants → prove with the full replay protocol: run-twice DeepEqual,
+// workers 1 vs 8 DeepEqual, invariants and pinned counters green), so one
+// experiment certifies that each adversarial condition from the paper's
+// analysis is survivable by the current stack and replayable byte-for-byte.
+// It then demonstrates the minimizer: the seeded failing scenario (three
+// benign events plus one fatal four-region partition) must shrink to
+// exactly the partition event, still violating the same success floor.
+func E24ScenarioLibrary(quick bool) (*Table, error) {
+	t := &Table{
+		ID:    "E24",
+		Title: "chaos-scenario library: record, replay (x2 + workers 1v8), invariants, minimize",
+		Header: []string{"scenario", "events", "served", "p99 ms", "srv sheds",
+			"det corrupt", "rvk opens", "checks"},
+	}
+
+	lib := scenario.BuiltinLibrary()
+	if quick {
+		// One per track: liveness, overload+gates, privacy.
+		quickSet := map[string]bool{"churn-burst": true, "flash-crowd": true, "revocation-storm": true}
+		var kept []scenario.RecordConfig
+		for _, cfg := range lib {
+			if quickSet[cfg.Name] {
+				kept = append(kept, cfg)
+			}
+		}
+		lib = kept
+		t.AddNote("quick mode: %d of %d library scenarios (full mode records all)", len(lib), len(scenario.BuiltinLibrary()))
+	}
+
+	worstServed := 1.0
+	for _, cfg := range lib {
+		sc, rep, err := scenario.Record(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: e24 %s: %w", cfg.Name, err)
+		}
+		// Record already fails on any violation; assert the contract anyway
+		// so a future Record regression cannot silently pass.
+		if rep.Failed() {
+			return nil, fmt.Errorf("bench: e24 invariant violated: %s replay reported %v", cfg.Name, rep.Violations)
+		}
+		res := rep.Result
+		if res.ServedRate() < worstServed {
+			worstServed = res.ServedRate()
+		}
+		t.AddRow(sc.Name,
+			fmt.Sprintf("%d", len(sc.Events)),
+			fmt.Sprintf("%.4f", res.ServedRate()),
+			fmt.Sprintf("%.1f", res.P99MS()),
+			fmt.Sprintf("%d", res.ServerSheds),
+			fmt.Sprintf("%d", res.DetectedCorruption),
+			fmt.Sprintf("%d/%d", res.RevokedOpens, res.RevokedAttempts),
+			fmt.Sprintf("%d pass", len(sc.Invariants)))
+		t.AddMetric("served_"+sc.Name, "rate", res.ServedRate())
+		t.AddMetric("p99_"+sc.Name, "ms", res.P99MS())
+	}
+	t.AddMetric("library_scenarios", "count", float64(len(lib)))
+	t.AddMetric("worst_served_rate", "rate", worstServed)
+	t.AddNote("every scenario replays byte-identically (run-twice and workers 1 vs 8 DeepEqual) with all invariants green")
+
+	// Minimizer demonstration: the seeded failure must converge to its known
+	// minimal schedule — one partition event — still violating the floor.
+	seeded := scenario.SeededFailure()
+	min, err := scenario.Minimize(seeded, 0)
+	if err != nil {
+		return nil, fmt.Errorf("bench: e24 minimize: %w", err)
+	}
+	if min.MinimizedEvents != 1 || min.Scenario.Events[0].Kind != scenario.KindPartition {
+		return nil, fmt.Errorf("bench: e24 invariant violated: minimizer kept %d events (want the lone partition), schedule %v",
+			min.MinimizedEvents, min.Scenario.Events)
+	}
+	if len(min.Violated) != 1 || min.Violated[0] != scenario.InvLookupSuccessMin {
+		return nil, fmt.Errorf("bench: e24 invariant violated: minimizer target %v (want lookup-success-min)", min.Violated)
+	}
+	t.AddRow("seeded-failure (min)",
+		fmt.Sprintf("%d->%d", min.OriginalEvents, min.MinimizedEvents),
+		"-", "-", "-", "-", "-",
+		fmt.Sprintf("%d runs", min.Runs))
+	t.AddMetric("minimize_runs", "count", float64(min.Runs))
+	t.AddMetric("minimize_events_before", "count", float64(min.OriginalEvents))
+	t.AddMetric("minimize_events_after", "count", float64(min.MinimizedEvents))
+	t.AddNote("minimizer: %d-event seeded failure -> %d-event reproduction (%s, %d candidate runs), same violated invariant",
+		min.OriginalEvents, min.MinimizedEvents, min.Scenario.Events[0].Kind, min.Runs)
+	return t, nil
+}

@@ -22,6 +22,7 @@ import (
 	"godosn/internal/overlay"
 	"godosn/internal/overlay/simnet"
 	"godosn/internal/parallel"
+	"godosn/internal/resilience/load"
 	"godosn/internal/telemetry"
 )
 
@@ -60,6 +61,7 @@ type DHT struct {
 
 	routes    *cache.Cache[uint64] // key → successor root (routecache.go); nil = uncached
 	ownership ownershipCache       // learned successor intervals (ownership.go)
+	gates     *nodeGates           // server-side admission (gate.go); nil = admit everything
 }
 
 var _ overlay.KV = (*DHT)(nil)
@@ -86,6 +88,13 @@ type Config struct {
 	// — so seeded fault experiments comparing against uncached baselines
 	// must assert invariants, not per-op equality.
 	RouteCache cache.Config
+	// NodeGate puts a server-side admission gate (gate.go) in front of
+	// every node's data-plane RPCs (store/fetch and batch forms): requests
+	// beyond the per-tick budget queue, then shed with load.ErrShed —
+	// FaultOverload to the resilience layer, so callers retry elsewhere.
+	// Routing and digest RPCs are exempt. Advance the gates with
+	// TickGates. The zero value (PerTick 0) disables server-side gating.
+	NodeGate load.GateConfig
 }
 
 // New creates a DHT over the given nodes and builds routing state.
@@ -106,6 +115,7 @@ func New(net *simnet.Network, nodes []simnet.NodeID, cfg Config) (*DHT, error) {
 		byID:    make(map[uint64]*node, len(nodes)),
 		names:   make(map[simnet.NodeID]*node, len(nodes)),
 		routes:  cache.New[uint64](cfg.RouteCache),
+		gates:   newNodeGates(cfg.NodeGate, nodes),
 	}
 	// A memoized route is the key string plus an 8-byte root — the charge
 	// against any shared byte budget (cache.Config.Budget).
@@ -225,6 +235,15 @@ type fetchResp struct {
 // handlerFor builds the simnet handler executing node-local RPC logic.
 func (d *DHT) handlerFor(n *node) simnet.HandlerFunc {
 	return func(tr *simnet.Trace, from simnet.NodeID, msg simnet.Message) (simnet.Message, error) {
+		switch msg.Kind {
+		case kindStore, kindFetch, kindStoreBatch, kindFetchBatch:
+			// Data-plane admission (gate.go): routing and digest kinds
+			// stay exempt so congestion never masquerades as membership
+			// loss.
+			if err := d.gates.admit(n.name, tr); err != nil {
+				return simnet.Message{}, err
+			}
+		}
 		switch msg.Kind {
 		case kindFindSuccessor:
 			req, ok := msg.Payload.(findSuccessorReq)

@@ -60,7 +60,9 @@ func (d *DHT) RouteCacheStats() cache.Stats {
 }
 
 // SetTelemetry mirrors the route cache's counters into reg under the
-// "dht_route_cache" prefix. Safe to call with the cache disabled.
+// "dht_route_cache" prefix and the server-side gate shed counters under
+// "dht_gate_sheds" (gate.go). Safe to call with either disabled.
 func (d *DHT) SetTelemetry(reg *telemetry.Registry) {
 	d.routes.SetTelemetry(reg, "dht_route_cache")
+	d.gates.setTelemetry(reg)
 }

@@ -1,0 +1,132 @@
+package scenario
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// validScenario is a structurally rich baseline the validation tests mutate.
+func validScenario() *Scenario {
+	return &Scenario{
+		Name: "valid-case", Seed: 1, Ticks: 40, Nodes: 8, Replication: 3,
+		Users: 50, OpsPerTick: 4, Readers: 4, HealEvery: 10,
+		GatePerTick: 4, GateQueue: 2,
+		Events: []Event{
+			{Tick: 2, Kind: KindChurn, Frac: 0.3, Dur: 5},
+			{Tick: 9, Kind: KindCrash, Frac: 0.2, Dur: 4},
+			{Tick: 5, Kind: KindPartition, Groups: 2, Dur: 6},
+			{Tick: 14, Kind: KindOverload, Frac: 0.25, Capacity: 2, Queue: 2, Dur: 5},
+			{Tick: 20, Kind: KindByzantine, Frac: 0.25, Mode: "bit-flip", Rate: 0.5, Dur: 5},
+			{Tick: 26, Kind: KindLoss, Rate: 0.1, Dur: 5},
+			{Tick: 30, Kind: KindRevoke, Count: 2},
+			{Tick: 32, Kind: KindCelebrity, Frac: 0.5, Dur: 4},
+		},
+		Invariants: []Invariant{
+			{Kind: InvLookupSuccessMin, Value: 0.9},
+			{Kind: InvP99MaxMS, Value: 500},
+			{Kind: InvMaxSurfacedCorruption, Value: 0},
+			{Kind: InvServerShedsMin, Value: 1},
+			{Kind: InvNoRevokedOpens},
+			{Kind: InvNoMemberOpenFailures},
+		},
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := validScenario().Validate(); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+		want   string
+	}{
+		{"bad name", func(s *Scenario) { s.Name = "Bad Name" }, "name"},
+		{"zero ticks", func(s *Scenario) { s.Ticks = 0 }, "ticks"},
+		{"one node", func(s *Scenario) { s.Nodes = 1; s.Events = nil }, "nodes"},
+		{"replication over nodes", func(s *Scenario) { s.Replication = 9 }, "replication"},
+		{"queue without budget", func(s *Scenario) {
+			s.GatePerTick = 0
+			s.Invariants = s.Invariants[:3]
+		}, "node-gate queue"},
+		{"churn-crash overlap", func(s *Scenario) { s.Events[1].Tick = 4 }, "overlapping offline windows"},
+		{"same-kind overlap", func(s *Scenario) {
+			s.Events = append(s.Events, Event{Tick: 28, Kind: KindLoss, Rate: 0.2, Dur: 5})
+		}, "overlapping loss windows"},
+		{"duplicate tick+kind", func(s *Scenario) {
+			s.Events = append(s.Events, s.Events[0])
+		}, "duplicate event"},
+		{"window past end", func(s *Scenario) { s.Events[7].Dur = 20 }, "exceeds ticks"},
+		{"revoke empties group", func(s *Scenario) { s.Events[6].Count = 4 }, "revoke total"},
+		{"revoke without readers", func(s *Scenario) {
+			s.Readers = 0
+			s.Invariants = s.Invariants[:4]
+		}, "revoke requires readers"},
+		{"shape violation", func(s *Scenario) { s.Events[2].Frac = 0.5 }, "outside its shape"},
+		{"frac range", func(s *Scenario) { s.Events[0].Frac = 1.5 }, "frac"},
+		{"loss rate range", func(s *Scenario) { s.Events[5].Rate = 0.95 }, "loss rate"},
+		{"byz mode", func(s *Scenario) { s.Events[4].Mode = "garble" }, "byzantine mode"},
+		{"partition groups", func(s *Scenario) { s.Events[2].Groups = 9 }, "groups"},
+		{"unknown invariant", func(s *Scenario) {
+			s.Invariants = append(s.Invariants, Invariant{Kind: "made-up"})
+		}, "unknown invariant"},
+		{"duplicate invariant", func(s *Scenario) {
+			s.Invariants = append(s.Invariants, Invariant{Kind: InvP99MaxMS, Value: 1})
+		}, "duplicate invariant"},
+		{"sheds floor without gate", func(s *Scenario) {
+			s.GatePerTick, s.GateQueue = 0, 0
+		}, "requires node-gate"},
+		{"flag invariant with value", func(s *Scenario) {
+			s.Invariants[4].Value = 1
+		}, "carries no value"},
+		{"success floor range", func(s *Scenario) { s.Invariants[0].Value = 1.2 }, "out of (0, 1]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validScenario()
+			tc.mutate(s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("mutation accepted")
+			}
+			if !errors.Is(err, ErrScenario) {
+				t.Fatalf("error %v is not tagged ErrScenario", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestNormalizeCanonicalOrder(t *testing.T) {
+	s := validScenario()
+	s.Normalize()
+	for i := 1; i < len(s.Events); i++ {
+		a, b := s.Events[i-1], s.Events[i]
+		if a.Tick > b.Tick || (a.Tick == b.Tick && a.Kind >= b.Kind) {
+			t.Fatalf("events not in canonical order at %d: %+v then %+v", i, a, b)
+		}
+	}
+	for i := 1; i < len(s.Invariants); i++ {
+		if s.Invariants[i-1].Kind >= s.Invariants[i].Kind {
+			t.Fatalf("invariants not sorted at %d", i)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := validScenario()
+	s.Expect = &Expect{Digest: 1, Writes: 2}
+	c := s.Clone()
+	c.Events[0].Frac = 0.9
+	c.Invariants[0].Value = 0.1
+	c.Expect.Digest = 99
+	if s.Events[0].Frac == 0.9 || s.Invariants[0].Value == 0.1 || s.Expect.Digest == 99 {
+		t.Fatalf("Clone shares state with the original")
+	}
+}

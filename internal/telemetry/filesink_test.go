@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriterSinkEmitsParsableRecords(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewWriterSink(&buf)
+
+	s.Note("run.start", A("scenario", "test"))
+	s.Event(Event{Seq: 1, Name: "breaker.open", Attrs: []Attr{A("node", "n1")}})
+	sp := NewSpan("lookup")
+	sp.Tag("key", "k1")
+	sp.Child("attempt").End("ok")
+	sp.End("ok")
+	s.Span(sp)
+	reg := NewRegistry()
+	reg.Counter("reads").Add(3)
+	s.Snapshot(reg.Snapshot())
+
+	if err := s.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if got := s.Records(); got != 4 {
+		t.Fatalf("Records() = %d, want 4", got)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("wrote %d lines, want 4", len(lines))
+	}
+	wantTypes := []string{"note", "event", "span", "snapshot"}
+	for i, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", i, err, line)
+		}
+		if rec["type"] != wantTypes[i] {
+			t.Fatalf("line %d type = %v, want %s", i, rec["type"], wantTypes[i])
+		}
+	}
+
+	// The span line carries the tree: outcome, tags, child.
+	var spanRec struct {
+		Span struct {
+			Name     string `json:"name"`
+			Outcome  string `json:"outcome"`
+			Tags     []Tag  `json:"tags"`
+			Children []struct {
+				Name string `json:"name"`
+			} `json:"children"`
+		} `json:"span"`
+	}
+	if err := json.Unmarshal([]byte(lines[2]), &spanRec); err != nil {
+		t.Fatalf("span line: %v", err)
+	}
+	if spanRec.Span.Name != "lookup" || spanRec.Span.Outcome != "ok" ||
+		len(spanRec.Span.Tags) != 1 || len(spanRec.Span.Children) != 1 {
+		t.Fatalf("span record malformed: %+v", spanRec.Span)
+	}
+}
+
+func TestFileSinkWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	s, err := NewFileSink(path)
+	if err != nil {
+		t.Fatalf("NewFileSink: %v", err)
+	}
+	s.Note("only")
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if !strings.Contains(string(data), `"type":"note"`) {
+		t.Fatalf("file missing note record: %s", data)
+	}
+}
+
+func TestFileSinkAttachLogRoutesEvents(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewWriterSink(&buf)
+	l := NewLog(8)
+	s.AttachLog(l)
+	l.Emit("gate.shed", A("node", "n3"))
+	l.Emit("gate.shed", A("node", "n4"))
+	if err := s.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if got := s.Records(); got != 2 {
+		t.Fatalf("Records() = %d, want 2 routed events", got)
+	}
+	l.SetSink(nil)
+	l.Emit("gate.shed", A("node", "n5"))
+	if got := s.Records(); got != 2 {
+		t.Fatalf("detached log still routed: %d records", got)
+	}
+}
+
+func TestFileSinkNilReceiverSafe(t *testing.T) {
+	var s *FileSink
+	s.Note("n")
+	s.Event(Event{})
+	s.Span(NewSpan("x"))
+	s.Snapshot(Snapshot{})
+	s.AttachLog(NewLog(1))
+	if s.Records() != 0 || s.Err() != nil || s.Flush() != nil || s.Close() != nil {
+		t.Fatalf("nil sink not inert")
+	}
+}

@@ -22,9 +22,9 @@ import (
 // Tag is one key=value annotation on a span, ordered as added.
 type Tag struct {
 	// Key names the annotation.
-	Key string
+	Key string `json:"key"`
 	// Value is its rendered value.
-	Value string
+	Value string `json:"value"`
 }
 
 // Span is one node of a request trace tree. A span tree is built by a

@@ -20,6 +20,24 @@ import (
 // same config emit byte-identical action sequences. Payload bytes are a
 // pure function of (user, sequence), no RNG.
 
+// ActorWeighting selects how a Stream samples acting users.
+type ActorWeighting int
+
+const (
+	// WeightZipf draws actors from a Zipf distribution over user rank —
+	// popularity follows index order (the original Stream behaviour).
+	WeightZipf ActorWeighting = iota
+	// WeightGraph draws actors proportionally to their expected
+	// Barabási–Albert follower degree, so key popularity matches the
+	// social graph instead of rank order. In a BA graph grown to N users,
+	// the i-th oldest user's expected degree scales as (i/N)^(-1/2);
+	// normalizing, the cumulative weight of the first k users is
+	// sqrt(k/N), so inverse-CDF sampling is closed-form: draw u in [0,1)
+	// and take actor = floor(u² · N). O(1) per sample, no materialized
+	// graph, and the same heavy tail BarabasiAlbert builds explicitly.
+	WeightGraph
+)
+
 // StreamConfig parameterizes a streaming workload.
 type StreamConfig struct {
 	// Users is the population size being simulated. Only sampled users
@@ -43,6 +61,10 @@ type StreamConfig struct {
 	// which a workload tolerates by construction (same key, same payload
 	// size). Default 1 << 20.
 	MaxTracked int
+	// Weighting selects the actor-popularity model (default WeightZipf;
+	// WeightGraph follows BA follower degrees). Skew only applies to
+	// WeightZipf.
+	Weighting ActorWeighting
 	// Seed drives every sampling decision.
 	Seed int64
 }
@@ -73,10 +95,11 @@ type userState struct {
 // Stream generates actions on demand. Not safe for concurrent use; drive
 // it from one goroutine and fan the emitted actions out.
 type Stream struct {
-	cfg   StreamConfig
-	zipf  *Zipf
-	rng   *rand.Rand
-	total float64 // mix weight sum
+	cfg      StreamConfig
+	zipf     *Zipf
+	rng      *rand.Rand
+	actorRng *rand.Rand // WeightGraph draws (separate stream, like zipf's)
+	total    float64    // mix weight sum
 
 	users map[int]*userState
 	fifo  []int // tracked users in first-touch order, for bounded eviction
@@ -100,17 +123,34 @@ func NewStream(cfg StreamConfig) (*Stream, error) {
 	if cfg.MaxTracked <= 0 {
 		cfg.MaxTracked = 1 << 20
 	}
+	if cfg.Weighting != WeightZipf && cfg.Weighting != WeightGraph {
+		return nil, fmt.Errorf("%w: NewStream(weighting=%d)", ErrBadParams, cfg.Weighting)
+	}
 	z, err := NewZipf(cfg.Users, cfg.Skew, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
 	return &Stream{
-		cfg:   cfg,
-		zipf:  z,
-		rng:   rand.New(rand.NewSource(cfg.Seed + 1)),
-		total: cfg.Mix.Post + cfg.Mix.Comment + cfg.Mix.Read + cfg.Mix.Search,
-		users: make(map[int]*userState),
+		cfg:      cfg,
+		zipf:     z,
+		rng:      rand.New(rand.NewSource(cfg.Seed + 1)),
+		actorRng: rand.New(rand.NewSource(cfg.Seed + 2)),
+		total:    cfg.Mix.Post + cfg.Mix.Comment + cfg.Mix.Read + cfg.Mix.Search,
+		users:    make(map[int]*userState),
 	}, nil
+}
+
+// sampleActor draws the acting user under the configured weighting.
+func (s *Stream) sampleActor() int {
+	if s.cfg.Weighting == WeightGraph {
+		u := s.actorRng.Float64()
+		a := int(u * u * float64(s.cfg.Users))
+		if a >= s.cfg.Users {
+			a = s.cfg.Users - 1
+		}
+		return a
+	}
+	return s.zipf.Next()
 }
 
 // UserName renders the canonical name for a user index, matching UserNames
@@ -173,7 +213,7 @@ func (s *Stream) Next() (Action, bool) {
 	// Sample order (kind first, then actor) is fixed: it is part of the
 	// determinism contract.
 	x := s.rng.Float64() * s.total
-	actor := s.zipf.Next()
+	actor := s.sampleActor()
 	m := s.cfg.Mix
 	var kind ActionKind
 	switch {

@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestStreamGraphWeightingDeterministic(t *testing.T) {
+	cfg := StreamConfig{Users: 5000, Ops: 2000, Seed: 42, Weighting: WeightGraph}
+	a, b := drain(t, cfg), drain(t, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different graph-weighted sequences")
+	}
+	zipf := drain(t, StreamConfig{Users: 5000, Ops: 2000, Seed: 42})
+	if reflect.DeepEqual(a, zipf) {
+		t.Fatal("graph weighting indistinguishable from zipf weighting")
+	}
+}
+
+// Graph weighting must reproduce the BA follower-degree tail: the first k
+// of N users carry sqrt(k/N) of the traffic, so the oldest 1% of users
+// should absorb roughly 10% of actions — far above their uniform share.
+func TestStreamGraphWeightingHeavyTail(t *testing.T) {
+	const users, ops = 10000, 20000
+	acts := drain(t, StreamConfig{Users: users, Ops: ops, Seed: 11, Weighting: WeightGraph})
+	var head int
+	for _, a := range acts {
+		if a.Actor < 0 || a.Actor >= users {
+			t.Fatalf("actor %d out of range", a.Actor)
+		}
+		if a.Actor < users/100 {
+			head++
+		}
+	}
+	frac := float64(head) / float64(ops)
+	// Expected sqrt(0.01) = 0.10; allow sampling slack either side, but
+	// demand it stays far from the uniform 0.01.
+	if frac < 0.07 || frac > 0.14 {
+		t.Fatalf("oldest 1%% of users drew %.3f of traffic, want ~0.10", frac)
+	}
+}
+
+func TestStreamRejectsUnknownWeighting(t *testing.T) {
+	_, err := NewStream(StreamConfig{Users: 10, Ops: 1, Weighting: ActorWeighting(9)})
+	if !errors.Is(err, ErrBadParams) {
+		t.Fatalf("unknown weighting accepted: %v", err)
+	}
+}
