@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test race bench bench-quick bench-hot experiments experiments-quick json-smoke telemetry-smoke lint-print chaos-soak cache-smoke overload-soak scale-smoke scenario-smoke examples clean
+.PHONY: all ci build vet test race bench bench-quick bench-hot experiments experiments-quick json-smoke telemetry-smoke lint-print lint-wallclock chaos-soak cache-smoke overload-soak scale-smoke scenario-smoke window-smoke examples clean
 
 all: build vet test
 
@@ -24,8 +24,11 @@ all: build vet test
 # grows with the streamed population, or if runs differ across repeats or
 # worker counts), and a scenario smoke (every committed chaos scenario in
 # scenarios/ replayed deterministically — run-twice and workers 1 vs 8
-# DeepEqual, calibrated invariants held, expect digest and counters exact).
-ci: build vet test race json-smoke telemetry-smoke lint-print chaos-soak cache-smoke overload-soak scale-smoke scenario-smoke
+# DeepEqual, calibrated invariants held, expect digest and counters exact),
+# and a window smoke (E25 guilty-window localization plus the windowed
+# replay report and the socket/OTLP sink round-trips) with a wall-clock
+# lint (no time.Now in the deterministic telemetry/scenario layers).
+ci: build vet test race json-smoke telemetry-smoke lint-print lint-wallclock chaos-soak cache-smoke overload-soak scale-smoke scenario-smoke window-smoke
 
 # Run the instrumented experiment (E20) with -json and re-parse the report
 # with the strict validator (unknown fields rejected): the telemetry section
@@ -85,6 +88,32 @@ scale-smoke:
 scenario-smoke:
 	$(GO) run ./cmd/dosnbench -scenario 'scenarios/*.scenario' >/dev/null
 
+# Window smoke: the tick-windowed telemetry stack end to end. E25 injects a
+# mid-run byzantine fault into the calibrated flash-crowd scenario and fails
+# unless the replay report localizes the violation to a window overlapping
+# the injected ticks, byte-identically across replays and with zero extra
+# runs. The replay of a committed scenario with -scenario-report must render
+# its per-window breakdown, and the focused sink/window tests re-run the
+# socket round-trip, backpressure-drop, and run-twice/workers-1v8 window
+# determinism checks.
+window-smoke:
+	$(GO) run ./cmd/dosnbench -quick -exp e25 >/dev/null
+	$(GO) run ./cmd/dosnbench -scenario scenarios/flash-crowd.scenario -scenario-report >/dev/null
+	$(GO) test -count=1 -run 'TestWindows|TestSocketSink|TestWindowStats|TestWindowedSeries|TestLocalize|TestReplayLocalizes|TestTraceSink' \
+		./internal/telemetry/ ./internal/scenario/
+
+# The windowed series and scenario clocks are tick-driven by contract: a
+# wall-clock read anywhere in those layers would silently break run-twice
+# and workers-1v8 byte-identity. Fails on any new time.Now outside the
+# allowlist (currently empty).
+lint-wallclock:
+	@bad=$$(grep -rn 'time\.Now' internal/telemetry/ internal/scenario/ --include='*.go' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "lint-wallclock: time.Now in deterministic layers (use the tick clock):"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
+
 # Write a quick machine-readable report and re-parse it with the strict
 # validator; fails the gate if the JSON schema ever drifts or breaks.
 json-smoke:
@@ -118,7 +147,7 @@ bench-hot:
 		./internal/social/privacy/ ./internal/overlay/dht/ ./internal/crypto/symmetric/ \
 		./internal/cache/
 
-# Regenerate the E1–E24 experiment tables (EXPERIMENTS.md).
+# Regenerate the E1–E25 experiment tables (EXPERIMENTS.md).
 experiments:
 	$(GO) run ./cmd/dosnbench
 

@@ -1,5 +1,5 @@
 // Command dosnbench runs the experiment harness: every experiment of
-// DESIGN.md's per-experiment index (E1–E24), printed as aligned tables.
+// DESIGN.md's per-experiment index (E1–E25), printed as aligned tables.
 //
 // Usage:
 //
@@ -21,8 +21,16 @@
 //
 //	dosnbench -scenario 'scenarios/*.scenario'   # replay files (globs/commas), enforce invariants
 //	dosnbench -scenario f.scenario -trace-out t.jsonl  # also leave a JSONL trace artifact
+//	dosnbench -scenario f.scenario -trace-out tcp://localhost:4318  # stream it instead
+//	dosnbench -scenario f.scenario -scenario-report  # print the per-window breakdown
 //	dosnbench -scenario-record-library scenarios # (re)record the builtin library into a directory
 //	dosnbench -scenario-minimize failing.scenario # shrink a failing scenario, write .min.scenario
+//
+// -trace-out accepts a file path, file://path, tcp://host:port, or
+// unix:///path; an otlp+ prefix (e.g. otlp+tcp://host:port) switches the
+// stream to OTLP-shaped JSON. A failing replay always prints its
+// guilty-window localization; -scenario-report adds the full per-window
+// table whether or not the scenario failed.
 //
 // Exit codes: 0 success, 1 failed invariants / failed runs, 2 malformed
 // scenario files or invalid flags.
@@ -67,7 +75,8 @@ func run() int {
 		scenarioFlag      = flag.String("scenario", "", "replay .scenario files (comma-separated paths/globs) and enforce their invariants")
 		recordLibraryFlag = flag.String("scenario-record-library", "", "record the builtin scenario library into this directory")
 		minimizeFlag      = flag.String("scenario-minimize", "", "minimize a failing .scenario file, writing <name>.min.scenario next to it")
-		traceOutFlag      = flag.String("trace-out", "", "write a JSONL telemetry trace of a single -scenario replay to this file")
+		traceOutFlag      = flag.String("trace-out", "", "emit a telemetry trace of a single -scenario replay: file path, tcp://host:port, unix:///path, optional otlp+ prefix")
+		scenarioRptFlag   = flag.Bool("scenario-report", false, "with -scenario: print each replay's per-window time-series breakdown")
 	)
 	flag.Parse()
 
@@ -85,8 +94,12 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "dosnbench: -trace-out requires -scenario\n")
 		return 2
 	}
+	if *scenarioRptFlag && *scenarioFlag == "" {
+		fmt.Fprintf(os.Stderr, "dosnbench: -scenario-report requires -scenario\n")
+		return 2
+	}
 	if *scenarioFlag != "" {
-		return runScenarios(*scenarioFlag, *traceOutFlag)
+		return runScenarios(*scenarioFlag, *traceOutFlag, *scenarioRptFlag)
 	}
 	if *recordLibraryFlag != "" {
 		return recordLibrary(*recordLibraryFlag)
@@ -231,7 +244,7 @@ func loadScenario(path string) (*scenario.Scenario, error) {
 // runScenarios replays every named scenario file through the full protocol
 // (run-twice and workers-1-vs-8 determinism, invariants, pinned counters).
 // Exit 2 on malformed files, 1 on any failed check, 0 when all pass.
-func runScenarios(arg, traceOut string) int {
+func runScenarios(arg, traceOut string, windowReport bool) int {
 	files, err := expandScenarioArgs(arg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dosnbench: %v\n", err)
@@ -266,6 +279,12 @@ func runScenarios(arg, traceOut string) int {
 		for _, v := range report.Violations {
 			fmt.Printf("  violation %s\n", v)
 		}
+		for _, g := range report.Guilty {
+			fmt.Printf("  guilty %s\n", g)
+		}
+		if windowReport {
+			scenario.WriteWindowBreakdown(os.Stdout, res)
+		}
 		if traceOut != "" {
 			if code := writeScenarioTrace(sc, traceOut); code != 0 {
 				return code
@@ -280,17 +299,20 @@ func runScenarios(arg, traceOut string) int {
 	return 0
 }
 
-// writeScenarioTrace runs the scenario once more with a JSONL sink attached
-// and reports the artifact. The traced run is identical to the replay runs
-// (tracing is nil-safe annotation on the same code path).
-func writeScenarioTrace(sc *scenario.Scenario, path string) int {
-	sink, err := telemetry.NewFileSink(path)
+// writeScenarioTrace runs the scenario once more with a telemetry sink
+// attached — file, socket, or OTLP-shaped per the spec — and reports the
+// artifact. The traced run is identical to the replay runs (tracing is
+// nil-safe annotation on the same code path, and socket sinks drop rather
+// than block).
+func writeScenarioTrace(sc *scenario.Scenario, spec string) int {
+	sink, err := telemetry.OpenSink(spec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dosnbench: %v\n", err)
 		return 1
 	}
 	_, rerr := scenario.Run(sc, scenario.RunConfig{Workers: 1, Trace: sink})
 	records := sink.Records()
+	dropped := sink.Dropped()
 	cerr := sink.Close()
 	if rerr != nil {
 		fmt.Fprintf(os.Stderr, "dosnbench: trace run: %v\n", rerr)
@@ -300,7 +322,11 @@ func writeScenarioTrace(sc *scenario.Scenario, path string) int {
 		fmt.Fprintf(os.Stderr, "dosnbench: trace sink: %v\n", cerr)
 		return 1
 	}
-	fmt.Printf("wrote %s (%d records)\n", path, records)
+	if dropped > 0 {
+		fmt.Printf("wrote %s (%d records, %d dropped)\n", spec, records, dropped)
+	} else {
+		fmt.Printf("wrote %s (%d records)\n", spec, records)
+	}
 	return 0
 }
 

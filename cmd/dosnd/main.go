@@ -9,6 +9,13 @@
 //	dosnd -users 20 -overlay dht -resilient -loss 0.15
 //	dosnd -users 20 -resilient -loss 0.15 -metrics
 //	dosnd -users 20 -resilient -pprof localhost:6060
+//	dosnd -users 20 -trace-out session.jsonl        # JSONL trace of the session
+//	dosnd -users 20 -trace-out otlp+tcp://host:4318 # stream OTLP-shaped JSON
+//
+// The session advances the deployment's tick clock once per phase (boot,
+// groups, publish, wall-sync, revocation, search), so -metrics can also
+// show the last phase's windowed telemetry deltas and -trace-out carries
+// the whole per-phase time-series.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"godosn/internal/core"
 	"godosn/internal/resilience"
 	"godosn/internal/social/privacy"
+	"godosn/internal/telemetry"
 )
 
 func main() {
@@ -36,6 +44,7 @@ func run() int {
 		lossFlag    = flag.Float64("loss", 0, "message loss rate injected after boot (0..1)")
 		metricsFlag = flag.Bool("metrics", false, "dump the deployment's telemetry registry (plain-text /metrics style) after the session")
 		pprofFlag   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) and keep the process alive after the session")
+		traceFlag   = flag.String("trace-out", "", "emit the session's telemetry: file path, tcp://host:port, unix:///path, optional otlp+ prefix")
 	)
 	flag.Parse()
 	if *lossFlag < 0 || *lossFlag >= 1 {
@@ -99,11 +108,38 @@ func run() int {
 		}()
 		fmt.Printf("pprof serving on http://%s/debug/pprof/\n", *pprofFlag)
 	}
+	// Streaming telemetry: attach the chosen sink to the registry's event
+	// log, and ride the simnet tick clock for windowed deltas — the session
+	// advances one tick per phase, so each window is one phase's worth of
+	// registry movement.
+	var sink telemetry.Sink
+	if *traceFlag != "" {
+		s, err := telemetry.OpenSink(*traceFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dosnd: trace sink: %v\n", err)
+			return 2
+		}
+		sink = s
+		// dosnd has no determinism contract, so drop accounting may live in
+		// the registry where -metrics will show it.
+		sink.SetTelemetry(net.Telemetry)
+		telemetry.AttachLog(net.Telemetry.Events(), sink)
+	}
+	win := telemetry.NewWindows(net.Telemetry, telemetry.WindowsConfig{Width: 1, Retain: 16})
+	net.Sim.OnTick(func(int) { win.Tick() })
+	phase := func(name string) {
+		net.Sim.TickCapacity() // advance the shared tick clock: close a window
+		if sink != nil {
+			sink.Note("phase", telemetry.A("name", name))
+		}
+	}
+
 	fmt.Printf("booted %d-user DOSN on %s overlay (kv: %s)\n", len(users), net.OverlayKind(), net.KV.Name())
 	if *lossFlag > 0 {
 		net.Sim.SetLossRate(*lossFlag)
 		fmt.Printf("injected %.0f%% message loss\n", *lossFlag*100)
 	}
+	phase("boot")
 
 	alice, bob, carol := net.MustNode(users[0]), net.MustNode(users[1]), net.MustNode(users[2])
 
@@ -119,6 +155,7 @@ func run() int {
 	alice.ShareGroup("friends", carol)
 	fmt.Printf("%s created group %q (%s) with members %v\n",
 		alice.Name(), friends.Name(), friends.Scheme(), friends.Members())
+	phase("groups")
 
 	// Publish and read through the overlay.
 	if _, st, err := alice.Publish("friends", []byte("hello, distributed world")); err != nil {
@@ -133,6 +170,7 @@ func run() int {
 		return 1
 	}
 	fmt.Printf("%s read it via overlay (%d msgs, %d hops): %q\n", bob.Name(), st.Messages, st.Hops, body)
+	phase("publish-read")
 
 	// Fork-consistent wall views.
 	if err := bob.SyncWall(alice.Name()); err != nil {
@@ -149,6 +187,7 @@ func run() int {
 		fmt.Printf("%s and %s cross-checked %s's wall: consistent at version %d\n",
 			bob.Name(), carol.Name(), alice.Name(), bob.WallReader(alice.Name()).Commitment().Version)
 	}
+	phase("wall-sync")
 
 	// Revocation.
 	report, err := friends.Remove(carol.Name())
@@ -161,6 +200,7 @@ func run() int {
 	if _, _, err := carol.ReadPost(alice.Name(), 0); err != nil {
 		fmt.Printf("%s can no longer read the archive: OK\n", carol.Name())
 	}
+	phase("revocation")
 
 	// Trust-ranked friend search.
 	found := alice.FindUsers()
@@ -169,15 +209,40 @@ func run() int {
 		limit = len(found)
 	}
 	fmt.Printf("%s searched for new friends (trust-ranked): %v\n", alice.Name(), found[:limit])
+	phase("search")
 
 	if m, ok := net.ResilienceMetrics(); ok {
 		fmt.Printf("resilience: %d ops, %d retries, %d hedges, %d breaker skips, %d failures\n",
 			m.Ops, m.Retries, m.Hedges, m.BreakerSkips, m.Failures)
 	}
+	win.CloseFinal()
+	if sink != nil {
+		sink.Windows(win.Snapshot())
+		sink.Snapshot(net.Telemetry.Snapshot())
+		records, dropped := sink.Records(), sink.Dropped()
+		if err := sink.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "dosnd: trace sink: %v\n", err)
+			return 1
+		}
+		if dropped > 0 {
+			fmt.Printf("trace: %s (%d records, %d dropped)\n", *traceFlag, records, dropped)
+		} else {
+			fmt.Printf("trace: %s (%d records)\n", *traceFlag, records)
+		}
+	}
 	fmt.Println("session complete")
 	if *metricsFlag {
 		fmt.Println("\n--- telemetry ---")
 		net.Telemetry.WriteText(os.Stdout)
+		if last, ok := win.Latest(); ok {
+			fmt.Printf("\n--- last window (ticks [%d,%d)) ---\n", last.FromTick, last.ToTick)
+			telemetry.WindowsSnapshot{
+				Width:    win.Width(),
+				FromTick: last.FromTick,
+				ToTick:   last.ToTick,
+				Windows:  []telemetry.WindowDelta{last},
+			}.WriteText(os.Stdout)
+		}
 	}
 	if *pprofFlag != "" {
 		fmt.Println("session done; pprof endpoint stays up (Ctrl-C to exit)")

@@ -1,5 +1,5 @@
 // Package bench is the experiment harness: it regenerates, as printed
-// tables, every experiment in DESIGN.md's per-experiment index (E1–E24).
+// tables, every experiment in DESIGN.md's per-experiment index (E1–E25).
 //
 // The paper is a survey with one classification table and no measurements;
 // each experiment here quantifies one slice of that classification or one
@@ -141,6 +141,7 @@ func All() []Experiment {
 		{ID: "e22", Description: "overload: flash crowd on one replica — bare stack vs load-aware selection + admission control", Run: E22FlashCrowd},
 		{ID: "e23", Description: "scale: streaming 10k→1M-user workload — sequential vs route-grouped batched transport, flat-memory check", Run: E23ScaleSweep},
 		{ID: "e24", Description: "chaos scenarios: record/replay library sweep with invariants, delta-debugging minimizer convergence", Run: E24ScenarioLibrary},
+		{ID: "e25", Description: "windowed telemetry: guilty-window localization of an injected mid-run byzantine fault, byte-identical report", Run: E25GuiltyWindow},
 	}
 }
 

@@ -133,6 +133,12 @@ func (d *DHT) TickGates() {
 	d.gates.tick()
 }
 
+// Tick implements overlay.Ticker: the DHT's per-tick state is its
+// server-side admission gates.
+func (d *DHT) Tick() {
+	d.TickGates()
+}
+
 // NodeSheds returns each node's server-side shed count (empty map when
 // gates are disabled or nothing shed).
 func (d *DHT) NodeSheds() map[string]int64 {

@@ -87,3 +87,16 @@ type Healer interface {
 	// Heal runs one repair pass and reports what it did.
 	Heal() (HealReport, error)
 }
+
+// Ticker is implemented by every layer that advances per-tick state on the
+// shared experiment tick clock: DHT server-side admission gates, the
+// resilience decorator's client gate / health tracker / cache TTLs, and
+// the windowed telemetry collector. A driver (the scenario runtime, a
+// bench loop) advances the simnet clock with TickCapacity and ticks each
+// registered Ticker once per step, so "a tick" means the same instant at
+// every layer — the property windowed time-series and guilty-window
+// localization depend on.
+type Ticker interface {
+	// Tick advances one tick window.
+	Tick()
+}

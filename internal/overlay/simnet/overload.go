@@ -93,14 +93,43 @@ func (n *Network) SetCapacity(id NodeID, cfg CapacityConfig) error {
 
 // TickCapacity opens a new tick window: every capacity-configured node's
 // served count resets, so the next PerTick requests are again served at
-// full speed. Experiments drive it from the same loop that ticks fault
-// schedules.
+// full speed, and the network's tick clock advances one step. Experiments
+// drive it from the same loop that ticks fault schedules; registered
+// OnTick hooks (windowed telemetry, scenario annotation) ride the same
+// clock and fire after the window opens, outside the network lock.
 func (n *Network) TickCapacity() {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	for _, st := range n.capacity {
 		st.served = 0
 	}
+	n.tick++
+	tick := n.tick
+	hooks := n.onTick
+	n.mu.Unlock()
+	for _, fn := range hooks {
+		fn(tick)
+	}
+}
+
+// OnTick registers a hook invoked after every TickCapacity advance with the
+// new tick number (1-based). Hooks run outside the network lock, in
+// registration order — the plumbing that lets the windowed telemetry
+// collector ride the simnet tick clock instead of a wall clock.
+func (n *Network) OnTick(fn func(tick int)) {
+	if fn == nil {
+		return
+	}
+	n.mu.Lock()
+	n.onTick = append(n.onTick, fn)
+	n.mu.Unlock()
+}
+
+// Tick returns the tick clock's current position (the number of
+// TickCapacity calls so far).
+func (n *Network) Tick() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.tick
 }
 
 // Overload returns the overload accounting since the last ResetTotals.

@@ -119,6 +119,9 @@ type Network struct {
 	totals    Trace
 	rpcCount  int
 	tel       *netTelemetry // nil until SetTelemetry
+
+	tick   int              // tick-clock position (advanced by TickCapacity)
+	onTick []func(tick int) // tick hooks, invoked outside the lock
 }
 
 // netTelemetry holds the network's registry-backed counters, resolved once

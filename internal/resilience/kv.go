@@ -315,6 +315,10 @@ func (k *KV) Tick() {
 	k.health.Tick()
 }
 
+// The decorator participates in the shared tick clock (overlay.Ticker), so
+// tick-driven drivers can advance every layer uniformly.
+var _ overlay.Ticker = (*KV)(nil)
+
 // HealthSnapshot returns the replica-health tracker's per-node scores,
 // sorted by node (nil without Config.Health).
 func (k *KV) HealthSnapshot() []load.NodeScore { return k.health.Snapshot() }

@@ -1,0 +1,342 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+)
+
+// This file implements guilty-window localization: once a replay's
+// invariant check fails, the per-window breakdown the runtime already
+// collected (run.go accumulates WindowStats as the tick loop advances —
+// zero additional runs) is searched for the window where the violated
+// invariant's backing metric crossed its threshold for good, and that
+// window is reported together with the injected fault events overlapping
+// it. The paper's Table I argues properties like availability and
+// integrity hold *under* adversarial conditions; localization turns "the
+// run violated the success floor" into "the floor was crossed in ticks
+// [40,44), inside the byzantine window injected at tick 40" — checkable
+// without re-running or bisecting the schedule.
+
+// ActiveEvent is one scheduled event annotated onto a window it overlaps.
+// Instant events (revoke) occupy their single tick.
+type ActiveEvent struct {
+	// Kind is the event's fault family.
+	Kind EventKind `json:"kind"`
+	// Tick/End bound the event's effect: ticks in [Tick, End).
+	Tick int `json:"tick"`
+	End  int `json:"end"`
+}
+
+func (a ActiveEvent) String() string {
+	return fmt.Sprintf("%s[%d,%d)", a.Kind, a.Tick, a.End)
+}
+
+// WindowStat is one window's workload-level aggregate: what the scenario
+// runtime observed during ticks [FromTick, ToTick), annotated with the
+// fault events active in that range. The telemetry-registry view of the
+// same windows lives in Result.Windows; WindowStats carries the outcome
+// classification the invariants are defined over.
+type WindowStat struct {
+	// Index is the 0-based window number.
+	Index int `json:"index"`
+	// FromTick/ToTick bound the window: ticks in [FromTick, ToTick).
+	FromTick int `json:"from_tick"`
+	ToTick   int `json:"to_tick"`
+	// Writes/WriteFailures are the window's store attempts and failures.
+	Writes        int `json:"writes"`
+	WriteFailures int `json:"write_failures,omitempty"`
+	// Reads and its classification, mirroring Result's whole-run fields.
+	Reads         int `json:"reads"`
+	OK            int `json:"ok"`
+	NotFound      int `json:"not_found,omitempty"`
+	FalseNotFound int `json:"false_not_found,omitempty"`
+	Failed        int `json:"failed,omitempty"`
+	// SurfacedCorruption counts reads whose bytes reached the caller
+	// corrupted during this window.
+	SurfacedCorruption int `json:"surfaced_corruption,omitempty"`
+	// Privacy-track outcomes inside the window.
+	MemberOpens        int `json:"member_opens,omitempty"`
+	MemberOpenFailures int `json:"member_open_failures,omitempty"`
+	RevokedAttempts    int `json:"revoked_attempts,omitempty"`
+	RevokedOpens       int `json:"revoked_opens,omitempty"`
+	// ReadP99MS is the 99th-percentile simulated read latency of the
+	// window's reads (0 with no reads).
+	ReadP99MS float64 `json:"read_p99_ms"`
+	// CumServedRate / CumP99MS are the run-so-far aggregates at window
+	// close — the exact quantities the aggregate invariants (success
+	// floor, p99 ceiling) are checked against, so localization can find
+	// the window where the run's fate was sealed rather than a window
+	// that merely looked bad in isolation.
+	CumServedRate float64 `json:"cum_served_rate"`
+	CumP99MS      float64 `json:"cum_p99_ms"`
+	// ServerShedsDelta is how many requests the DHT node gates shed during
+	// the window.
+	ServerShedsDelta int64 `json:"server_sheds_delta,omitempty"`
+	// Events are the scheduled events whose effect overlaps the window.
+	Events []ActiveEvent `json:"events,omitempty"`
+}
+
+// ServedRate is the window's (OK + honest not-found) / reads, 1 with no
+// reads — the same availability measure the success-floor invariant uses.
+func (w WindowStat) ServedRate() float64 {
+	if w.Reads == 0 {
+		return 1
+	}
+	return float64(w.OK+w.NotFound) / float64(w.Reads)
+}
+
+// overlaps reports whether event e's effect intersects [from, to).
+// Instant events occupy their single tick.
+func overlapsWindow(e Event, from, to int) bool {
+	end := e.End()
+	if end <= e.Tick {
+		end = e.Tick + 1
+	}
+	return e.Tick < to && end > from
+}
+
+// activeIn returns the scenario events overlapping [from, to), in
+// canonical schedule order.
+func activeIn(events []Event, from, to int) []ActiveEvent {
+	var out []ActiveEvent
+	for _, e := range events {
+		if overlapsWindow(e, from, to) {
+			end := e.End()
+			if end <= e.Tick {
+				end = e.Tick + 1
+			}
+			out = append(out, ActiveEvent{Kind: e.Kind, Tick: e.Tick, End: end})
+		}
+	}
+	return out
+}
+
+// GuiltyWindow names the window a violated invariant localizes to.
+type GuiltyWindow struct {
+	// Invariant is the violated check.
+	Invariant InvariantKind `json:"invariant"`
+	// Index and the tick bounds identify the guilty window.
+	Index    int `json:"index"`
+	FromTick int `json:"from_tick"`
+	ToTick   int `json:"to_tick"`
+	// Exact is true when the window was pinned by direct evidence (a
+	// decisive cumulative crossing, or the dominant share of the
+	// aggregate's shortfall); false when no window carried such evidence
+	// and the reported window is merely the worst one.
+	Exact bool `json:"exact"`
+	// Detail states the window-local measurement against the threshold.
+	Detail string `json:"detail"`
+	// Events are the injected events overlapping the guilty window — the
+	// suspects.
+	Events []ActiveEvent `json:"events,omitempty"`
+}
+
+func (g GuiltyWindow) String() string {
+	kind := "exact"
+	if !g.Exact {
+		kind = "worst"
+	}
+	return fmt.Sprintf("%s -> window %d ticks [%d,%d) (%s): %s events=%v",
+		g.Invariant, g.Index, g.FromTick, g.ToTick, kind, g.Detail, g.Events)
+}
+
+// guiltyFrom builds one finding from a window.
+func guiltyFrom(inv InvariantKind, w WindowStat, exact bool, detail string) GuiltyWindow {
+	return GuiltyWindow{
+		Invariant: inv,
+		Index:     w.Index,
+		FromTick:  w.FromTick,
+		ToTick:    w.ToTick,
+		Exact:     exact,
+		Detail:    detail,
+		Events:    w.Events,
+	}
+}
+
+// Localize maps each violated invariant to its guilty window using the
+// result's per-window breakdown — no re-runs. Violations whose kind has no
+// windowed backing metric (expect mismatches, determinism divergences) are
+// skipped. Deterministic: a pure function of (scenario, result).
+func Localize(sc *Scenario, res *Result, violations []Violation) []GuiltyWindow {
+	if len(violations) == 0 || len(res.WindowStats) == 0 {
+		return nil
+	}
+	var out []GuiltyWindow
+	for _, v := range violations {
+		kind := InvariantKind(v.Kind)
+		var inv *Invariant
+		for i := range sc.Invariants {
+			if sc.Invariants[i].Kind == kind {
+				inv = &sc.Invariants[i]
+				break
+			}
+		}
+		if inv == nil {
+			continue // expect / determinism families carry no threshold
+		}
+		if g, ok := localizeOne(*inv, res.WindowStats); ok {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// localizeOne finds the guilty window for one violated invariant.
+//
+// The success floor and p99 ceiling are whole-run aggregates, so one
+// window's value crossing the threshold is not evidence by itself — a
+// calibrated floor sits only a few percent under the healthy mean, and
+// individual windows (warm-up, sampled overload) dip below it in passing
+// runs too. Two ladders of evidence, in order:
+//
+//  1. Decisive cumulative crossing: the run-so-far aggregate was on the
+//     healthy side at some window close, crossed to the violating side
+//     at a later close, and never recovered. The last such crossing is
+//     the window that sealed the run's fate — reported Exact.
+//  2. Largest shortfall contribution (success floor only): when the
+//     cumulative series offers no crossing (a run whose aggregate only
+//     clears the floor at the very end has nothing to "fall from"), the
+//     violation is the sum of per-window deficits reads·(floor−served);
+//     the window contributing the largest share — deep AND busy, not
+//     merely a thin warm-up dip — is reported Exact.
+//
+// Otherwise the worst single window is reported, marked inexact.
+func localizeOne(inv Invariant, windows []WindowStat) (GuiltyWindow, bool) {
+	switch inv.Kind {
+	case InvLookupSuccessMin:
+		last, worst := -1, -1
+		deficit, deficitAt := 0.0, -1
+		var totalDeficit float64
+		for i, w := range windows {
+			if w.Reads > 0 && (worst < 0 || w.ServedRate() < windows[worst].ServedRate()) {
+				worst = i
+			}
+			if i > 0 && windows[i-1].CumServedRate >= inv.Value && w.CumServedRate < inv.Value {
+				last = i
+			}
+			if d := float64(w.Reads) * (inv.Value - w.ServedRate()); d > 0 {
+				totalDeficit += d
+				if d > deficit {
+					deficit, deficitAt = d, i
+				}
+			}
+		}
+		if last >= 0 && windows[len(windows)-1].CumServedRate < inv.Value {
+			w := windows[last]
+			return guiltyFrom(inv.Kind, w, true,
+				fmt.Sprintf("cumulative served crossed below floor %g here (%.4f after this window, window served %.4f) and never recovered",
+					inv.Value, w.CumServedRate, w.ServedRate())), true
+		}
+		if deficitAt >= 0 {
+			w := windows[deficitAt]
+			return guiltyFrom(inv.Kind, w, true,
+				fmt.Sprintf("largest shortfall share: window served %.4f < floor %g over %d reads (%.1f of the run's %.1f served-reads deficit)",
+					w.ServedRate(), inv.Value, w.Reads, deficit, totalDeficit)), true
+		}
+		if worst >= 0 {
+			w := windows[worst]
+			return guiltyFrom(inv.Kind, w, false,
+				fmt.Sprintf("no window crossed floor %g; worst window served %.4f",
+					inv.Value, w.ServedRate())), true
+		}
+	case InvP99MaxMS:
+		last, worst := -1, -1
+		over, overAt := 0.0, -1
+		for i, w := range windows {
+			if w.Reads == 0 {
+				continue
+			}
+			if worst < 0 || w.ReadP99MS > windows[worst].ReadP99MS {
+				worst = i
+			}
+			if i > 0 && windows[i-1].CumP99MS <= inv.Value && w.CumP99MS > inv.Value {
+				last = i
+			}
+			if w.ReadP99MS > inv.Value && w.ReadP99MS-inv.Value > over {
+				over, overAt = w.ReadP99MS-inv.Value, i
+			}
+		}
+		if last >= 0 && windows[len(windows)-1].CumP99MS > inv.Value {
+			w := windows[last]
+			return guiltyFrom(inv.Kind, w, true,
+				fmt.Sprintf("cumulative p99 crossed ceiling %gms here (%.1fms after this window, window p99 %.1fms) and never recovered",
+					inv.Value, w.CumP99MS, w.ReadP99MS)), true
+		}
+		if overAt >= 0 {
+			w := windows[overAt]
+			return guiltyFrom(inv.Kind, w, true,
+				fmt.Sprintf("largest tail excess: window p99 %.1fms exceeds ceiling %gms by %.1fms over %d reads",
+					w.ReadP99MS, inv.Value, over, w.Reads)), true
+		}
+		if worst >= 0 {
+			w := windows[worst]
+			return guiltyFrom(inv.Kind, w, false,
+				fmt.Sprintf("no window crossed ceiling %gms; worst window p99 %.1fms",
+					inv.Value, w.ReadP99MS)), true
+		}
+	case InvMaxSurfacedCorruption:
+		cum := 0
+		for _, w := range windows {
+			cum += w.SurfacedCorruption
+			if float64(cum) > inv.Value {
+				return guiltyFrom(inv.Kind, w, true,
+					fmt.Sprintf("cumulative surfaced corruption reached %d (> cap %d) with %d in this window",
+						cum, int(inv.Value), w.SurfacedCorruption)), true
+			}
+		}
+	case InvServerShedsMin:
+		// A floor violation is a whole-run shortfall; the most informative
+		// window is where shedding evidence was strongest (or absent).
+		worst, found := -1, false
+		var total int64
+		for i, w := range windows {
+			total += w.ServerShedsDelta
+			if worst < 0 || w.ServerShedsDelta > windows[worst].ServerShedsDelta {
+				worst, found = i, true
+			}
+		}
+		if found {
+			w := windows[worst]
+			return guiltyFrom(inv.Kind, w, false,
+				fmt.Sprintf("run shed %d < floor %d; peak window shed %d",
+					total, int64(inv.Value), w.ServerShedsDelta)), true
+		}
+	case InvNoRevokedOpens:
+		for _, w := range windows {
+			if w.RevokedOpens > 0 {
+				return guiltyFrom(inv.Kind, w, true,
+					fmt.Sprintf("%d post-revocation opens in this window", w.RevokedOpens)), true
+			}
+		}
+	case InvNoMemberOpenFailures:
+		for _, w := range windows {
+			if w.MemberOpenFailures > 0 {
+				return guiltyFrom(inv.Kind, w, true,
+					fmt.Sprintf("%d current-member decrypt failures in this window", w.MemberOpenFailures)), true
+			}
+		}
+	}
+	return GuiltyWindow{}, false
+}
+
+// WriteWindowBreakdown renders the per-window breakdown as an aligned
+// plain-text table, one line per window. Deterministic.
+func WriteWindowBreakdown(w io.Writer, res *Result) {
+	fmt.Fprintf(w, "%-6s %-11s %6s %8s %8s %6s %6s %9s  %s\n",
+		"window", "ticks", "reads", "served", "p99 ms", "fail", "sheds", "corrupt", "events")
+	for _, ws := range res.WindowStats {
+		events := "-"
+		if len(ws.Events) > 0 {
+			events = ""
+			for i, e := range ws.Events {
+				if i > 0 {
+					events += " "
+				}
+				events += e.String()
+			}
+		}
+		fmt.Fprintf(w, "%-6d [%4d,%4d) %6d %8.4f %8.1f %6d %6d %9d  %s\n",
+			ws.Index, ws.FromTick, ws.ToTick, ws.Reads, ws.ServedRate(), ws.ReadP99MS,
+			ws.Failed+ws.FalseNotFound, ws.ServerShedsDelta, ws.SurfacedCorruption, events)
+	}
+}

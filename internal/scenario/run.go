@@ -42,9 +42,24 @@ type RunConfig struct {
 	// "workers 1 vs 8" replay arm.
 	Workers int
 	// Trace, when set, receives the run's event stream, one traced lookup
-	// span per tick, and the final registry snapshot (satellite: every
-	// scenario run can leave a replayable trace artifact).
-	Trace *telemetry.FileSink
+	// span per tick, the windowed time-series, and the final registry
+	// snapshot. Any telemetry.Sink works: file, socket, OTLP-shaped.
+	Trace telemetry.Sink
+	// WindowTicks is the time-series window width in ticks; <= 0 defaults
+	// to max(1, Ticks/20), giving about twenty windows per run.
+	WindowTicks int
+}
+
+// windowWidth resolves the configured window width for a scenario.
+func windowWidth(sc *Scenario, rc RunConfig) int {
+	if rc.WindowTicks > 0 {
+		return rc.WindowTicks
+	}
+	w := sc.Ticks / 20
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Result is one run's complete outcome.
@@ -98,6 +113,13 @@ type Result struct {
 	// HealsRun / HealRepaired account the anti-entropy passes.
 	HealsRun     int
 	HealRepaired int
+	// WindowStats is the per-window workload breakdown (RunConfig
+	// .WindowTicks wide), each window annotated with the fault events
+	// active in it — the data guilty-window localization searches.
+	WindowStats []WindowStat
+	// Windows is the registry-level time-series: per-window deltas of
+	// every counter, gauge, histogram, and event count.
+	Windows telemetry.WindowsSnapshot
 	// Telemetry is the final registry snapshot.
 	Telemetry telemetry.Snapshot
 }
@@ -200,6 +222,74 @@ type runState struct {
 	// for one of them is classified as data unavailability, not an honest
 	// miss.
 	written map[string]bool
+
+	// window bookkeeping: win is the registry time-series collector,
+	// ticked at the end of each tick body (after the tick's workload, so
+	// window k holds exactly ticks [k·W, (k+1)·W)); winBase snapshots the
+	// Result counters at the open window's start so close diffs them.
+	win          *telemetry.Windows
+	winWidth     int
+	winFrom      int
+	winBase      windowBase
+	eventsSorted []Event
+}
+
+// windowBase records the Result counter values at a window's start.
+type windowBase struct {
+	writes, writeFailures                int
+	reads, ok, notFound, falseNF, failed int
+	surfaced                             int
+	memberOpens, memberFails             int
+	revokedAttempts, revokedOpens        int
+	latLen                               int
+	sheds                                int64
+}
+
+// snapBase captures the current counters as the next window's baseline.
+func (st *runState) snapBase() {
+	r := st.res
+	st.winBase = windowBase{
+		writes: r.Writes, writeFailures: r.WriteFailures,
+		reads: r.Reads, ok: r.OK, notFound: r.NotFound,
+		falseNF: r.FalseNotFound, failed: r.Failed,
+		surfaced:    r.SurfacedCorruption,
+		memberOpens: r.MemberOpens, memberFails: r.MemberOpenFailures,
+		revokedAttempts: r.RevokedAttempts, revokedOpens: r.RevokedOpens,
+		latLen: len(r.ReadLatencyMS),
+		sheds:  st.d.NodeShedTotal(),
+	}
+}
+
+// closeWindow appends the WindowStat for ticks [winFrom, toTick) by
+// diffing the live counters against the window-start baseline, then
+// re-baselines for the next window.
+func (st *runState) closeWindow(toTick int) {
+	r, b := st.res, st.winBase
+	w := WindowStat{
+		Index:              len(r.WindowStats),
+		FromTick:           st.winFrom,
+		ToTick:             toTick,
+		Writes:             r.Writes - b.writes,
+		WriteFailures:      r.WriteFailures - b.writeFailures,
+		Reads:              r.Reads - b.reads,
+		OK:                 r.OK - b.ok,
+		NotFound:           r.NotFound - b.notFound,
+		FalseNotFound:      r.FalseNotFound - b.falseNF,
+		Failed:             r.Failed - b.failed,
+		SurfacedCorruption: r.SurfacedCorruption - b.surfaced,
+		MemberOpens:        r.MemberOpens - b.memberOpens,
+		MemberOpenFailures: r.MemberOpenFailures - b.memberFails,
+		RevokedAttempts:    r.RevokedAttempts - b.revokedAttempts,
+		RevokedOpens:       r.RevokedOpens - b.revokedOpens,
+		ReadP99MS:          pctl(r.ReadLatencyMS[b.latLen:], 0.99),
+		CumServedRate:      r.ServedRate(),
+		CumP99MS:           pctl(r.ReadLatencyMS, 0.99),
+		ServerShedsDelta:   st.d.NodeShedTotal() - b.sheds,
+		Events:             activeIn(st.eventsSorted, st.winFrom, toTick),
+	}
+	r.WindowStats = append(r.WindowStats, w)
+	st.winFrom = toTick
+	st.snapBase()
 }
 
 // Run executes the scenario once and returns its complete outcome.
@@ -214,7 +304,7 @@ func Run(sc *Scenario, rc RunConfig) (*Result, error) {
 
 	reg := telemetry.NewRegistry()
 	if rc.Trace != nil {
-		rc.Trace.AttachLog(reg.Events())
+		telemetry.AttachLog(reg.Events(), rc.Trace)
 		rc.Trace.Note("scenario.start",
 			telemetry.A("name", sc.Name),
 			telemetry.A("seed", fmt.Sprintf("%d", sc.Seed)),
@@ -278,6 +368,13 @@ func Run(sc *Scenario, rc RunConfig) (*Result, error) {
 
 	events := append([]Event(nil), sc.Events...)
 	sortEvents(events)
+	st.eventsSorted = events
+	st.winWidth = windowWidth(sc, rc)
+	st.win = telemetry.NewWindows(reg, telemetry.WindowsConfig{
+		Width:  st.winWidth,
+		Retain: sc.Ticks/st.winWidth + 2, // keep every window of the run
+	})
+	st.snapBase()
 	next := 0
 	for t := 0; t < sc.Ticks; t++ {
 		st.revertEnded(t)
@@ -306,8 +403,20 @@ func Run(sc *Scenario, rc RunConfig) (*Result, error) {
 				return nil, err
 			}
 		}
+		// Tick the time-series at the END of the tick body: window k then
+		// holds exactly the deltas of ticks [k·W, (k+1)·W). The simnet
+		// clock (TickCapacity, above) opens capacity windows at tick
+		// start; the telemetry boundary must fall after the tick's
+		// workload or each window would miss its final tick.
+		st.win.Tick()
+		if (t+1)%st.winWidth == 0 {
+			st.closeWindow(t + 1)
+		}
 	}
 	st.revertEnded(sc.Ticks + 1) // close any window running to the end
+	if st.winFrom < sc.Ticks {
+		st.closeWindow(sc.Ticks) // trailing partial window
+	}
 
 	res := st.res
 	res.ClientSheds = kv.Metrics().ClientSheds
@@ -316,8 +425,11 @@ func Run(sc *Scenario, rc RunConfig) (*Result, error) {
 	for _, v := range res.ServerShedsByNode {
 		res.ServerSheds += v
 	}
+	st.win.CloseFinal()
+	res.Windows = st.win.Snapshot()
 	res.Telemetry = reg.Snapshot()
 	if rc.Trace != nil {
+		rc.Trace.Windows(res.Windows)
 		rc.Trace.Snapshot(res.Telemetry)
 		rc.Trace.Note("scenario.end",
 			telemetry.A("digest", fmt.Sprintf("%016x", res.Digest)),
@@ -453,7 +565,7 @@ func (st *runState) revertEnded(tick int) {
 // workloadTick issues OpsPerTick actions. The first read of a tick is
 // traced into the sink when one is attached (span trees never perturb
 // outcomes — they are nil-safe annotations on the same code path).
-func (st *runState) workloadTick(tick int, sink *telemetry.FileSink) error {
+func (st *runState) workloadTick(tick int, sink telemetry.Sink) error {
 	res := st.res
 	tracedRead := false
 	for i := 0; i < st.sc.OpsPerTick; i++ {
@@ -696,6 +808,11 @@ type ReplayReport struct {
 	Result *Result
 	// Violations are failed invariant and expect checks (empty = pass).
 	Violations []Violation
+	// Guilty localizes each violated invariant to the first window whose
+	// backing metric crossed the threshold, with the injected events
+	// overlapping it. Computed from Result's window breakdown — zero
+	// additional runs. Empty when nothing violated.
+	Guilty []GuiltyWindow
 }
 
 // Failed reports whether any check tripped.
@@ -729,5 +846,6 @@ func Replay(sc *Scenario) (*ReplayReport, error) {
 	report := &ReplayReport{Result: r1}
 	report.Violations = append(report.Violations, Evaluate(sc, r1)...)
 	report.Violations = append(report.Violations, sc.CheckExpect(r1)...)
+	report.Guilty = Localize(sc, r1, report.Violations)
 	return report, nil
 }

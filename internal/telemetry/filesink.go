@@ -11,19 +11,24 @@ import (
 )
 
 // This file implements the streaming file sink: JSON-lines export of
-// events, span trees, and registry snapshots, so a run leaves a trace
-// artifact external tooling can consume (dosnbench -trace-out). Each line
-// is one self-describing record with a "type" discriminator:
+// events, span trees, registry snapshots, and windowed time-series
+// snapshots, so a run leaves a trace artifact external tooling can consume
+// (dosnbench/dosnd -trace-out). Each line is one self-describing record
+// with a "type" discriminator:
 //
 //	{"type":"event","event":{"seq":1,"name":"breaker.open","attrs":[...]}}
 //	{"type":"span","span":{"name":"scenario.read","outcome":"ok",...}}
 //	{"type":"snapshot","snapshot":{...}}          (a full Registry snapshot)
+//	{"type":"windows","windows":{...}}            (a WindowsSnapshot)
 //	{"type":"note","name":"scenario.start","attrs":[...]}
 //
 // The sink buffers writes and surfaces the first I/O error through Err —
 // emission call sites stay error-free (AttachLog runs under the event
 // log's lock, so the sink must never block on anything slower than a
-// buffered write).
+// buffered write). An optional max-bytes cap stops writing (and counts
+// drops) instead of filling the disk; Close flushes and, for file-backed
+// sinks, fsyncs before closing so a crash right after a run cannot lose
+// the trace.
 
 // spanJSON is the exported span-tree form.
 type spanJSON struct {
@@ -36,24 +41,29 @@ type spanJSON struct {
 
 // sinkRecord is one JSON line.
 type sinkRecord struct {
-	Type     string    `json:"type"`
-	Name     string    `json:"name,omitempty"`
-	Attrs    []Attr    `json:"attrs,omitempty"`
-	Event    *Event    `json:"event,omitempty"`
-	Span     *spanJSON `json:"span,omitempty"`
-	Snapshot *Snapshot `json:"snapshot,omitempty"`
+	Type     string           `json:"type"`
+	Name     string           `json:"name,omitempty"`
+	Attrs    []Attr           `json:"attrs,omitempty"`
+	Event    *Event           `json:"event,omitempty"`
+	Span     *spanJSON        `json:"span,omitempty"`
+	Snapshot *Snapshot        `json:"snapshot,omitempty"`
+	Windows  *WindowsSnapshot `json:"windows,omitempty"`
 }
 
 // FileSink streams telemetry records to a file (or any writer) as JSON
 // lines. Safe for concurrent use; every method is nil-receiver safe so an
 // optional sink threads through as a single pointer.
 type FileSink struct {
-	mu      sync.Mutex
-	file    *os.File // nil for writer-backed sinks
-	w       *bufio.Writer
-	enc     *json.Encoder
-	records int64
-	err     error
+	mu       sync.Mutex
+	file     *os.File // nil for writer-backed sinks
+	w        *bufio.Writer
+	records  int64
+	dropped  int64
+	written  int64 // bytes accepted so far (max-bytes accounting)
+	maxBytes int64 // 0 = unlimited
+	err      error
+
+	droppedCtr *Counter
 }
 
 // NewFileSink creates (truncating) path and returns a sink writing to it.
@@ -71,24 +81,62 @@ func NewFileSink(path string) (*FileSink, error) {
 func NewWriterSink(w io.Writer) *FileSink { return newWriterSink(w) }
 
 func newWriterSink(w io.Writer) *FileSink {
-	bw := bufio.NewWriter(w)
-	return &FileSink{w: bw, enc: json.NewEncoder(bw)}
+	return &FileSink{w: bufio.NewWriter(w)}
 }
 
-// write encodes one record, retaining the first error.
+// SetMaxBytes caps the total bytes the sink will accept; once a record
+// would push past the cap the sink stops writing and counts every further
+// record as dropped (bounded artifacts instead of a full disk). 0 removes
+// the cap. Nil-safe.
+func (s *FileSink) SetMaxBytes(n int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.maxBytes = n
+	s.mu.Unlock()
+}
+
+// SetTelemetry mirrors the sink's drop count into reg as
+// telemetry_sink_dropped_total (deltas from this call on). Nil-safe.
+func (s *FileSink) SetTelemetry(reg *Registry) {
+	if s == nil || reg == nil {
+		return
+	}
+	s.mu.Lock()
+	s.droppedCtr = reg.Counter(SinkDroppedCounter)
+	s.mu.Unlock()
+}
+
+// write encodes one record, retaining the first error and enforcing the
+// max-bytes cap.
 func (s *FileSink) write(rec sinkRecord) {
 	if s == nil {
 		return
 	}
+	b, merr := json.Marshal(rec)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.err != nil {
 		return
 	}
-	if err := s.enc.Encode(rec); err != nil {
+	if merr != nil {
+		s.err = merr
+		return
+	}
+	line := int64(len(b) + 1)
+	if s.maxBytes > 0 && s.written+line > s.maxBytes {
+		s.dropped++
+		if s.droppedCtr != nil {
+			s.droppedCtr.Inc()
+		}
+		return
+	}
+	if _, err := s.w.Write(append(b, '\n')); err != nil {
 		s.err = err
 		return
 	}
+	s.written += line
 	s.records++
 }
 
@@ -108,6 +156,11 @@ func (s *FileSink) Span(root *Span) {
 // Snapshot writes a full registry snapshot record.
 func (s *FileSink) Snapshot(snap Snapshot) {
 	s.write(sinkRecord{Type: "snapshot", Snapshot: &snap})
+}
+
+// Windows writes a windowed time-series snapshot record.
+func (s *FileSink) Windows(ws WindowsSnapshot) {
+	s.write(sinkRecord{Type: "windows", Windows: &ws})
 }
 
 // Note writes a free-form marker record (run boundaries, arm labels).
@@ -134,7 +187,18 @@ func (s *FileSink) Records() int64 {
 	return s.records
 }
 
-// Err returns the first write error, if any.
+// Dropped reports how many records the max-bytes cap discarded.
+func (s *FileSink) Dropped() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Err returns the first write error, if any. Errors surface here exactly
+// once per sink — emission call sites stay error-free by contract.
 func (s *FileSink) Err() error {
 	if s == nil {
 		return nil
@@ -157,7 +221,8 @@ func (s *FileSink) Flush() error {
 	return s.err
 }
 
-// Close flushes and, for file-backed sinks, closes the file.
+// Close flushes and, for file-backed sinks, fsyncs and closes the file, so
+// the trace artifact survives a crash immediately after the run.
 func (s *FileSink) Close() error {
 	if s == nil {
 		return nil
@@ -168,6 +233,9 @@ func (s *FileSink) Close() error {
 		s.err = ferr
 	}
 	if s.file != nil {
+		if serr := s.file.Sync(); s.err == nil {
+			s.err = serr
+		}
 		if cerr := s.file.Close(); s.err == nil {
 			s.err = cerr
 		}

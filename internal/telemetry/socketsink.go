@@ -1,0 +1,266 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// This file implements the streaming socket sink: telemetry records framed
+// as length-prefixed JSON lines (4-byte big-endian payload length, then the
+// JSON record ending in '\n') over a TCP or unix-domain connection — the
+// export path for observing a long-running dosnd or a scenario replay from
+// another process.
+//
+// The emission path never blocks and never perturbs run determinism: each
+// record is encoded and offered to a bounded queue; when the queue is full
+// (slow reader, stalled network) the record is dropped and counted rather
+// than waited for. A single writer goroutine drains the queue onto the
+// connection and retains the first I/O error (after which everything
+// further is counted as dropped). The run's own results cannot observe any
+// of this except through the explicit drop counter — and that counter is
+// mirrored into a registry only when the caller opts in via SetTelemetry,
+// keeping deterministic snapshots clean by default.
+
+// DefaultSocketQueue is the bounded queue length used when
+// SocketSinkConfig.QueueLen is 0.
+const DefaultSocketQueue = 1024
+
+// SocketSinkConfig parameterizes a socket sink.
+type SocketSinkConfig struct {
+	// QueueLen bounds the in-flight record queue (default
+	// DefaultSocketQueue). When full, new records are dropped and counted.
+	QueueLen int
+	// OTLP switches the record encoding from raw sinkRecord JSON to the
+	// OTLP-shaped mapping (otlp.go).
+	OTLP bool
+}
+
+// SocketSink streams telemetry records over a net.Conn. Safe for
+// concurrent use; every emission method is nil-receiver safe and
+// non-blocking.
+type SocketSink struct {
+	conn net.Conn
+
+	mu         sync.Mutex
+	queue      chan []byte
+	closing    bool
+	err        error
+	records    int64
+	dropped    int64
+	droppedCtr *Counter
+	otlp       *otlpState // non-nil when encoding OTLP-shaped records
+
+	done chan struct{} // closed when the writer goroutine exits
+}
+
+// DialSocketSink connects to addr on network ("tcp" or "unix") and returns
+// a sink streaming to it.
+func DialSocketSink(network, addr string, cfg SocketSinkConfig) (*SocketSink, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: socket sink: %w", err)
+	}
+	return NewSocketSink(conn, cfg), nil
+}
+
+// NewSocketSink wraps an established connection (tests use net.Pipe).
+func NewSocketSink(conn net.Conn, cfg SocketSinkConfig) *SocketSink {
+	if cfg.QueueLen < 1 {
+		cfg.QueueLen = DefaultSocketQueue
+	}
+	s := &SocketSink{
+		conn:  conn,
+		queue: make(chan []byte, cfg.QueueLen),
+		done:  make(chan struct{}),
+	}
+	if cfg.OTLP {
+		s.otlp = &otlpState{}
+	}
+	go s.writeLoop()
+	return s
+}
+
+// writeLoop drains the queue onto the connection, framing each payload
+// with a 4-byte big-endian length prefix. It retains the first write
+// error; afterwards records are drained and counted as dropped.
+func (s *SocketSink) writeLoop() {
+	defer close(s.done)
+	var frame [4]byte
+	for b := range s.queue {
+		s.mu.Lock()
+		failed := s.err != nil
+		s.mu.Unlock()
+		if failed {
+			s.drop()
+			continue
+		}
+		binary.BigEndian.PutUint32(frame[:], uint32(len(b)))
+		_, err := s.conn.Write(frame[:])
+		if err == nil {
+			_, err = s.conn.Write(b)
+		}
+		s.mu.Lock()
+		if err != nil {
+			if s.err == nil {
+				s.err = err
+			}
+			s.dropped++
+			if s.droppedCtr != nil {
+				s.droppedCtr.Inc()
+			}
+		} else {
+			s.records++
+		}
+		s.mu.Unlock()
+	}
+}
+
+// drop counts one discarded record.
+func (s *SocketSink) drop() {
+	s.mu.Lock()
+	s.dropped++
+	if s.droppedCtr != nil {
+		s.droppedCtr.Inc()
+	}
+	s.mu.Unlock()
+}
+
+// push encodes one record and offers it to the queue without blocking.
+func (s *SocketSink) push(rec sinkRecord) {
+	if s == nil {
+		return
+	}
+	var b []byte
+	var err error
+	s.mu.Lock()
+	otlp := s.otlp
+	s.mu.Unlock()
+	if otlp != nil {
+		b, err = otlpMarshal(rec, otlp)
+	} else {
+		b, err = json.Marshal(rec)
+	}
+	if err != nil {
+		s.mu.Lock()
+		if s.err == nil {
+			s.err = err
+		}
+		s.mu.Unlock()
+		return
+	}
+	b = append(b, '\n')
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		s.drop()
+		return
+	}
+	select {
+	case s.queue <- b:
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		s.drop()
+	}
+}
+
+// Event exports one event record (signature matches Log.SetSink).
+func (s *SocketSink) Event(e Event) { s.push(sinkRecord{Type: "event", Event: &e}) }
+
+// Span exports one span tree record.
+func (s *SocketSink) Span(root *Span) {
+	if s == nil || root == nil {
+		return
+	}
+	s.push(sinkRecord{Type: "span", Span: spanToJSON(root)})
+}
+
+// Snapshot exports a full registry snapshot record.
+func (s *SocketSink) Snapshot(snap Snapshot) {
+	s.push(sinkRecord{Type: "snapshot", Snapshot: &snap})
+}
+
+// Windows exports a windowed time-series snapshot record.
+func (s *SocketSink) Windows(ws WindowsSnapshot) {
+	s.push(sinkRecord{Type: "windows", Windows: &ws})
+}
+
+// Note exports a free-form marker record.
+func (s *SocketSink) Note(name string, attrs ...Attr) {
+	s.push(sinkRecord{Type: "note", Name: name, Attrs: attrs})
+}
+
+// Records reports how many records were written to the connection.
+func (s *SocketSink) Records() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.records
+}
+
+// Dropped reports how many records were discarded (queue full, post-error).
+func (s *SocketSink) Dropped() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Err returns the first write error, if any.
+func (s *SocketSink) Err() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// SetTelemetry mirrors the drop count into reg as
+// telemetry_sink_dropped_total (deltas from this call on). Off by default
+// so a trace sink can never perturb a deterministic run's snapshot.
+func (s *SocketSink) SetTelemetry(reg *Registry) {
+	if s == nil || reg == nil {
+		return
+	}
+	s.mu.Lock()
+	s.droppedCtr = reg.Counter(SinkDroppedCounter)
+	s.mu.Unlock()
+}
+
+// Close drains queued records to the connection and closes it. Records
+// still in flight are written; records arriving after Close starts are
+// dropped and counted.
+func (s *SocketSink) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		<-s.done
+		s.mu.Lock()
+		err := s.err
+		s.mu.Unlock()
+		return err
+	}
+	s.closing = true
+	close(s.queue)
+	s.mu.Unlock()
+	<-s.done
+	cerr := s.conn.Close()
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = cerr
+	}
+	err := s.err
+	s.mu.Unlock()
+	return err
+}

@@ -1,0 +1,188 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"net"
+	"sync"
+	"testing"
+)
+
+// readFrames decodes length-prefixed JSONL frames from r until EOF,
+// returning the decoded records.
+func readFrames(t *testing.T, r io.Reader, out *[]map[string]any, wg *sync.WaitGroup) {
+	defer wg.Done()
+	br := bufio.NewReader(r)
+	for {
+		var frame [4]byte
+		if _, err := io.ReadFull(br, frame[:]); err != nil {
+			return // EOF / closed pipe ends the stream
+		}
+		n := binary.BigEndian.Uint32(frame[:])
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			t.Errorf("short frame payload: %v", err)
+			return
+		}
+		if payload[len(payload)-1] != '\n' {
+			t.Errorf("frame payload does not end in newline: %q", payload)
+			return
+		}
+		var rec map[string]any
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			t.Errorf("frame payload not JSON: %v", err)
+			return
+		}
+		*out = append(*out, rec)
+	}
+}
+
+func TestSocketSinkRoundTrip(t *testing.T) {
+	client, server := net.Pipe()
+	var got []map[string]any
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go readFrames(t, server, &got, &wg)
+
+	s := NewSocketSink(client, SocketSinkConfig{})
+	s.Note("run.start", A("name", "t"))
+	s.Event(Event{Seq: 1, Name: "breaker.open"})
+	sp := NewSpan("lookup")
+	sp.End("ok")
+	s.Span(sp)
+	reg := NewRegistry()
+	reg.Counter("reads").Add(2)
+	s.Snapshot(reg.Snapshot())
+	w := NewWindows(reg, WindowsConfig{Width: 1})
+	reg.Counter("reads").Add(3)
+	w.Tick()
+	s.Windows(w.Snapshot())
+
+	if err := s.Close(); err != nil && err != io.ErrClosedPipe {
+		t.Fatalf("close: %v", err)
+	}
+	wg.Wait()
+
+	if s.Records() != 5 || s.Dropped() != 0 {
+		t.Fatalf("records=%d dropped=%d, want 5/0", s.Records(), s.Dropped())
+	}
+	wantTypes := []string{"note", "event", "span", "snapshot", "windows"}
+	if len(got) != len(wantTypes) {
+		t.Fatalf("decoded %d frames, want %d", len(got), len(wantTypes))
+	}
+	for i, rec := range got {
+		if rec["type"] != wantTypes[i] {
+			t.Fatalf("frame %d type = %v, want %s", i, rec["type"], wantTypes[i])
+		}
+	}
+	// The windows record carries the delta.
+	ws := got[4]["windows"].(map[string]any)
+	wins := ws["windows"].([]any)
+	if len(wins) != 1 {
+		t.Fatalf("windows record has %d windows, want 1", len(wins))
+	}
+}
+
+func TestSocketSinkBackpressureDropsInsteadOfBlocking(t *testing.T) {
+	// A reader that never reads: the writer goroutine blocks on the pipe,
+	// the bounded queue fills, and further records must drop immediately
+	// rather than stall the emitting run.
+	client, server := net.Pipe()
+	s := NewSocketSink(client, SocketSinkConfig{QueueLen: 2})
+	reg := NewRegistry()
+	s.SetTelemetry(reg)
+
+	const emitted = 50
+	for i := 0; i < emitted; i++ {
+		s.Note("tick") // returns immediately even though nothing drains
+	}
+	if s.Dropped() == 0 {
+		t.Fatal("expected drops with a stalled reader and a 2-deep queue")
+	}
+	// The drop counter is mirrored into the opted-in registry.
+	snap := reg.Snapshot()
+	var mirrored int64
+	for _, c := range snap.Counters {
+		if c.Name == SinkDroppedCounter {
+			mirrored = c.Value
+		}
+	}
+	if mirrored != s.Dropped() {
+		t.Fatalf("registry mirror = %d, sink dropped = %d", mirrored, s.Dropped())
+	}
+
+	// Unblock the writer by killing the read side, then Close must drain
+	// and count everything without hanging.
+	server.Close()
+	_ = s.Close()
+	if s.Records()+s.Dropped() != emitted {
+		t.Fatalf("records %d + dropped %d != emitted %d", s.Records(), s.Dropped(), emitted)
+	}
+}
+
+func TestSocketSinkAfterCloseDropsQuietly(t *testing.T) {
+	client, server := net.Pipe()
+	var got []map[string]any
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go readFrames(t, server, &got, &wg)
+	s := NewSocketSink(client, SocketSinkConfig{})
+	s.Note("before")
+	_ = s.Close()
+	wg.Wait()
+	s.Note("after") // must not panic or block
+	if s.Dropped() != 1 {
+		t.Fatalf("post-close emission dropped = %d, want 1", s.Dropped())
+	}
+	_ = s.Close() // double Close is safe
+}
+
+func TestSocketSinkNilSafe(t *testing.T) {
+	var s *SocketSink
+	s.Note("x")
+	s.Event(Event{})
+	s.Span(nil)
+	s.Snapshot(Snapshot{})
+	s.Windows(WindowsSnapshot{})
+	s.SetTelemetry(nil)
+	if s.Records() != 0 || s.Dropped() != 0 || s.Err() != nil || s.Close() != nil {
+		t.Fatal("nil sink should be inert")
+	}
+}
+
+func TestDialSocketSinkTCPRoundTrip(t *testing.T) {
+	// In-process TCP listener: the same path dosnbench -trace-out
+	// tcp://addr exercises.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	var got []map[string]any
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			wg.Done()
+			return
+		}
+		readFrames(t, conn, &got, &wg)
+	}()
+
+	s, err := DialSocketSink("tcp", ln.Addr().String(), SocketSinkConfig{})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	s.Note("hello", A("via", "tcp"))
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	wg.Wait()
+	if len(got) != 1 || got[0]["type"] != "note" {
+		t.Fatalf("decoded %v, want one note frame", got)
+	}
+}

@@ -1,0 +1,345 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// This file implements tick-windowed time series: a Windows collector rides
+// the scenario/simnet tick clock and, every Width ticks, captures the
+// *delta* the registry accumulated during that window — per-counter
+// increments, gauge last-values, per-bucket histogram increments, and
+// per-name event counts — into a bounded ring. Point-in-time snapshots
+// answer "what is the state now"; windows answer "when did it change",
+// which is what guilty-window localization (internal/scenario) needs to
+// pinpoint the tick range where an invariant's backing metric crossed its
+// threshold without re-running anything.
+//
+// Determinism contract: identical to the registry's. Tick carries no
+// wall-clock reads; a window's content is a pure function of the metric
+// updates that landed between two tick boundaries, so two seeded runs — at
+// any worker count, since every per-tick stage joins before the tick ends —
+// produce DeepEqual SnapshotRange results and byte-identical WriteText
+// output. Zero-delta metrics are omitted so a quiet window renders the
+// same bytes no matter how many metric names the registry has accumulated.
+
+// WindowsConfig parameterizes a Windows collector.
+type WindowsConfig struct {
+	// Width is the window length in ticks (default 1).
+	Width int
+	// Retain bounds how many closed windows the ring keeps (default 64).
+	// Older windows are evicted oldest-first and counted in Evicted.
+	Retain int
+}
+
+// HistogramWindow is one histogram's delta inside a window: count/sum and
+// per-bucket increments. Max is omitted — the registry only tracks a
+// running max, which is not windowable.
+type HistogramWindow struct {
+	// Name identifies the histogram.
+	Name string `json:"name"`
+	// Unit is the observed unit (e.g. "ms").
+	Unit string `json:"unit"`
+	// Count is the number of observations in this window.
+	Count int64 `json:"count"`
+	// Sum is the sum of values observed in this window.
+	Sum float64 `json:"sum"`
+	// Buckets are per-bucket increments in bound order (zero buckets kept:
+	// the vector shape must stay comparable across windows).
+	Buckets []BucketValue `json:"buckets"`
+	// Overflow is the increment above the last bound.
+	Overflow int64 `json:"overflow"`
+}
+
+// WindowDelta is one closed window: everything the registry accumulated in
+// the tick range [FromTick, ToTick).
+type WindowDelta struct {
+	// Index is the 0-based window sequence number since the collector
+	// started (stable across ring eviction).
+	Index int `json:"index"`
+	// FromTick/ToTick bound the window: ticks in [FromTick, ToTick).
+	FromTick int `json:"from_tick"`
+	ToTick   int `json:"to_tick"`
+	// Counters are the per-counter increments, sorted by name, zero deltas
+	// omitted.
+	Counters []CounterValue `json:"counters,omitempty"`
+	// Gauges are the gauge values at window close (last-value semantics),
+	// sorted by name, only gauges whose value changed during the window.
+	Gauges []GaugeValue `json:"gauges,omitempty"`
+	// Histograms are per-histogram deltas, sorted by name, zero-count
+	// histograms omitted.
+	Histograms []HistogramWindow `json:"histograms,omitempty"`
+	// Events are per-event-name emission deltas, sorted by name, zero
+	// deltas omitted.
+	Events []EventCount `json:"events,omitempty"`
+}
+
+// WindowsSnapshot is a JSON-encodable view of a tick range of windows.
+type WindowsSnapshot struct {
+	// Width is the configured window length in ticks.
+	Width int `json:"width"`
+	// FromTick/ToTick echo the requested range (clamped to observed ticks).
+	FromTick int `json:"from_tick"`
+	ToTick   int `json:"to_tick"`
+	// Windows are the retained windows overlapping the range, oldest first.
+	Windows []WindowDelta `json:"windows"`
+	// Evicted counts windows the ring has dropped (retention bound), range
+	// independent.
+	Evicted int `json:"evicted,omitempty"`
+}
+
+// windowBase is the registry state at the last window boundary, used to
+// compute the next window's deltas.
+type windowBase struct {
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]HistogramValue
+	events   map[string]int64
+}
+
+// Windows collects per-window registry deltas on a tick clock. Safe for
+// concurrent use; nil-receiver safe so an optional collector threads
+// through as a single pointer.
+type Windows struct {
+	mu      sync.Mutex
+	reg     *Registry
+	width   int
+	retain  int
+	tick    int // ticks advanced so far
+	closed  int // ticks covered by closed windows (close watermark)
+	ring    []WindowDelta
+	evicted int
+	base    windowBase
+}
+
+// NewWindows builds a collector over reg. The base state is captured
+// immediately, so metrics accumulated before the first Tick land in the
+// first window.
+func NewWindows(reg *Registry, cfg WindowsConfig) *Windows {
+	if cfg.Width < 1 {
+		cfg.Width = 1
+	}
+	if cfg.Retain < 1 {
+		cfg.Retain = 64
+	}
+	w := &Windows{reg: reg, width: cfg.Width, retain: cfg.Retain}
+	w.base = w.capture()
+	return w
+}
+
+// capture reads the registry into a comparison base.
+func (w *Windows) capture() windowBase {
+	snap := w.reg.Snapshot()
+	b := windowBase{
+		counters: make(map[string]int64, len(snap.Counters)),
+		gauges:   make(map[string]float64, len(snap.Gauges)),
+		hists:    make(map[string]HistogramValue, len(snap.Histograms)),
+		events:   make(map[string]int64, len(snap.Events)),
+	}
+	for _, c := range snap.Counters {
+		b.counters[c.Name] = c.Value
+	}
+	for _, g := range snap.Gauges {
+		b.gauges[g.Name] = g.Value
+	}
+	for _, h := range snap.Histograms {
+		b.hists[h.Name] = h
+	}
+	for _, e := range snap.Events {
+		b.events[e.Name] = e.Count
+	}
+	return b
+}
+
+// Tick advances the tick clock one step; every Width ticks the current
+// window closes and its deltas are appended to the ring. Nil-safe.
+func (w *Windows) Tick() {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.tick++
+	if w.tick%w.width == 0 {
+		w.closeWindow()
+	}
+}
+
+// CloseFinal closes a trailing partial window (a run whose tick count is
+// not a multiple of Width). Idempotent: a no-op when every tick so far is
+// already covered by a closed window. Nil-safe.
+func (w *Windows) CloseFinal() {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.tick > w.closed {
+		w.closeWindow()
+	}
+}
+
+// closeWindow diffs the registry against the base and appends one window
+// covering [w.closed, w.tick), advancing the close watermark. Call with
+// w.mu held.
+func (w *Windows) closeWindow() {
+	cur := w.capture()
+	d := WindowDelta{
+		Index:    w.evicted + len(w.ring),
+		FromTick: w.closed,
+		ToTick:   w.tick,
+	}
+	w.closed = w.tick
+	for name, v := range cur.counters {
+		if delta := v - w.base.counters[name]; delta != 0 {
+			d.Counters = append(d.Counters, CounterValue{Name: name, Value: delta})
+		}
+	}
+	sort.Slice(d.Counters, func(i, j int) bool { return d.Counters[i].Name < d.Counters[j].Name })
+	for name, v := range cur.gauges {
+		if prev, ok := w.base.gauges[name]; !ok || prev != v {
+			d.Gauges = append(d.Gauges, GaugeValue{Name: name, Value: v})
+		}
+	}
+	sort.Slice(d.Gauges, func(i, j int) bool { return d.Gauges[i].Name < d.Gauges[j].Name })
+	for name, h := range cur.hists {
+		prev := w.base.hists[name]
+		hw := HistogramWindow{
+			Name:     name,
+			Unit:     h.Unit,
+			Count:    h.Count - prev.Count,
+			Sum:      h.Sum - prev.Sum,
+			Overflow: h.Overflow - prev.Overflow,
+		}
+		if hw.Count == 0 {
+			continue
+		}
+		hw.Buckets = make([]BucketValue, len(h.Buckets))
+		for i, b := range h.Buckets {
+			hw.Buckets[i] = BucketValue{LE: b.LE}
+			if i < len(prev.Buckets) {
+				hw.Buckets[i].Count = b.Count - prev.Buckets[i].Count
+			} else {
+				hw.Buckets[i].Count = b.Count
+			}
+		}
+		d.Histograms = append(d.Histograms, hw)
+	}
+	sort.Slice(d.Histograms, func(i, j int) bool { return d.Histograms[i].Name < d.Histograms[j].Name })
+	for name, n := range cur.events {
+		if delta := n - w.base.events[name]; delta != 0 {
+			d.Events = append(d.Events, EventCount{Name: name, Count: delta})
+		}
+	}
+	sort.Slice(d.Events, func(i, j int) bool { return d.Events[i].Name < d.Events[j].Name })
+
+	w.ring = append(w.ring, d)
+	if over := len(w.ring) - w.retain; over > 0 {
+		w.ring = append(w.ring[:0], w.ring[over:]...)
+		w.evicted += over
+	}
+	w.base = cur
+}
+
+// Ticks returns how many ticks the collector has seen. Nil-safe.
+func (w *Windows) Ticks() int {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.tick
+}
+
+// Width returns the configured window width in ticks. Nil-safe (0).
+func (w *Windows) Width() int {
+	if w == nil {
+		return 0
+	}
+	return w.width
+}
+
+// SnapshotRange returns the retained windows overlapping the tick range
+// [fromTick, toTick), oldest first. toTick <= 0 means "through the latest
+// tick". Nil-safe: a nil collector returns an empty snapshot.
+func (w *Windows) SnapshotRange(fromTick, toTick int) WindowsSnapshot {
+	if w == nil {
+		return WindowsSnapshot{Windows: []WindowDelta{}}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if toTick <= 0 {
+		toTick = w.tick
+	}
+	snap := WindowsSnapshot{
+		Width:    w.width,
+		FromTick: fromTick,
+		ToTick:   toTick,
+		Windows:  []WindowDelta{},
+		Evicted:  w.evicted,
+	}
+	for _, d := range w.ring {
+		if d.ToTick <= fromTick || d.FromTick >= toTick {
+			continue
+		}
+		snap.Windows = append(snap.Windows, d)
+	}
+	return snap
+}
+
+// Snapshot returns every retained window (SnapshotRange over all ticks).
+func (w *Windows) Snapshot() WindowsSnapshot {
+	return w.SnapshotRange(0, 0)
+}
+
+// WriteText renders the snapshot as a deterministic plain-text dump: one
+// header line per window followed by indented delta lines.
+//
+//	window 3 ticks [12,16)
+//	  counter dht_gate_sheds_total +7
+//	  gauge load_health_score_n004 3.25
+//	  hist resilience_read_ms count=+24 sum=+310.000 overflow=+0 buckets=[0 0 3 21 0 0 0 0 0 0 0]
+//	  event breaker.open +1
+func (s WindowsSnapshot) WriteText(w io.Writer) {
+	for _, d := range s.Windows {
+		fmt.Fprintf(w, "window %d ticks [%d,%d)\n", d.Index, d.FromTick, d.ToTick)
+		for _, c := range d.Counters {
+			fmt.Fprintf(w, "  counter %s %+d\n", c.Name, c.Value)
+		}
+		for _, g := range d.Gauges {
+			fmt.Fprintf(w, "  gauge %s %g\n", g.Name, g.Value)
+		}
+		for _, h := range d.Histograms {
+			fmt.Fprintf(w, "  hist %s count=%+d sum=%+.3f overflow=%+d buckets=[", h.Name, h.Count, h.Sum, h.Overflow)
+			for i, b := range h.Buckets {
+				if i > 0 {
+					io.WriteString(w, " ")
+				}
+				fmt.Fprintf(w, "%d", b.Count)
+			}
+			io.WriteString(w, "]\n")
+		}
+		for _, e := range d.Events {
+			fmt.Fprintf(w, "  event %s %+d\n", e.Name, e.Count)
+		}
+	}
+	if s.Evicted > 0 {
+		fmt.Fprintf(w, "evicted %d\n", s.Evicted)
+	}
+}
+
+// Latest returns the most recent closed window, or false when none closed
+// yet. Nil-safe.
+func (w *Windows) Latest() (WindowDelta, bool) {
+	if w == nil {
+		return WindowDelta{}, false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.ring) == 0 {
+		return WindowDelta{}, false
+	}
+	return w.ring[len(w.ring)-1], true
+}
