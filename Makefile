@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test race bench bench-quick bench-hot experiments experiments-quick json-smoke telemetry-smoke lint-print lint-wallclock chaos-soak cache-smoke overload-soak scale-smoke scenario-smoke window-smoke examples clean
+.PHONY: all ci build vet test race bench bench-quick bench-hot bench-scrub experiments experiments-quick json-smoke telemetry-smoke lint-print lint-wallclock chaos-soak cache-smoke overload-soak scale-smoke scenario-smoke window-smoke sweep-smoke examples clean
 
 all: build vet test
 
@@ -27,8 +27,12 @@ all: build vet test
 # DeepEqual, calibrated invariants held, expect digest and counters exact),
 # and a window smoke (E25 guilty-window localization plus the windowed
 # replay report and the socket/OTLP sink round-trips) with a wall-clock
-# lint (no time.Now in the deterministic telemetry/scenario layers).
-ci: build vet test race json-smoke telemetry-smoke lint-print lint-wallclock chaos-soak cache-smoke overload-soak scale-smoke scenario-smoke window-smoke
+# lint (no time.Now in the deterministic telemetry/scenario layers), and a
+# sweep smoke (the continuous scrub scheduler's budget, starvation,
+# priority, cursor-resume, and determinism tests plus E26's batched
+# anti-entropy invariants — >= 3x fewer maintenance messages per key than
+# the per-key baseline with byte-identical reports at workers 1 vs 8).
+ci: build vet test race json-smoke telemetry-smoke lint-print lint-wallclock chaos-soak cache-smoke overload-soak scale-smoke scenario-smoke window-smoke sweep-smoke
 
 # Run the instrumented experiment (E20) with -json and re-parse the report
 # with the strict validator (unknown fields rejected): the telemetry section
@@ -102,6 +106,17 @@ window-smoke:
 	$(GO) test -count=1 -run 'TestWindows|TestSocketSink|TestWindowStats|TestWindowedSeries|TestLocalize|TestReplayLocalizes|TestTraceSink' \
 		./internal/telemetry/ ./internal/scenario/
 
+# Sweep smoke: the continuous scrub scheduler under test — the per-tick
+# message budget is never exceeded (enforced by worst-case pre-charge, so
+# it holds by construction), oversized chunks starve visibly instead of
+# wedging the sweep, bad verdicts and suspect nodes re-queue their chunks,
+# the cursor survives a save/restore restart, and reports are DeepEqual at
+# scrub workers 1 vs 8 — then E26's quick run enforces the batched
+# anti-entropy invariants end to end.
+sweep-smoke:
+	$(GO) test -count=1 -run 'TestSweep' ./internal/resilience/scrub/
+	$(GO) run ./cmd/dosnbench -quick -exp e26 >/dev/null
+
 # The windowed series and scenario clocks are tick-driven by contract: a
 # wall-clock read anywhere in those layers would silently break run-twice
 # and workers-1v8 byte-identity. Fails on any new time.Now outside the
@@ -147,7 +162,13 @@ bench-hot:
 		./internal/social/privacy/ ./internal/overlay/dht/ ./internal/crypto/symmetric/ \
 		./internal/cache/
 
-# Regenerate the E1–E25 experiment tables (EXPERIMENTS.md).
+# Anti-entropy cost curve: batched vs per-key scrub at 1k/10k/100k keys
+# (10% corruption, k=3). Reported msg/op is the simulated message count
+# per scrubbed key, the number E26 pins.
+bench-scrub:
+	$(GO) test -bench='BenchmarkScrub' -benchtime=1x -run='^$$' .
+
+# Regenerate the E1–E26 experiment tables (EXPERIMENTS.md).
 experiments:
 	$(GO) run ./cmd/dosnbench
 

@@ -13,12 +13,14 @@ package godosn
 //	E8  BenchmarkSearch*
 //	E9  BenchmarkTrustRank
 //	E10 BenchmarkHummingbird*
+//	E26 BenchmarkScrub (batched vs per-key anti-entropy, 1k/10k/100k keys)
 //
 // `go test -bench=. -benchmem` prints the machine-specific numbers;
 // `go run ./cmd/dosnbench` prints the digested experiment tables.
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"godosn/internal/crypto/abe"
@@ -31,6 +33,7 @@ import (
 	"godosn/internal/overlay/gossip"
 	"godosn/internal/overlay/simnet"
 	"godosn/internal/overlay/superpeer"
+	"godosn/internal/resilience/scrub"
 	"godosn/internal/search/blindsub"
 	"godosn/internal/search/trustrank"
 	"godosn/internal/search/zkpauth"
@@ -519,6 +522,95 @@ func BenchmarkHummingbirdFilter(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		}
+	}
+}
+
+// benchScrub measures one anti-entropy pass over a DHT keyspace with 10%
+// of keys carrying one silently corrupted copy, at either maintenance-RPC
+// granularity. Corruption is re-injected off the clock before every pass,
+// so each iteration scrubs (and repairs) the same damage. The custom
+// msgs/key metric is the number E26 pins: batched must come in >= 3x under
+// per-key.
+func benchScrub(b *testing.B, keys int, perKey bool) {
+	const peers = 40
+	net := simnet.New(simnet.DefaultConfig(2602))
+	names := make([]simnet.NodeID, peers)
+	for i := range names {
+		names[i] = simnet.NodeID(fmt.Sprintf("node-%d", i))
+	}
+	d, err := dht.New(net, names, dht.Config{ReplicationFactor: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := string(names[0])
+	allKeys := make([]string, keys)
+	for i := range allKeys {
+		key := fmt.Sprintf("post-%06d", i)
+		allKeys[i] = key
+		if _, err := d.Store(client, key, scrub.Seal(key, []byte(fmt.Sprintf("body-%06d", i)))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Group formation from local placement state, as the sweep scheduler
+	// plans chunks — network-free, so the timed region is maintenance RPCs.
+	var groups []scrub.Group
+	index := make(map[string]int)
+	for _, key := range allKeys {
+		plan := d.PlanReplicas(key)
+		sig := strings.Join(plan, "\x00")
+		gi, ok := index[sig]
+		if !ok {
+			gi = len(groups)
+			index[sig] = gi
+			groups = append(groups, scrub.Group{Replicas: plan})
+		}
+		groups[gi].Keys = append(groups[gi].Keys, key)
+	}
+	cfg := scrub.DefaultConfig(client)
+	cfg.PerKey = perKey
+	scr := scrub.New(d, cfg)
+
+	totalMsgs := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := 0; j < keys; j += 10 {
+			key := allKeys[j]
+			for _, name := range d.PlanReplicas(key) {
+				if d.CorruptStored(name, key, func(v []byte) []byte {
+					v[len(v)/2] ^= 0x40
+					return v
+				}) {
+					break
+				}
+			}
+		}
+		b.StartTimer()
+		rep, err := scr.ScrubResolved(groups)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.CorruptCopies == 0 || rep.RepairedWrites != rep.CorruptCopies {
+			b.Fatalf("pass found %d corrupt, repaired %d — injection or repair broken", rep.CorruptCopies, rep.RepairedWrites)
+		}
+		totalMsgs += rep.Stats.Messages
+	}
+	b.ReportMetric(float64(totalMsgs)/float64(b.N)/float64(keys), "msgs/key")
+}
+
+func BenchmarkScrub(b *testing.B) {
+	for _, size := range []int{1_000, 10_000, 100_000} {
+		if size > 10_000 && testing.Short() {
+			continue
+		}
+		for _, arm := range []struct {
+			name   string
+			perKey bool
+		}{{"per-key", true}, {"batched", false}} {
+			b.Run(fmt.Sprintf("%s/keys=%d", arm.name, size), func(b *testing.B) {
+				benchScrub(b, size, arm.perKey)
+			})
 		}
 	}
 }

@@ -142,6 +142,7 @@ func All() []Experiment {
 		{ID: "e23", Description: "scale: streaming 10k→1M-user workload — sequential vs route-grouped batched transport, flat-memory check", Run: E23ScaleSweep},
 		{ID: "e24", Description: "chaos scenarios: record/replay library sweep with invariants, delta-debugging minimizer convergence", Run: E24ScenarioLibrary},
 		{ID: "e25", Description: "windowed telemetry: guilty-window localization of an injected mid-run byzantine fault, byte-identical report", Run: E25GuiltyWindow},
+		{ID: "e26", Description: "batched anti-entropy: scrub+heal message cost per key, per-key vs batched maintenance RPCs under 10% bit rot", Run: E26BatchedAntiEntropy},
 	}
 }
 

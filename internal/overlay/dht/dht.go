@@ -48,9 +48,10 @@ type node struct {
 // DHT is a Chord ring over a simnet. It is safe for concurrent use after
 // Build.
 type DHT struct {
-	net     *simnet.Network
-	replica int
-	fanout  int
+	net        *simnet.Network
+	replica    int
+	fanout     int
+	perKeyHeal bool
 
 	mu         sync.RWMutex
 	byID       map[uint64]*node
@@ -95,6 +96,11 @@ type Config struct {
 	// Routing and digest RPCs are exempt. Advance the gates with
 	// TickGates. The zero value (PerTick 0) disables server-side gating.
 	NodeGate load.GateConfig
+	// PerKeyHeal forces Heal to push every re-replicated copy in its own
+	// store RPC (the pre-batching behavior) instead of coalescing pushes
+	// per (holder, target) pair into store_batch envelopes — the measured
+	// baseline for E26.
+	PerKeyHeal bool
 }
 
 // New creates a DHT over the given nodes and builds routing state.
@@ -109,13 +115,14 @@ func New(net *simnet.Network, nodes []simnet.NodeID, cfg Config) (*DHT, error) {
 		cfg.FanoutWorkers = 1
 	}
 	d := &DHT{
-		net:     net,
-		replica: cfg.ReplicationFactor,
-		fanout:  cfg.FanoutWorkers,
-		byID:    make(map[uint64]*node, len(nodes)),
-		names:   make(map[simnet.NodeID]*node, len(nodes)),
-		routes:  cache.New[uint64](cfg.RouteCache),
-		gates:   newNodeGates(cfg.NodeGate, nodes),
+		net:        net,
+		replica:    cfg.ReplicationFactor,
+		fanout:     cfg.FanoutWorkers,
+		perKeyHeal: cfg.PerKeyHeal,
+		byID:       make(map[uint64]*node, len(nodes)),
+		names:      make(map[simnet.NodeID]*node, len(nodes)),
+		routes:     cache.New[uint64](cfg.RouteCache),
+		gates:      newNodeGates(cfg.NodeGate, nodes),
 	}
 	// A memoized route is the key string plus an 8-byte root — the charge
 	// against any shared byte budget (cache.Config.Budget).
@@ -292,6 +299,13 @@ func (d *DHT) handlerFor(n *node) simnet.HandlerFunc {
 				return simnet.Message{}, fmt.Errorf("dht: bad payload for %s", msg.Kind)
 			}
 			return simnet.Message{Kind: msg.Kind, Payload: localDigest(n, req.Keys, req.Nonce), Size: 64}, nil
+
+		case kindDigestBatch:
+			req, ok := msg.Payload.(digestBatchReq)
+			if !ok {
+				return simnet.Message{}, fmt.Errorf("dht: bad payload for %s", msg.Kind)
+			}
+			return handleDigestBatch(n, req)
 
 		case kindStoreBatch:
 			req, ok := msg.Payload.(storeBatchReq)

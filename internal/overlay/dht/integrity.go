@@ -167,6 +167,26 @@ func (d *DHT) Holds(name, key string) bool {
 	return ok
 }
 
+// StoredCopy returns a copy of the named node's stored bytes for key —
+// test and audit introspection (e.g. a scenario's final integrity audit),
+// free of network cost. The second result reports whether the node holds
+// the key at all.
+func (d *DHT) StoredCopy(name, key string) ([]byte, bool) {
+	d.mu.RLock()
+	n := d.names[simnet.NodeID(name)]
+	d.mu.RUnlock()
+	if n == nil {
+		return nil, false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	v, ok := n.data[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
 // CorruptStored mutates the named node's local copy of key in place —
 // seeded bit-rot injection for chaos experiments. It reports whether the
 // node held the key. The mutation happens on the stored bytes themselves

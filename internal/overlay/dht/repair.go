@@ -55,6 +55,14 @@ func (d *DHT) ReplicasFor(origin, key string) ([]string, overlay.OpStats, error)
 	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
+	return d.replicaPlanLocked(root), stats(tr), nil
+}
+
+// replicaPlanLocked computes the candidate list for a resolved root: the
+// canonical replica set, the online extension walk, and the health ranking.
+// Shared by ReplicasFor (routed root) and PlanReplicas (local hash root —
+// successorsOf lands on the same successor either way). Call with d.mu held.
+func (d *DHT) replicaPlanLocked(root uint64) []string {
 	names := make([]string, 0, 2*d.replica)
 	seen := make(map[uint64]bool, 2*d.replica)
 	for _, rid := range d.successorsOf(root, d.replica) {
@@ -94,7 +102,7 @@ func (d *DHT) ReplicasFor(origin, key string) ([]string, overlay.OpStats, error)
 	if d.rankRepl != nil {
 		names = d.rankRepl(names)
 	}
-	return names, stats(tr), nil
+	return names
 }
 
 // LookupFrom implements overlay.ReplicaKV: a single direct fetch from one
@@ -181,6 +189,24 @@ func (d *DHT) HealSpan(sp *telemetry.Span) (overlay.HealReport, error) {
 
 	tr := &simnet.Trace{}
 	report := overlay.HealReport{KeysScanned: len(keys)}
+
+	// Plan every push first (node-local, free of network cost): for each
+	// under-replicated key, the lowest-id online holder pushes to each
+	// online successor missing a copy. The plan is then either executed
+	// per key (PerKeyHeal: one store RPC per push, the measured baseline)
+	// or coalesced per (holder, target) pair into store_batch envelopes —
+	// one message pair moves every key that pair shares.
+	type healPush struct {
+		key   string
+		value []byte
+		src   simnet.NodeID
+		dst   simnet.NodeID
+	}
+	type healPair struct{ src, dst simnet.NodeID }
+	var flat []healPush // key-major plan order (the per-key baseline order)
+	var pairOrder []healPair
+	planned := make(map[healPair][]healPush)
+	failed := make(map[string]bool)
 	for _, key := range keys {
 		hs := holders[key]
 		hasCopy := make(map[simnet.NodeID]bool, len(hs))
@@ -191,24 +217,37 @@ func (d *DHT) HealSpan(sp *telemetry.Span) (overlay.HealReport, error) {
 		targets := d.liveTargets(hashID(key), d.replica)
 		d.mu.RUnlock()
 		src := hs[0]
-		src.mu.Lock()
-		value := append([]byte(nil), src.data[key]...)
-		src.mu.Unlock()
-		missing := 0
+		var value []byte
 		for _, target := range targets {
 			if hasCopy[target.name] {
 				continue
 			}
-			// The holder pushes the copy; a drop leaves the key for the
-			// next pass rather than failing the whole heal.
+			if value == nil {
+				src.mu.Lock()
+				value = append([]byte(nil), src.data[key]...)
+				src.mu.Unlock()
+			}
+			p := healPush{key: key, value: value, src: src.name, dst: target.name}
+			flat = append(flat, p)
+			pk := healPair{src: src.name, dst: target.name}
+			if _, ok := planned[pk]; !ok {
+				pairOrder = append(pairOrder, pk)
+			}
+			planned[pk] = append(planned[pk], p)
+		}
+	}
+	if d.perKeyHeal {
+		// One store RPC per copy, in key-major order; a drop leaves the
+		// key for the next pass rather than failing the whole heal.
+		for _, p := range flat {
 			ptr := &simnet.Trace{}
 			psp := sp.Child("repair")
-			psp.Tag("key", key)
-			psp.Tag("to", string(target.name))
-			_, err := d.net.RPC(ptr, src.name, target.name, simnet.Message{
+			psp.Tag("key", p.key)
+			psp.Tag("to", string(p.dst))
+			_, err := d.net.RPC(ptr, p.src, p.dst, simnet.Message{
 				Kind:    kindStore,
-				Payload: storeReq{Key: key, Value: value},
-				Size:    len(key) + len(value),
+				Payload: storeReq{Key: p.key, Value: p.value},
+				Size:    len(p.key) + len(p.value),
 			})
 			tr.Add(ptr)
 			psp.AddLatency(ptr.Latency)
@@ -216,10 +255,46 @@ func (d *DHT) HealSpan(sp *telemetry.Span) (overlay.HealReport, error) {
 			if err == nil {
 				report.Repaired++
 			} else {
-				missing++
+				failed[p.key] = true
 			}
 		}
-		if missing > 0 {
+		pairOrder = nil
+	}
+	for _, pk := range pairOrder {
+		pushes := planned[pk]
+		req := storeBatchReq{
+			Keys:   make([]string, len(pushes)),
+			Values: make([][]byte, len(pushes)),
+		}
+		size := batchEnvelopeOverhead
+		for i, p := range pushes {
+			req.Keys[i] = p.key
+			req.Values[i] = p.value
+			size += len(p.key) + len(p.value) + batchItemOverhead
+		}
+		ptr := &simnet.Trace{}
+		psp := sp.Child("repair")
+		psp.Tag("to", string(pk.dst))
+		psp.Tag("keys", fmt.Sprintf("%d", len(pushes)))
+		_, err := d.net.RPC(ptr, pk.src, pk.dst, simnet.Message{
+			Kind:    kindStoreBatch,
+			Payload: req,
+			Size:    size,
+		})
+		tr.Add(ptr)
+		psp.AddLatency(ptr.Latency)
+		psp.End(spanOutcome(err))
+		if err == nil {
+			report.Repaired += len(pushes)
+		} else {
+			// A dropped envelope leaves its keys for the next pass.
+			for _, p := range pushes {
+				failed[p.key] = true
+			}
+		}
+	}
+	for _, key := range keys {
+		if failed[key] {
 			report.Unrepairable++
 		}
 	}

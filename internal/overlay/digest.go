@@ -98,6 +98,39 @@ type DigestKV interface {
 	DigestFrom(origin string, keys []string, nonce uint64, replica string) (Digest, OpStats, error)
 }
 
+// BatchRepairKV is implemented by overlays whose maintenance plane can move
+// many keys to or from one named replica in a single message pair. The
+// scrubber and healer use it to fetch a whole scrub group as one batched
+// column per replica and to coalesce repair pushes per destination — the
+// maintenance-plane counterpart of BatchKV's data-plane batching.
+type BatchRepairKV interface {
+	RepairKV
+	// FetchBatchFrom reads keys from the named replica only, in one RPC.
+	// The result slice aligns with keys: a key the replica does not hold
+	// carries a not-found error in its slot, and one bad key never fails
+	// its siblings. The top-level error reports envelope-level failure
+	// (replica unreachable, reply corrupt) — per-key slots are then nil.
+	FetchBatchFrom(origin string, keys []string, replica string) ([]BatchResult, OpStats, error)
+	// StoreBatchTo writes keys[i]=values[i] onto the named replica only,
+	// in one RPC. The error slice aligns with keys; the top-level error
+	// reports envelope-level failure.
+	StoreBatchTo(origin string, keys []string, values [][]byte, replica string) ([]error, OpStats, error)
+}
+
+// BatchDigestKV is implemented by overlays whose replicas can summarize many
+// scrub groups in one message: one DigestBatchFrom verifies every group a
+// replica participates in against that replica with a single request/reply
+// pair instead of one DigestFrom per group. Replies travel over the same
+// faulty network as everything else — a corrupted or replayed batch digest
+// causes drill-downs, never a false "clean".
+type BatchDigestKV interface {
+	DigestKV
+	// DigestBatchFrom asks one named replica for its Digest over each key
+	// group, all bound to the same pass nonce. The result aligns with
+	// groups.
+	DigestBatchFrom(origin string, groups [][]string, nonce uint64, replica string) ([]Digest, OpStats, error)
+}
+
 // PlacementFilterable is implemented by overlays whose replica placement can
 // exclude nodes vetoed by a health layer. The resilience layer wires its
 // circuit breaker in here so quarantined (persistently corrupting) nodes

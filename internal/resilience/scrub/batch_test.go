@@ -1,0 +1,235 @@
+package scrub
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"godosn/internal/overlay"
+)
+
+// TestScrubBatchedMatchesPerKeyReports is the equivalence half of the
+// batching contract: over identical corrupted state, the batched pass and
+// the per-key baseline must reach the same verdicts, the same repairs, the
+// same failures, and the same pass fingerprint — only the cost accounting
+// (Stats and the batch counters) may differ. The batched path trades
+// messages, never outcomes.
+func TestScrubBatchedMatchesPerKeyReports(t *testing.T) {
+	run := func(perKey bool) (Report, []string) {
+		f := newFixture(t, 111, 20, 30)
+		for _, i := range []int{3, 11, 19} {
+			key := f.keys[i]
+			victim := f.replicasOf(t, key)[1]
+			if !f.d.CorruptStored(victim, key, func(b []byte) []byte {
+				b[0] ^= 0x08
+				return b
+			}) {
+				t.Fatalf("victim does not hold %s", key)
+			}
+		}
+		// One divergent-but-valid replica too: elections must agree.
+		stale := Seal(f.keys[7], []byte("older but validly sealed"))
+		if _, err := f.d.StoreTo(f.client, f.keys[7], stale, f.replicasOf(t, f.keys[7])[2]); err != nil {
+			t.Fatalf("StoreTo: %v", err)
+		}
+		cfg := DefaultConfig(f.client)
+		cfg.PerKey = perKey
+		s := New(f.d, cfg)
+		var verdicts []string
+		s.SetVerdict(func(node string, ok bool) {
+			verdicts = append(verdicts, fmt.Sprintf("%s:%v", node, ok))
+		})
+		rep, err := s.Scrub(f.keys)
+		if err != nil {
+			t.Fatalf("Scrub(perKey=%v): %v", perKey, err)
+		}
+		return rep, verdicts
+	}
+	batched, vb := run(false)
+	perKey, vp := run(true)
+	if batched.CorruptCopies != 4 || batched.RepairedWrites != 4 {
+		t.Fatalf("batched pass: corrupt=%d repairedWrites=%d, want 4/4", batched.CorruptCopies, batched.RepairedWrites)
+	}
+	if batched.BatchRPCs == 0 || batched.BatchMsgs == 0 {
+		t.Fatalf("batched pass spent no batch RPCs: %+v", batched)
+	}
+	if perKey.BatchRPCs != 0 || perKey.BatchMsgs != 0 || perKey.RepairBatches != 0 || perKey.CoalescedPushes != 0 {
+		t.Fatalf("per-key baseline charged batch counters: %+v", perKey)
+	}
+	if batched.Stats.Messages >= perKey.Stats.Messages {
+		t.Fatalf("batching did not reduce messages: %d vs %d", batched.Stats.Messages, perKey.Stats.Messages)
+	}
+	// Blank the cost fields that legitimately differ; everything else —
+	// verdict counts, repair accounting, the pass fingerprint — must match.
+	batched.Stats, perKey.Stats = overlay.OpStats{}, overlay.OpStats{}
+	batched.BatchRPCs, batched.BatchMsgs, batched.RepairBatches, batched.CoalescedPushes = 0, 0, 0, 0
+	if !reflect.DeepEqual(batched, perKey) {
+		t.Fatalf("outcomes diverge between batched and per-key:\nbatched: %+v\nper-key: %+v", batched, perKey)
+	}
+	if !reflect.DeepEqual(vb, vp) {
+		t.Fatalf("verdict streams diverge:\nbatched: %v\nper-key: %v", vb, vp)
+	}
+}
+
+// stubBatchKV is a minimal overlay.RepairKV + BatchRepairKV whose
+// StoreBatchTo fails exactly the configured key slots — the failure
+// injection the simnet cannot express (its envelopes fail whole).
+type stubBatchKV struct {
+	replicas []string
+	data     map[string]map[string][]byte // replica -> key -> record
+	badKeys  map[string]bool              // per-slot StoreBatchTo failures
+	stores   int                          // StoreBatchTo envelopes sent
+}
+
+func (s *stubBatchKV) Name() string { return "stub" }
+
+func (s *stubBatchKV) Store(origin, key string, value []byte) (overlay.OpStats, error) {
+	for _, r := range s.replicas {
+		s.data[r][key] = append([]byte(nil), value...)
+	}
+	return overlay.OpStats{}, nil
+}
+
+func (s *stubBatchKV) Lookup(origin, key string) ([]byte, overlay.OpStats, error) {
+	for _, r := range s.replicas {
+		if v, ok := s.data[r][key]; ok {
+			return v, overlay.OpStats{}, nil
+		}
+	}
+	return nil, overlay.OpStats{}, overlay.ErrNotFound
+}
+
+func (s *stubBatchKV) ReplicasFor(origin, key string) ([]string, overlay.OpStats, error) {
+	return append([]string(nil), s.replicas...), overlay.OpStats{}, nil
+}
+
+func (s *stubBatchKV) LookupFrom(origin, key, replica string) ([]byte, overlay.OpStats, error) {
+	if v, ok := s.data[replica][key]; ok {
+		return v, overlay.OpStats{Messages: 2}, nil
+	}
+	return nil, overlay.OpStats{Messages: 2}, overlay.ErrNotFound
+}
+
+func (s *stubBatchKV) StoreTo(origin, key string, value []byte, replica string) (overlay.OpStats, error) {
+	s.data[replica][key] = append([]byte(nil), value...)
+	return overlay.OpStats{Messages: 2}, nil
+}
+
+func (s *stubBatchKV) FetchBatchFrom(origin string, keys []string, replica string) ([]overlay.BatchResult, overlay.OpStats, error) {
+	out := make([]overlay.BatchResult, len(keys))
+	for i, k := range keys {
+		if v, ok := s.data[replica][k]; ok {
+			out[i].Value = v
+		} else {
+			out[i].Err = overlay.ErrNotFound
+		}
+	}
+	return out, overlay.OpStats{Messages: 2}, nil
+}
+
+func (s *stubBatchKV) StoreBatchTo(origin string, keys []string, values [][]byte, replica string) ([]error, overlay.OpStats, error) {
+	s.stores++
+	errs := make([]error, len(keys))
+	for i, k := range keys {
+		if s.badKeys[k] {
+			errs[i] = fmt.Errorf("stub: slot write refused for %s", k)
+			continue
+		}
+		s.data[replica][k] = append([]byte(nil), values[i]...)
+	}
+	return errs, overlay.OpStats{Messages: 2}, nil
+}
+
+// TestScrubRepairCoalescingIsolatesFailures pins the per-slot error
+// contract of the coalesced repair push: one refused key inside a
+// store_batch envelope must fail only itself — its siblings in the same
+// envelope repair normally, and the accounting splits them precisely.
+func TestScrubRepairCoalescingIsolatesFailures(t *testing.T) {
+	kv := &stubBatchKV{
+		replicas: []string{"r0", "r1", "r2"},
+		data:     map[string]map[string][]byte{"r0": {}, "r1": {}, "r2": {}},
+		badKeys:  map[string]bool{"k1": true},
+	}
+	keys := []string{"k0", "k1", "k2", "k3"}
+	for _, k := range keys {
+		if _, err := kv.Store("c", k, Seal(k, []byte("payload-"+k))); err != nil {
+			t.Fatalf("Store: %v", err)
+		}
+		delete(kv.data["r2"], k) // r2 misses every copy: 4 pushes, one envelope
+	}
+	s := New(kv, DefaultConfig("c"))
+	rep, err := s.Scrub(keys)
+	if err != nil {
+		t.Fatalf("Scrub: %v", err)
+	}
+	if kv.stores != 1 {
+		t.Fatalf("repairs were not coalesced: %d store_batch envelopes, want 1", kv.stores)
+	}
+	if rep.RepairBatches != 1 || rep.CoalescedPushes != 4 {
+		t.Fatalf("batch accounting: batches=%d coalesced=%d, want 1/4", rep.RepairBatches, rep.CoalescedPushes)
+	}
+	if rep.RepairedWrites != 3 || rep.RepairWriteFailures != 1 {
+		t.Fatalf("repairedWrites=%d writeFailures=%d, want 3/1 — one bad slot must not fail its siblings",
+			rep.RepairedWrites, rep.RepairWriteFailures)
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if v, ok := kv.data["r2"][k]; !ok || Check(k, v) != nil {
+			t.Fatalf("sibling %s not repaired onto r2", k)
+		}
+	}
+	if _, ok := kv.data["r2"]["k1"]; ok {
+		t.Fatal("refused slot k1 reported stored")
+	}
+}
+
+// TestDedupePreservesFirstOccurrenceOrder pins the dedupe contract group
+// formation depends on: first occurrence wins, relative order survives.
+func TestDedupePreservesFirstOccurrenceOrder(t *testing.T) {
+	in := []string{"b", "a", "b", "c", "a", "d", "d", "b"}
+	want := []string{"b", "a", "c", "d"}
+	if got := dedupe(in); !reflect.DeepEqual(got, want) {
+		t.Fatalf("dedupe(%v) = %v, want %v", in, got, want)
+	}
+	if got := dedupe(nil); len(got) != 0 {
+		t.Fatalf("dedupe(nil) = %v", got)
+	}
+}
+
+// TestScrubGroupFormationOrderStableAcrossWorkers feeds a scrambled,
+// duplicate-ridden key list through passes at Workers 1 and 8: group
+// formation follows first-occurrence key order regardless of parallelism,
+// so the merged reports (and pass fingerprints) are identical.
+func TestScrubGroupFormationOrderStableAcrossWorkers(t *testing.T) {
+	scrambled := func(keys []string) []string {
+		out := make([]string, 0, 2*len(keys))
+		for i := len(keys) - 1; i >= 0; i-- {
+			out = append(out, keys[i], keys[(i+7)%len(keys)])
+		}
+		return out
+	}
+	run := func(workers int) Report {
+		f := newFixture(t, 112, 20, 30)
+		for _, i := range []int{4, 21} {
+			key := f.keys[i]
+			victim := f.replicasOf(t, key)[0]
+			f.d.CorruptStored(victim, key, func(b []byte) []byte {
+				b[2] ^= 0x02
+				return b
+			})
+		}
+		cfg := DefaultConfig(f.client)
+		cfg.Workers = workers
+		rep, err := New(f.d, cfg).Scrub(scrambled(f.keys))
+		if err != nil {
+			t.Fatalf("Scrub(workers=%d): %v", workers, err)
+		}
+		return rep
+	}
+	r1, r8 := run(1), run(8)
+	if r1.KeysScanned != 30 {
+		t.Fatalf("dedupe failed: KeysScanned = %d, want 30", r1.KeysScanned)
+	}
+	if !reflect.DeepEqual(r1, r8) {
+		t.Fatalf("group formation order diverges across worker counts:\n  1: %+v\n  8: %+v", r1, r8)
+	}
+}

@@ -67,6 +67,74 @@ func flip(rec []byte, i int) []byte {
 	return out
 }
 
+func TestKeyedSealOpenRoundTrip(t *testing.T) {
+	master := []byte("deployment master secret")
+	alice := OwnerKey(master, "alice")
+	bob := OwnerKey(master, "bob")
+	if bytes.Equal(alice, bob) {
+		t.Fatal("OwnerKey derived identical keys for distinct owners")
+	}
+	payload := []byte("a non-timeline record body")
+	rec := SealKeyed(alice, "key-1", payload)
+
+	// The keyed form is a valid sealed record: the keyless integrity layer
+	// accepts it, and plain Open strips the envelope transparently.
+	if err := Check("key-1", rec); err != nil {
+		t.Fatalf("plain Check rejected a keyed record: %v", err)
+	}
+	if got, err := Open("key-1", rec); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("plain Open on keyed record: %v (%q)", err, got)
+	}
+	// The keyed verifier recovers the payload and the authenticity claim.
+	if got, err := OpenKeyed(alice, "key-1", rec); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("OpenKeyed: %v (%q)", err, got)
+	}
+	// Wrong owner key, unkeyed record, and cross-key replay all condemn.
+	if _, err := OpenKeyed(bob, "key-1", rec); !errors.Is(err, ErrRecord) {
+		t.Fatalf("wrong owner key: got %v, want ErrRecord", err)
+	}
+	if _, err := OpenKeyed(alice, "key-1", Seal("key-1", payload)); !errors.Is(err, ErrRecord) {
+		t.Fatalf("unkeyed record passed OpenKeyed: %v", err)
+	}
+	if _, err := OpenKeyed(alice, "key-2", rec); !errors.Is(err, ErrRecord) {
+		t.Fatalf("cross-key replay: got %v, want ErrRecord", err)
+	}
+}
+
+func TestKeyedCheckCatchesTamperAndReseal(t *testing.T) {
+	mackey := OwnerKey([]byte("master"), "alice")
+	rec := SealKeyed(mackey, "key-1", []byte("original content"))
+	verify := CheckKeyed(mackey)
+	if err := verify("key-1", rec); err != nil {
+		t.Fatalf("honest keyed record rejected: %v", err)
+	}
+
+	// The adversary tampers with the payload inside the envelope and
+	// RE-SEALS the outer checksum — exactly the gap Seal leaves open. The
+	// keyless check is fooled; only the MAC catches it.
+	outer, err := openOuter("key-1", rec)
+	if err != nil {
+		t.Fatalf("openOuter: %v", err)
+	}
+	outer[len(outer)-1] ^= 0x01 // flip a payload byte, keep the old MAC
+	forged := Seal("key-1", outer)
+	if err := Check("key-1", forged); err != nil {
+		t.Fatalf("re-sealed forgery failed the plain checksum (it should pass): %v", err)
+	}
+	if err := verify("key-1", forged); !errors.Is(err, ErrRecord) {
+		t.Fatalf("tamper-and-reseal: got %v, want ErrRecord", err)
+	}
+	// A wholesale unkeyed replacement is likewise condemned under the gate.
+	replaced := Seal("key-1", []byte("attacker's replacement"))
+	if err := verify("key-1", replaced); !errors.Is(err, ErrRecord) {
+		t.Fatalf("unkeyed replacement: got %v, want ErrRecord", err)
+	}
+	// And corruption anywhere in the keyed record stays detect-or-fail.
+	if err := verify("key-1", flip(rec, len(rec)-2)); !errors.Is(err, ErrRecord) {
+		t.Fatalf("bit flip: got %v, want ErrRecord", err)
+	}
+}
+
 func TestTimelineCheckCatchesForgeryTheChecksumCannot(t *testing.T) {
 	reg := identity.NewRegistry()
 	alice, err := identity.NewUser("alice")

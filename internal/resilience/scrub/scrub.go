@@ -34,6 +34,12 @@ type Config struct {
 	// verdict, so one-off wire corruption is not blamed on the node. The
 	// refetch is charged to the report's stats.
 	Recheck bool
+	// PerKey forces the per-key maintenance RPC path (one digest exchange
+	// per group, one fetch per key per replica, one repair push per copy)
+	// even when the overlay implements the batched contracts
+	// (overlay.BatchRepairKV / overlay.BatchDigestKV) — the measured
+	// baseline for E26 and an escape hatch.
+	PerKey bool
 }
 
 // DefaultConfig scrubs serially from origin with record verification,
@@ -84,10 +90,24 @@ type Report struct {
 	// resolution failed, or no copy verified (no trusted value to repair
 	// from).
 	Failed int
-	// Digest is a Merkle fingerprint of the pass outcome (keys in sorted
-	// order; digest-clean groups contribute their replica digest, drilled
-	// keys their canonical copy). Two runs over identical state and seeds
-	// produce identical digests.
+	// BatchRPCs is the number of batched maintenance RPCs the pass issued
+	// (multi-group digests, column fetches, batched rechecks, coalesced
+	// repair envelopes); 0 on the per-key path.
+	BatchRPCs int
+	// BatchMsgs is the number of network messages those batched RPCs
+	// charged; 0 on the per-key path.
+	BatchMsgs int
+	// RepairBatches is the number of coalesced repair envelopes pushed
+	// (StoreBatchTo calls); 0 on the per-key path.
+	RepairBatches int
+	// CoalescedPushes is the number of repair pushes that shared an
+	// envelope with at least one sibling push — writes that would each
+	// have cost a full RPC on the per-key path.
+	CoalescedPushes int
+	// Failed is counted above; Digest fingerprints the pass outcome
+	// (groups in formation order; digest-clean groups contribute their
+	// replica digest, drilled keys their canonical copy). Two runs over
+	// identical state and seeds produce identical digests.
 	Digest [32]byte
 	// Stats is the network cost of the pass, including repairs.
 	Stats overlay.OpStats
@@ -99,8 +119,10 @@ type Report struct {
 // corruption and quarantines its source.
 type Scrubber struct {
 	kv      overlay.ReplicaKV
-	repair  overlay.RepairKV // nil: overlay cannot write per-replica
-	digests overlay.DigestKV // nil: overlay cannot summarize
+	repair  overlay.RepairKV      // nil: overlay cannot write per-replica
+	digests overlay.DigestKV      // nil: overlay cannot summarize
+	brepair overlay.BatchRepairKV // nil: overlay cannot batch fetch/repair
+	bdigest overlay.BatchDigestKV // nil: overlay cannot batch digests
 	cfg     Config
 	verdict func(node string, ok bool)
 	invalid func(key string) // nil until SetInvalidator
@@ -110,17 +132,21 @@ type Scrubber struct {
 
 // scrubTelemetry holds the scrubber's resolved registry instruments.
 type scrubTelemetry struct {
-	passes       *telemetry.Counter
-	keysScanned  *telemetry.Counter
-	digestClean  *telemetry.Counter
-	keysCompared *telemetry.Counter
-	corrupt      *telemetry.Counter
-	missing      *telemetry.Counter
-	unreachable  *telemetry.Counter
-	repaired     *telemetry.Counter
-	repairFails  *telemetry.Counter
-	failed       *telemetry.Counter
-	events       *telemetry.Log
+	passes        *telemetry.Counter
+	keysScanned   *telemetry.Counter
+	digestClean   *telemetry.Counter
+	keysCompared  *telemetry.Counter
+	corrupt       *telemetry.Counter
+	missing       *telemetry.Counter
+	unreachable   *telemetry.Counter
+	repaired      *telemetry.Counter
+	repairFails   *telemetry.Counter
+	failed        *telemetry.Counter
+	batchRPCs     *telemetry.Counter
+	batchMsgs     *telemetry.Counter
+	repairBatches *telemetry.Counter
+	coalesced     *telemetry.Counter
+	events        *telemetry.Log
 }
 
 // SetTelemetry mirrors the scrubber's per-pass accounting into reg's
@@ -133,23 +159,29 @@ func (s *Scrubber) SetTelemetry(reg *telemetry.Registry) {
 		return
 	}
 	s.tel = &scrubTelemetry{
-		passes:       reg.Counter("scrub_passes_total"),
-		keysScanned:  reg.Counter("scrub_keys_scanned_total"),
-		digestClean:  reg.Counter("scrub_digest_clean_groups_total"),
-		keysCompared: reg.Counter("scrub_keys_compared_total"),
-		corrupt:      reg.Counter("scrub_corrupt_copies_total"),
-		missing:      reg.Counter("scrub_missing_copies_total"),
-		unreachable:  reg.Counter("scrub_unreachable_holders_total"),
-		repaired:     reg.Counter("scrub_repaired_writes_total"),
-		repairFails:  reg.Counter("scrub_repair_write_failures_total"),
-		failed:       reg.Counter("scrub_failed_keys_total"),
-		events:       reg.Events(),
+		passes:        reg.Counter("scrub_passes_total"),
+		keysScanned:   reg.Counter("scrub_keys_scanned_total"),
+		digestClean:   reg.Counter("scrub_digest_clean_groups_total"),
+		keysCompared:  reg.Counter("scrub_keys_compared_total"),
+		corrupt:       reg.Counter("scrub_corrupt_copies_total"),
+		missing:       reg.Counter("scrub_missing_copies_total"),
+		unreachable:   reg.Counter("scrub_unreachable_holders_total"),
+		repaired:      reg.Counter("scrub_repaired_writes_total"),
+		repairFails:   reg.Counter("scrub_repair_write_failures_total"),
+		failed:        reg.Counter("scrub_failed_keys_total"),
+		batchRPCs:     reg.Counter("scrub_batch_rpcs_total"),
+		batchMsgs:     reg.Counter("scrub_batch_msgs_total"),
+		repairBatches: reg.Counter("scrub_repair_batches_total"),
+		coalesced:     reg.Counter("scrub_repair_coalesced_pushes_total"),
+		events:        reg.Events(),
 	}
 }
 
 // New builds a scrubber over a replica-addressing overlay. Digest
 // short-circuiting and repair activate automatically when the overlay
-// implements overlay.DigestKV / overlay.RepairKV.
+// implements overlay.DigestKV / overlay.RepairKV; the batched maintenance
+// paths activate when it also implements overlay.BatchDigestKV /
+// overlay.BatchRepairKV (Config.PerKey forces the per-key paths back on).
 func New(kv overlay.ReplicaKV, cfg Config) *Scrubber {
 	if cfg.Verify == nil {
 		cfg.Verify = Check
@@ -164,8 +196,21 @@ func New(kv overlay.ReplicaKV, cfg Config) *Scrubber {
 	if d, ok := kv.(overlay.DigestKV); ok {
 		s.digests = d
 	}
+	if br, ok := kv.(overlay.BatchRepairKV); ok {
+		s.brepair = br
+	}
+	if bd, ok := kv.(overlay.BatchDigestKV); ok {
+		s.bdigest = bd
+	}
 	return s
 }
+
+// batchDigests reports whether the multi-group digest phase is active.
+func (s *Scrubber) batchDigests() bool { return s.bdigest != nil && !s.cfg.PerKey }
+
+// batchData reports whether batched drill-down (column fetch, coalesced
+// recheck and repair) is active.
+func (s *Scrubber) batchData() bool { return s.brepair != nil && !s.cfg.PerKey }
 
 // SetVerdict installs the corruption-verdict sink: ok=false means the node
 // served a condemned copy, ok=true means it served the canonical one. Wire
@@ -182,7 +227,18 @@ func (s *Scrubber) SetVerdict(fn func(node string, ok bool)) { s.verdict = fn }
 // in-flight passes.
 func (s *Scrubber) SetInvalidator(fn func(key string)) { s.invalid = fn }
 
-// group is one replica set and the keys that resolve to it.
+// Group is one pre-resolved scrub unit: a replica set and the keys that
+// resolve to it. Schedulers that plan replica sets from local state
+// (scrub.Sweeper via dht.PlanReplicas) hand groups straight to
+// ScrubResolved, skipping the per-key ReplicasFor resolution Scrub pays.
+type Group struct {
+	// Replicas is the replica candidate set shared by every key.
+	Replicas []string
+	// Keys are the keys to verify against that set.
+	Keys []string
+}
+
+// group is the internal form of one replica set and its keys.
 type group struct {
 	replicas []string
 	keys     []string
@@ -203,6 +259,7 @@ type keyOutcome struct {
 	key       string
 	canonical []byte
 	found     bool
+	best      [32]byte             // winning copy leaf of the election
 	states    map[string]copyState // replica -> state
 	failed    bool
 }
@@ -216,19 +273,24 @@ type repairPush struct {
 
 // groupResult carries a processed group's accounting back to the merge.
 type groupResult struct {
-	g           group
-	digestClean bool
-	digestRoot  [32]byte
-	outcomes    []keyOutcome
-	repaired    int
-	unrepair    int
-	pushes      []repairPush // in (key, replica) order
-	stats       overlay.OpStats
-	span        *telemetry.Span // detached per-group span; nil when untraced
+	g             group
+	digestClean   bool
+	digestRoot    [32]byte
+	outcomes      []keyOutcome
+	repaired      int
+	unrepair      int
+	pushes        []repairPush // in (key, replica) order
+	batchRPCs     int
+	batchMsgs     int
+	repairBatches int
+	coalesced     int
+	stats         overlay.OpStats
+	span          *telemetry.Span // detached per-group span; nil when untraced
 }
 
 // Scrub runs one pass over the given keys and reports what it found and
-// fixed. Keys are deduplicated and walked in sorted order.
+// fixed. Keys are deduplicated in first-occurrence order; within a group
+// keys are walked sorted.
 func (s *Scrubber) Scrub(keys []string) (Report, error) {
 	return s.ScrubSpan(nil, keys)
 }
@@ -238,7 +300,6 @@ func (s *Scrubber) Scrub(keys []string) (Report, error) {
 // sp: identical untraced pass). Group spans are built detached by the
 // workers and adopted in deterministic group order.
 func (s *Scrubber) ScrubSpan(sp *telemetry.Span, keys []string) (Report, error) {
-	nonce := s.pass.Add(1)
 	report := Report{}
 	uniq := dedupe(keys)
 	report.KeysScanned = len(uniq)
@@ -249,7 +310,8 @@ func (s *Scrubber) ScrubSpan(sp *telemetry.Span, keys []string) (Report, error) 
 	}
 
 	// Resolve every key's replica set and bucket keys by set: keys sharing
-	// a replica set are compared through one digest exchange.
+	// a replica set are compared through one digest exchange. Group
+	// formation order follows the first-occurrence key order.
 	type resolved struct {
 		key      string
 		replicas []string
@@ -284,24 +346,77 @@ func (s *Scrubber) ScrubSpan(sp *telemetry.Span, keys []string) (Report, error) 
 		groups = append(groups, *g)
 	}
 	report.Groups = len(groups)
+	s.run(sp, &report, groups)
+	return report, nil
+}
 
-	results, _ := parallel.Map(s.cfg.Workers, groups, func(_ int, g group) (groupResult, error) {
+// ScrubResolved runs one pass over pre-resolved groups, skipping replica
+// resolution entirely: the caller (a scheduler planning from local overlay
+// state, e.g. Sweeper over dht.PlanReplicas) already knows each key's
+// replica set. Network cost is bounded above by WorstCaseMessages over the
+// same groups.
+func (s *Scrubber) ScrubResolved(groups []Group) (Report, error) {
+	return s.ScrubResolvedSpan(nil, groups)
+}
+
+// ScrubResolvedSpan is ScrubResolved with span attribution (see ScrubSpan).
+func (s *Scrubber) ScrubResolvedSpan(sp *telemetry.Span, groups []Group) (Report, error) {
+	report := Report{}
+	gs := make([]group, 0, len(groups))
+	for _, g := range groups {
+		keys := dedupe(g.Keys)
+		report.KeysScanned += len(keys)
+		if len(keys) == 0 {
+			continue
+		}
+		if len(g.Replicas) == 0 {
+			report.Failed += len(keys)
+			continue
+		}
+		sort.Strings(keys)
+		gs = append(gs, group{replicas: append([]string(nil), g.Replicas...), keys: keys})
+	}
+	report.Groups = len(gs)
+	if len(gs) == 0 {
+		report.Digest = overlay.DigestOf(nil)
+		s.notePass(&report)
+		return report, nil
+	}
+	s.run(sp, &report, gs)
+	return report, nil
+}
+
+// run executes the scrub pipeline over formed groups: the hoisted batched
+// digest phase, the per-group drill-downs, and the deterministic merge.
+func (s *Scrubber) run(sp *telemetry.Span, report *Report, groups []group) {
+	nonce := s.pass.Add(1)
+	digests := s.digestPhase(sp, nonce, groups, report)
+
+	results, _ := parallel.Map(s.cfg.Workers, groups, func(i int, g group) (groupResult, error) {
 		var gsp *telemetry.Span
 		if sp != nil {
 			gsp = telemetry.NewSpan("group")
 		}
-		return s.scrubGroup(gsp, nonce, g), nil
+		var dg *groupDigests
+		if digests != nil {
+			dg = digests[i]
+		}
+		return s.scrubGroup(gsp, nonce, g, dg), nil
 	})
 
 	// Merge deterministically in group order: verdicts, counters, events,
-	// spans, and the pass fingerprint all follow sorted key order,
-	// independent of Workers.
+	// spans, and the pass fingerprint all follow group formation order
+	// (sorted keys within a group), independent of Workers.
 	fp := &merkle.Tree{}
 	for _, r := range results {
 		sp.Adopt(r.span)
 		report.Stats.Add(r.stats)
 		report.RepairedWrites += r.repaired
 		report.RepairWriteFailures += r.unrepair
+		report.BatchRPCs += r.batchRPCs
+		report.BatchMsgs += r.batchMsgs
+		report.RepairBatches += r.repairBatches
+		report.CoalescedPushes += r.coalesced
 		for _, p := range r.pushes {
 			s.emit("scrub.repair", telemetry.A("key", p.key),
 				telemetry.A("to", p.to), telemetry.A("ok", strconv.FormatBool(p.ok)))
@@ -358,8 +473,163 @@ func (s *Scrubber) ScrubSpan(sp *telemetry.Span, keys []string) (Report, error) 
 	report.Digest = fp.Root()
 	report.Repaired = report.RepairedWrites
 	report.Unrepairable = report.RepairWriteFailures
-	s.notePass(&report)
-	return report, nil
+	s.notePass(report)
+}
+
+// groupDigests carries one group's per-replica digest columns, fetched by
+// the hoisted multi-group digest phase. A replica whose reply failed or
+// never arrived has got=false — the group then drills down, never trusting
+// a partial summary.
+type groupDigests struct {
+	roots []overlay.Digest // aligned with the group's replicas
+	got   []bool
+}
+
+// clean reports whether every replica answered and all nonce-bound roots
+// agree.
+func (d *groupDigests) clean() bool {
+	for _, ok := range d.got {
+		if !ok {
+			return false
+		}
+	}
+	for _, r := range d.roots[1:] {
+		if r.Fresh != d.roots[0].Fresh {
+			return false
+		}
+	}
+	return true
+}
+
+// digestPhase runs the hoisted multi-group digest exchange: one
+// DigestBatchFrom per distinct replica, covering every multi-replica group
+// that replica participates in, instead of one DigestFrom per (group,
+// replica) pair. Returns nil when the batched digest path is inactive
+// (groups then run the legacy per-group exchange inside scrubGroup).
+// Stats, counters, and spans are merged in deterministic replica order.
+func (s *Scrubber) digestPhase(sp *telemetry.Span, nonce uint64, groups []group, report *Report) []*groupDigests {
+	if !s.batchDigests() {
+		return nil
+	}
+	idx := make(map[string][]int) // replica -> participating group indices
+	var order []string           // first-appearance replica order
+	for gi := range groups {
+		if len(groups[gi].replicas) < 2 {
+			continue
+		}
+		for _, name := range groups[gi].replicas {
+			if _, ok := idx[name]; !ok {
+				order = append(order, name)
+			}
+			idx[name] = append(idx[name], gi)
+		}
+	}
+	out := make([]*groupDigests, len(groups))
+	for gi := range groups {
+		if len(groups[gi].replicas) < 2 {
+			continue
+		}
+		out[gi] = &groupDigests{
+			roots: make([]overlay.Digest, len(groups[gi].replicas)),
+			got:   make([]bool, len(groups[gi].replicas)),
+		}
+	}
+	if len(order) == 0 {
+		return out
+	}
+	type digestCol struct {
+		name  string
+		roots []overlay.Digest
+		st    overlay.OpStats
+		err   error
+		span  *telemetry.Span
+	}
+	cols, _ := parallel.Map(s.cfg.Workers, order, func(_ int, name string) (digestCol, error) {
+		gis := idx[name]
+		keyGroups := make([][]string, len(gis))
+		for j, gi := range gis {
+			keyGroups[j] = groups[gi].keys
+		}
+		var dsp *telemetry.Span
+		if sp != nil {
+			dsp = telemetry.NewSpan("digest")
+			dsp.Tag("replica", name)
+			dsp.Tag("groups", strconv.Itoa(len(gis)))
+		}
+		roots, st, err := s.bdigest.DigestBatchFrom(s.cfg.Origin, keyGroups, nonce, name)
+		dsp.AddLatency(st.Latency)
+		if err != nil {
+			dsp.End("error")
+		} else {
+			dsp.End("ok")
+		}
+		return digestCol{name: name, roots: roots, st: st, err: err, span: dsp}, nil
+	})
+	for _, c := range cols {
+		sp.Adopt(c.span)
+		report.Stats.Add(c.st)
+		report.BatchRPCs++
+		report.BatchMsgs += c.st.Messages
+		if c.err != nil {
+			continue
+		}
+		for j, gi := range idx[c.name] {
+			gd := out[gi]
+			for ri, rn := range groups[gi].replicas {
+				if rn == c.name {
+					gd.roots[ri] = c.roots[j]
+					gd.got[ri] = true
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// WorstCaseMessages bounds the network messages one ScrubResolved pass over
+// groups can charge, so a budgeted scheduler (Sweeper) can decide whether a
+// chunk fits the remaining per-tick budget before spending anything. The
+// bound assumes every RPC completes (a successful simnet RPC charges
+// exactly two messages — request and reply; failures charge fewer) and
+// every phase fires: digest exchange, full drill-down, recheck, and repair
+// of every copy.
+func (s *Scrubber) WorstCaseMessages(groups []Group) int {
+	const perRPC = 2 // request + reply
+	total := 0
+	if s.batchDigests() {
+		distinct := make(map[string]bool)
+		for _, g := range groups {
+			if len(g.Replicas) < 2 {
+				continue
+			}
+			for _, n := range g.Replicas {
+				distinct[n] = true
+			}
+		}
+		total += len(distinct) * perRPC
+	} else if s.digests != nil {
+		for _, g := range groups {
+			if len(g.Replicas) > 1 {
+				total += len(g.Replicas) * perRPC
+			}
+		}
+	}
+	for _, g := range groups {
+		phases := 1 // column / per-key fetch
+		if s.cfg.Recheck {
+			phases++
+		}
+		if s.cfg.Repair && (s.repair != nil || s.brepair != nil) {
+			phases++
+		}
+		if s.batchData() {
+			total += phases * len(g.Replicas) * perRPC
+		} else {
+			total += phases * len(g.Replicas) * len(g.Keys) * perRPC
+		}
+	}
+	return total
 }
 
 // notePass mirrors a finished pass's accounting into the registry.
@@ -378,6 +648,10 @@ func (s *Scrubber) notePass(r *Report) {
 	t.repaired.Add(int64(r.RepairedWrites))
 	t.repairFails.Add(int64(r.RepairWriteFailures))
 	t.failed.Add(int64(r.Failed))
+	t.batchRPCs.Add(int64(r.BatchRPCs))
+	t.batchMsgs.Add(int64(r.BatchMsgs))
+	t.repairBatches.Add(int64(r.RepairBatches))
+	t.coalesced.Add(int64(r.CoalescedPushes))
 }
 
 // emit sends one event to the registry's log, if telemetry is wired.
@@ -396,16 +670,31 @@ func (s *Scrubber) sayVerdict(node string, ok bool) {
 // scrubGroup processes one replica set: digest comparison first, full value
 // comparison and repair only for groups whose digests diverge (or whose
 // overlay cannot digest). The pass nonce binds every digest to this pass.
-func (s *Scrubber) scrubGroup(gsp *telemetry.Span, nonce uint64, g group) groupResult {
+// dg, when non-nil, carries the group's digest columns already fetched by
+// the hoisted multi-group phase.
+func (s *Scrubber) scrubGroup(gsp *telemetry.Span, nonce uint64, g group, dg *groupDigests) groupResult {
 	r := groupResult{g: g, span: gsp}
 
-	// Merkle fast path: one small RPC per replica instead of every value.
-	// Matching digests prove the replicas agree byte-for-byte over the
-	// whole key batch; a corrupted or lying digest reply forces the drill-
-	// down, never a false clean. What digest equality cannot prove is that
-	// the agreed bytes verify — the read path's Verify hook remains the
-	// last line of defense against uniformly-corrupt replica sets.
-	if s.digests != nil && len(g.replicas) > 1 {
+	// Merkle fast path: matching digests prove the replicas agree
+	// byte-for-byte over the whole key batch; a corrupted or lying digest
+	// reply forces the drill-down, never a false clean. What digest
+	// equality cannot prove is that the agreed bytes verify — the read
+	// path's Verify hook remains the last line of defense against
+	// uniformly-corrupt replica sets.
+	if dg != nil {
+		if dg.clean() {
+			// Equality is judged on the nonce-bound roots, so a replayed
+			// reply (recorded under an older nonce) always diverges and
+			// forces the drill-down this pass. The nonce-free State root
+			// then fingerprints the agreed replica state across passes.
+			r.digestClean = true
+			r.digestRoot = dg.roots[0].State
+			gsp.End("digest-clean")
+			return r
+		}
+	} else if !s.batchDigests() && s.digests != nil && len(g.replicas) > 1 {
+		// Per-group exchange: one small RPC per replica instead of every
+		// value.
 		roots := make([]overlay.Digest, 0, len(g.replicas))
 		ok := true
 		for _, name := range g.replicas {
@@ -423,10 +712,6 @@ func (s *Scrubber) scrubGroup(gsp *telemetry.Span, nonce uint64, g group) groupR
 			roots = append(roots, root)
 		}
 		if ok {
-			// Equality is judged on the nonce-bound roots, so a replayed
-			// reply (recorded under an older nonce) always diverges and
-			// forces the drill-down this pass. The nonce-free State root
-			// then fingerprints the agreed replica state across passes.
 			equal := true
 			for _, root := range roots[1:] {
 				if root.Fresh != roots[0].Fresh {
@@ -443,21 +728,271 @@ func (s *Scrubber) scrubGroup(gsp *telemetry.Span, nonce uint64, g group) groupR
 		}
 	}
 
-	for _, key := range g.keys {
-		o := s.scrubKey(gsp, key, g.replicas, &r.stats)
-		if o.found {
-			s.repairKey(gsp, &o, g.replicas, &r)
+	if s.batchData() {
+		s.drillGroupBatched(gsp, g, &r)
+	} else {
+		for _, key := range g.keys {
+			o := s.scrubKey(gsp, key, g.replicas, &r.stats)
+			if o.found {
+				s.repairKey(gsp, &o, g.replicas, &r)
+			}
+			r.outcomes = append(r.outcomes, o)
 		}
-		r.outcomes = append(r.outcomes, o)
 	}
 	gsp.End("drilled")
 	return r
 }
 
+// electKey runs the canonical-value election over one key's fetched copies:
+// verified copies vote by copy leaf, the largest set wins, ties broken by
+// smallest leaf hash so the election is deterministic. Pure local
+// computation shared by the per-key and batched drill-downs — both paths
+// must elect identically for their reports to agree. Pre-set missing and
+// unreachable states in o.states are left untouched; verified-or-condemned
+// states are filled in here.
+func (s *Scrubber) electKey(o *keyOutcome, replicas []string, values map[string][]byte) {
+	votes := make(map[[32]byte]int)
+	for _, name := range replicas {
+		v, held := values[name]
+		if !held {
+			continue
+		}
+		if s.cfg.Verify(o.key, v) != nil {
+			o.states[name] = copyCondemned
+			continue
+		}
+		votes[overlay.CopyLeaf(o.key, v, true)]++
+	}
+	for leaf, n := range votes {
+		if !o.found || n > votes[o.best] || (n == votes[o.best] && bytes.Compare(leaf[:], o.best[:]) < 0) {
+			o.best = leaf
+			o.found = true
+		}
+	}
+	if !o.found {
+		// Nothing verified: there is no trusted value to compare against
+		// or repair from. Detect-or-fail still holds (the read path rejects
+		// these copies); the key is reported failed, not silently skipped.
+		o.failed = len(values) > 0 || len(o.states) > 0
+		return
+	}
+	for _, name := range replicas {
+		v, held := values[name]
+		if !held || o.states[name] == copyCondemned {
+			continue
+		}
+		if overlay.CopyLeaf(o.key, v, true) == o.best {
+			o.states[name] = copyCanonical
+			if o.canonical == nil {
+				o.canonical = v
+			}
+		} else {
+			// Verified but divergent: a valid record carrying different
+			// bytes — the stale-replay shape. The majority copy wins.
+			o.states[name] = copyCondemned
+		}
+	}
+}
+
+// drillGroupBatched is the batched drill-down: one FetchBatchFrom per
+// replica retrieves the group's full value columns, elections run locally
+// per key over the columns, condemned copies are rechecked with one batched
+// refetch per replica, and repair pushes are coalesced into one
+// StoreBatchTo per destination replica. Per-key fault isolation holds
+// end to end: a failed envelope marks only that replica unreachable, a
+// per-key slot error affects only that key, and a failed repair push never
+// fails its envelope siblings.
+func (s *Scrubber) drillGroupBatched(gsp *telemetry.Span, g group, r *groupResult) {
+	// Phase 1: column fetch — one envelope per replica.
+	colVals := make([][][]byte, len(g.replicas))
+	colHeld := make([][]bool, len(g.replicas))
+	colReach := make([]bool, len(g.replicas))
+	for ri, name := range g.replicas {
+		fsp := gsp.Child("fetch")
+		fsp.Tag("replica", name)
+		fsp.Tag("keys", strconv.Itoa(len(g.keys)))
+		res, st, err := s.brepair.FetchBatchFrom(s.cfg.Origin, g.keys, name)
+		r.stats.Add(st)
+		r.batchRPCs++
+		r.batchMsgs += st.Messages
+		fsp.AddLatency(st.Latency)
+		if err != nil {
+			fsp.End("error")
+			continue
+		}
+		fsp.End("ok")
+		colReach[ri] = true
+		colHeld[ri] = make([]bool, len(g.keys))
+		colVals[ri] = make([][]byte, len(g.keys))
+		for ki := range g.keys {
+			if res[ki].Err == nil {
+				colHeld[ri][ki] = true
+				colVals[ri][ki] = res[ki].Value
+			} else if !errors.Is(res[ki].Err, overlay.ErrNotFound) {
+				// A per-key delivery-ish error inside a delivered envelope:
+				// treat the copy as unreachable, exactly as the per-key
+				// path classifies a failed LookupFrom.
+				colHeld[ri][ki] = false
+				colVals[ri][ki] = nil
+			}
+		}
+	}
+
+	// Phase 2: per-key election over the columns — local, zero messages.
+	outs := make([]keyOutcome, len(g.keys))
+	for ki, key := range g.keys {
+		o := keyOutcome{key: key, states: make(map[string]copyState, len(g.replicas))}
+		values := make(map[string][]byte, len(g.replicas))
+		for ri, name := range g.replicas {
+			switch {
+			case !colReach[ri]:
+				o.states[name] = copyUnreachable
+			case !colHeld[ri][ki]:
+				o.states[name] = copyMissing
+			default:
+				values[name] = colVals[ri][ki]
+			}
+		}
+		vsp := gsp.Child("verify")
+		vsp.Tag("key", key)
+		s.electKey(&o, g.replicas, values)
+		switch {
+		case !o.found:
+			vsp.End("failed")
+		case anyDivergent(&o):
+			vsp.End("divergent")
+		default:
+			vsp.End("clean")
+		}
+		outs[ki] = o
+	}
+
+	// Phase 3: coalesced recheck — one refetch envelope per replica over
+	// its condemned keys, so a one-off wire corruption is not blamed on
+	// the node (same contract as the per-key recheck).
+	if s.cfg.Recheck {
+		for _, name := range g.replicas {
+			var cidx []int
+			for ki := range g.keys {
+				if outs[ki].found && outs[ki].states[name] == copyCondemned {
+					cidx = append(cidx, ki)
+				}
+			}
+			if len(cidx) == 0 {
+				continue
+			}
+			rkeys := make([]string, len(cidx))
+			for j, ki := range cidx {
+				rkeys[j] = g.keys[ki]
+			}
+			rsp := gsp.Child("recheck")
+			rsp.Tag("replica", name)
+			rsp.Tag("keys", strconv.Itoa(len(cidx)))
+			res, st, err := s.brepair.FetchBatchFrom(s.cfg.Origin, rkeys, name)
+			r.stats.Add(st)
+			r.batchRPCs++
+			r.batchMsgs += st.Messages
+			rsp.AddLatency(st.Latency)
+			if err != nil {
+				rsp.End("error")
+				continue
+			}
+			rsp.End("ok")
+			for j, ki := range cidx {
+				o := &outs[ki]
+				if res[j].Err == nil && s.cfg.Verify(o.key, res[j].Value) == nil &&
+					overlay.CopyLeaf(o.key, res[j].Value, true) == o.best {
+					o.states[name] = copyCanonical
+				}
+			}
+		}
+	}
+
+	// Phase 4: coalesced repair — one StoreBatchTo per destination replica
+	// carrying every condemned or missing copy it needs, instead of one
+	// StoreTo per copy. Push outcomes are recorded per key and re-sorted
+	// into (key, replica) order so event emission matches the per-key path.
+	if s.cfg.Repair && s.brepair != nil {
+		type pushRec struct {
+			ki, ri int
+			ok     bool
+		}
+		var recs []pushRec
+		for ri, name := range g.replicas {
+			var kis []int
+			for ki := range g.keys {
+				o := &outs[ki]
+				if !o.found {
+					continue
+				}
+				if st := o.states[name]; st == copyCondemned || st == copyMissing {
+					kis = append(kis, ki)
+				}
+			}
+			if len(kis) == 0 {
+				continue
+			}
+			rkeys := make([]string, len(kis))
+			rvals := make([][]byte, len(kis))
+			for j, ki := range kis {
+				rkeys[j] = g.keys[ki]
+				rvals[j] = outs[ki].canonical
+			}
+			psp := gsp.Child("repair")
+			psp.Tag("to", name)
+			psp.Tag("keys", strconv.Itoa(len(kis)))
+			errs, st, err := s.brepair.StoreBatchTo(s.cfg.Origin, rkeys, rvals, name)
+			r.stats.Add(st)
+			r.batchRPCs++
+			r.batchMsgs += st.Messages
+			r.repairBatches++
+			if len(kis) > 1 {
+				r.coalesced += len(kis)
+			}
+			psp.AddLatency(st.Latency)
+			if err != nil {
+				psp.End("error")
+			} else {
+				psp.End("ok")
+			}
+			for j, ki := range kis {
+				ok := err == nil && errs[j] == nil
+				if ok {
+					r.repaired++
+				} else {
+					r.unrepair++
+				}
+				recs = append(recs, pushRec{ki: ki, ri: ri, ok: ok})
+			}
+		}
+		sort.Slice(recs, func(a, b int) bool {
+			if recs[a].ki != recs[b].ki {
+				return recs[a].ki < recs[b].ki
+			}
+			return recs[a].ri < recs[b].ri
+		})
+		for _, rec := range recs {
+			r.pushes = append(r.pushes, repairPush{
+				key: g.keys[rec.ki], to: g.replicas[rec.ri], ok: rec.ok,
+			})
+		}
+	}
+	r.outcomes = outs
+}
+
+// anyDivergent reports whether any replica's copy is condemned or missing.
+func anyDivergent(o *keyOutcome) bool {
+	for _, st := range o.states {
+		if st == copyCondemned || st == copyMissing {
+			return true
+		}
+	}
+	return false
+}
+
 // scrubKey fetches every replica's copy of one key, verifies them, and
-// elects the canonical value: the largest set of verified byte-identical
-// copies (ties broken by smallest leaf hash, so the election is
-// deterministic). Condemnations are recheck-confirmed when configured.
+// elects the canonical value (electKey). Condemnations are
+// recheck-confirmed when configured.
 func (s *Scrubber) scrubKey(gsp *telemetry.Span, key string, replicas []string, stats *overlay.OpStats) keyOutcome {
 	o := keyOutcome{key: key, states: make(map[string]copyState, len(replicas))}
 	vsp := gsp.Child("verify")
@@ -477,49 +1012,10 @@ func (s *Scrubber) scrubKey(gsp *telemetry.Span, key string, replicas []string, 
 		}
 	}
 
-	// Election among verified copies, grouped by copy leaf.
-	votes := make(map[[32]byte]int)
-	for _, name := range replicas {
-		v, held := values[name]
-		if !held {
-			continue
-		}
-		if s.cfg.Verify(key, v) != nil {
-			o.states[name] = copyCondemned
-			continue
-		}
-		votes[overlay.CopyLeaf(key, v, true)]++
-	}
-	var best [32]byte
-	for leaf, n := range votes {
-		if !o.found || n > votes[best] || (n == votes[best] && bytes.Compare(leaf[:], best[:]) < 0) {
-			best = leaf
-			o.found = true
-		}
-	}
+	s.electKey(&o, replicas, values)
 	if !o.found {
-		// Nothing verified: there is no trusted value to compare against
-		// or repair from. Detect-or-fail still holds (the read path rejects
-		// these copies); the key is reported failed, not silently skipped.
-		o.failed = len(values) > 0 || len(o.states) > 0
 		vsp.End("failed")
 		return o
-	}
-	for _, name := range replicas {
-		v, held := values[name]
-		if !held || o.states[name] == copyCondemned {
-			continue
-		}
-		if overlay.CopyLeaf(key, v, true) == best {
-			o.states[name] = copyCanonical
-			if o.canonical == nil {
-				o.canonical = v
-			}
-		} else {
-			// Verified but divergent: a valid record carrying different
-			// bytes — the stale-replay shape. The majority copy wins.
-			o.states[name] = copyCondemned
-		}
 	}
 
 	// Recheck: condemned copies are re-fetched once before the verdict
@@ -532,18 +1028,12 @@ func (s *Scrubber) scrubKey(gsp *telemetry.Span, key string, replicas []string, 
 			v, st, err := s.kv.LookupFrom(s.cfg.Origin, key, name)
 			stats.Add(st)
 			vsp.AddLatency(st.Latency)
-			if err == nil && s.cfg.Verify(key, v) == nil && overlay.CopyLeaf(key, v, true) == best {
+			if err == nil && s.cfg.Verify(key, v) == nil && overlay.CopyLeaf(key, v, true) == o.best {
 				o.states[name] = copyCanonical
 			}
 		}
 	}
-	divergent := false
-	for _, st := range o.states {
-		if st == copyCondemned || st == copyMissing {
-			divergent = true
-		}
-	}
-	if divergent {
+	if anyDivergent(&o) {
 		vsp.End("divergent")
 	} else {
 		vsp.End("clean")
@@ -578,16 +1068,19 @@ func (s *Scrubber) repairKey(gsp *telemetry.Span, o *keyOutcome, replicas []stri
 	}
 }
 
-// dedupe sorts and deduplicates keys.
+// dedupe removes duplicate keys preserving first-occurrence order. The
+// caller's order is load-bearing: group formation (and therefore merge,
+// event, and fingerprint order) follows it, so dedupe must keep positions
+// stable — identically at any worker count — rather than sort.
 func dedupe(keys []string) []string {
-	out := append([]string(nil), keys...)
-	sort.Strings(out)
-	n := 0
-	for i, k := range out {
-		if i == 0 || k != out[n-1] {
-			out[n] = k
-			n++
+	seen := make(map[string]bool, len(keys))
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		if seen[k] {
+			continue
 		}
+		seen[k] = true
+		out = append(out, k)
 	}
-	return out[:n]
+	return out
 }

@@ -28,6 +28,7 @@ import (
 //	readers <int>            (only when > 0)
 //	heal-every <int>         (only when > 0)
 //	node-gate <per-tick> <queue>  (only when gated)
+//	sweep <budget> <chunk>   (only when the scrub sweeper runs)
 //	weighting graph          (only when graph-weighted)
 //	event <tick> <kind> k=v ...   (params in fixed per-kind order)
 //	invariant <kind> [value]
@@ -47,6 +48,7 @@ var paramOrder = map[EventKind][]string{
 	KindLoss:      {"rate", "dur"},
 	KindRevoke:    {"count"},
 	KindCelebrity: {"frac", "dur"},
+	KindRot:       {"count"},
 }
 
 // fmtFloat renders a float canonically (shortest round-trip form).
@@ -74,6 +76,9 @@ func (s *Scenario) Format() []byte {
 	}
 	if c.GatePerTick > 0 {
 		fmt.Fprintf(&b, "node-gate %d %d\n", c.GatePerTick, c.GateQueue)
+	}
+	if c.SweepChunk > 0 {
+		fmt.Fprintf(&b, "sweep %d %d\n", c.SweepBudget, c.SweepChunk)
 	}
 	if c.GraphWeighted {
 		fmt.Fprintf(&b, "weighting graph\n")
@@ -228,6 +233,16 @@ func (p *parser) directive(fields []string) error {
 			return p.pfail("node-gate wants two integers")
 		}
 		p.s.GatePerTick, p.s.GateQueue = per, q
+	case "sweep":
+		if len(args) != 2 {
+			return p.pfail("sweep wants <budget> <chunk>")
+		}
+		budget, err1 := strconv.Atoi(args[0])
+		chunk, err2 := strconv.Atoi(args[1])
+		if err1 != nil || err2 != nil {
+			return p.pfail("sweep wants two integers")
+		}
+		p.s.SweepBudget, p.s.SweepChunk = budget, chunk
 	case "weighting":
 		if len(args) != 1 || args[0] != "graph" {
 			return p.pfail("weighting accepts only %q (zipf is the unwritten default)", "graph")

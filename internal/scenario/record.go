@@ -34,8 +34,14 @@ type RecordConfig struct {
 	GatePerTick   int
 	GateQueue     int
 	GraphWeighted bool
+	// SweepBudget/SweepChunk mirror the Scenario sweep header: when
+	// SweepChunk > 0 the capture runs the continuous scrub sweeper and the
+	// calibration pins its budget and repair behaviour as invariants.
+	SweepBudget int
+	SweepChunk  int
 	// Profile lists the event kinds to sample, one window each (revoke:
-	// one instant storm). Order is cosmetic; the schedule is canonical.
+	// one instant storm; rot: one instant corruption burst). Order is
+	// cosmetic; the schedule is canonical.
 	Profile []EventKind
 	// Intensity scales fault magnitude (fractions, rates); 0 means 1.
 	Intensity float64
@@ -63,6 +69,13 @@ func sampleEvents(cfg RecordConfig) []Event {
 				count = 1
 			}
 			events = append(events, Event{Tick: cfg.Ticks * 3 / 5, Kind: KindRevoke, Count: count})
+			continue
+		}
+		if kind == KindRot {
+			// One instant corruption burst, placed two fifths in: late
+			// enough that a real keyspace exists to rot, early enough that
+			// the sweeper has the rest of the run to find and repair it.
+			events = append(events, Event{Tick: cfg.Ticks * 2 / 5, Kind: KindRot, Count: 8 + rng.Intn(5)})
 			continue
 		}
 		fam := family(kind)
@@ -130,6 +143,8 @@ func Record(cfg RecordConfig) (*Scenario, *ReplayReport, error) {
 		GatePerTick:   cfg.GatePerTick,
 		GateQueue:     cfg.GateQueue,
 		GraphWeighted: cfg.GraphWeighted,
+		SweepBudget:   cfg.SweepBudget,
+		SweepChunk:    cfg.SweepChunk,
 		Events:        sampleEvents(cfg),
 	}
 	sc.Normalize()
@@ -173,6 +188,20 @@ func Record(cfg RecordConfig) (*Scenario, *ReplayReport, error) {
 	if sc.GatePerTick > 0 && res.ServerSheds >= 2 {
 		sc.Invariants = append(sc.Invariants,
 			Invariant{Kind: InvServerShedsMin, Value: float64(res.ServerSheds / 2)})
+	}
+	if sc.SweepChunk > 0 {
+		// The budget ceiling is the configured budget itself — exceeding it
+		// even once is a scheduler bug, so no head-room. The repair floor
+		// takes half the measured repairs (head-room for intentional scrub
+		// changes); the final audit pins the measured residue, which a
+		// detect-or-repair sweeper should leave at zero.
+		sc.Invariants = append(sc.Invariants,
+			Invariant{Kind: InvSweepBudgetMsgsMax, Value: float64(sc.SweepBudget)},
+			Invariant{Kind: InvFinalCorruptMax, Value: float64(res.FinalCorruptCopies)})
+		if res.SweepRepaired >= 2 {
+			sc.Invariants = append(sc.Invariants,
+				Invariant{Kind: InvScrubRepairedMin, Value: float64(res.SweepRepaired / 2)})
+		}
 	}
 	sc.Expect = &Expect{
 		Digest:   res.Digest,
@@ -244,6 +273,17 @@ func BuiltinLibrary() []RecordConfig {
 			Name: "correlated-crash", Seed: 606, Ticks: 80, Nodes: 24, Replication: 3,
 			Users: 300, OpsPerTick: 6, HealEvery: 10, Intensity: 1.4,
 			Profile: []EventKind{KindCrash, KindLoss},
+		},
+		{
+			// Scrub storm: a mid-run burst of silent at-rest bit rot with
+			// the continuous sweeper active on a fixed per-tick message
+			// budget. The sweep must detect and repair the rot (or the heal
+			// pass must) before the end-of-run audit, without ever
+			// overspending a tick.
+			Name: "scrub-storm", Seed: 808, Ticks: 80, Nodes: 24, Replication: 3,
+			Users: 300, OpsPerTick: 6, HealEvery: 16,
+			SweepBudget: 256, SweepChunk: 8,
+			Profile: []EventKind{KindRot, KindLoss},
 		},
 		{
 			// Kitchen sink: every fault family in one run, graph-weighted

@@ -113,6 +113,24 @@ type Result struct {
 	// HealsRun / HealRepaired account the anti-entropy passes.
 	HealsRun     int
 	HealRepaired int
+	// RotInjected counts stored copies a rot event actually corrupted.
+	RotInjected int
+	// The sweep track (zero unless the scenario runs the scrub sweeper):
+	// SweepTicks counts sweeper ticks, SweepMsgs their total message spend,
+	// SweepMaxTickMsgs the worst single tick (the budget-enforcement
+	// witness), SweepDivergent the divergent keys sweeps detected,
+	// SweepRepaired the copies they repaired, SweepStarved the chunks
+	// skipped as unfittable.
+	SweepTicks       int
+	SweepMsgs        int
+	SweepMaxTickMsgs int
+	SweepDivergent   int
+	SweepRepaired    int
+	SweepStarved     int
+	// FinalCorruptCopies is the end-of-run audit: stored copies of written
+	// keys, on any node, that fail the integrity check after the last tick.
+	// Detect-or-repair means injected rot must not outlive the run.
+	FinalCorruptCopies int
 	// WindowStats is the per-window workload breakdown (RunConfig
 	// .WindowTicks wide), each window annotated with the fault events
 	// active in it — the data guilty-window localization searches.
@@ -220,8 +238,15 @@ type runState struct {
 
 	// written tracks keys whose store succeeded, so a later "not found"
 	// for one of them is classified as data unavailability, not an honest
-	// miss.
-	written map[string]bool
+	// miss. writtenOrder keeps the same keys in first-success order — the
+	// deterministic keyspace the rot injector samples and the sweeper
+	// chunks; sweepAdded marks how many of them the sweeper has registered.
+	written      map[string]bool
+	writtenOrder []string
+
+	// sweep state (nil unless the scenario configures the sweeper)
+	sweeper    *scrub.Sweeper
+	sweepAdded int
 
 	// window bookkeeping: win is the registry time-series collector,
 	// ticked at the end of each tick body (after the tick's workload, so
@@ -365,6 +390,19 @@ func Run(sc *Scenario, rc RunConfig) (*Result, error) {
 			return nil, err
 		}
 	}
+	if sc.SweepChunk > 0 {
+		// Continuous scrub: one budgeted sweeper tick per scenario tick over
+		// the written keyspace, planned through the DHT's network-free
+		// replica view. Scrub workers stay at 1; scrub results are
+		// worker-count independent by contract, but the scenario runtime
+		// keeps every knob that could matter pinned.
+		scfg := scrub.DefaultConfig(st.client)
+		st.sweeper = scrub.NewSweeper(scrub.New(d, scfg), d, nil, scrub.SweepConfig{
+			Budget:    sc.SweepBudget,
+			ChunkKeys: sc.SweepChunk,
+		})
+		st.sweeper.SetTelemetry(reg)
+	}
 
 	events := append([]Event(nil), sc.Events...)
 	sortEvents(events)
@@ -395,6 +433,11 @@ func Run(sc *Scenario, rc RunConfig) (*Result, error) {
 			st.res.HealsRun++
 			st.res.HealRepaired += rep.Repaired
 		}
+		if st.sweeper != nil {
+			if err := st.sweepTick(t); err != nil {
+				return nil, err
+			}
+		}
 		if err := st.workloadTick(t, rc.Trace); err != nil {
 			return nil, err
 		}
@@ -417,6 +460,7 @@ func Run(sc *Scenario, rc RunConfig) (*Result, error) {
 	if st.winFrom < sc.Ticks {
 		st.closeWindow(sc.Ticks) // trailing partial window
 	}
+	st.auditFinal()
 
 	res := st.res
 	res.ClientSheds = kv.Metrics().ClientSheds
@@ -524,8 +568,75 @@ func (st *runState) apply(e Event) error {
 		st.windows = append(st.windows, activeWindow{ev: e})
 	case KindRevoke:
 		return st.revoke(e.Count)
+	case KindRot:
+		st.rot(e)
 	}
 	return nil
+}
+
+// rot corrupts one stored replica copy for each of Count already-written
+// keys — silent at-rest bit rot, the fault the sweeper exists to outrun.
+// Key selection is seeded by (scenario seed, tick, kind) exactly like
+// pickNodes, so minimizing other events never changes which keys rot. Keys
+// written after the event are untouched; with fewer than Count keys
+// written, every one rots. The flipped copy is the first placement-order
+// replica actually holding the key, so a single flip per key is what the
+// detect-or-repair invariant must account for.
+func (st *runState) rot(e Event) {
+	rng := rand.New(rand.NewSource(st.sc.Seed ^ int64(e.Tick+1)*2654435761 ^ int64(foldStr(fnvOffset64, string(e.Kind)))))
+	pool := append([]string(nil), st.writtenOrder...)
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	n := e.Count
+	if n > len(pool) {
+		n = len(pool)
+	}
+	for _, key := range pool[:n] {
+		for _, name := range st.d.PlanReplicas(key) {
+			if st.d.CorruptStored(name, key, func(b []byte) []byte {
+				b[len(b)/2] ^= 0x20
+				return b
+			}) {
+				st.res.RotInjected++
+				break
+			}
+		}
+	}
+}
+
+// sweepTick registers newly written keys with the sweeper, runs one
+// budgeted sweep tick, and folds the report into the Result.
+func (st *runState) sweepTick(tick int) error {
+	if st.sweepAdded < len(st.writtenOrder) {
+		st.sweeper.AddKeys(st.writtenOrder[st.sweepAdded:]...)
+		st.sweepAdded = len(st.writtenOrder)
+	}
+	rep, err := st.sweeper.Tick()
+	if err != nil {
+		return fmt.Errorf("scenario %s: sweep at tick %d: %w", st.sc.Name, tick, err)
+	}
+	r := st.res
+	r.SweepTicks++
+	r.SweepMsgs += rep.Msgs
+	if rep.Msgs > r.SweepMaxTickMsgs {
+		r.SweepMaxTickMsgs = rep.Msgs
+	}
+	r.SweepDivergent += rep.Divergent
+	r.SweepRepaired += rep.Repaired
+	r.SweepStarved += rep.Starved
+	return nil
+}
+
+// auditFinal counts stored copies of written keys that fail the integrity
+// check after the last tick — the detect-or-repair witness. Network-free:
+// it inspects node-local state directly.
+func (st *runState) auditFinal() {
+	for _, key := range st.writtenOrder {
+		for _, id := range st.names {
+			if v, ok := st.d.StoredCopy(string(id), key); ok && scrub.Check(key, v) != nil {
+				st.res.FinalCorruptCopies++
+			}
+		}
+	}
 }
 
 // revertEnded undoes every window whose end has arrived, in schedule order.
@@ -586,7 +697,10 @@ func (st *runState) workloadTick(tick int, sink telemetry.Sink) error {
 			if st.firstKey == "" {
 				st.firstKey = act.Key
 			}
-			st.written[act.Key] = true
+			if !st.written[act.Key] {
+				st.written[act.Key] = true
+				st.writtenOrder = append(st.writtenOrder, act.Key)
+			}
 			res.Digest = foldStr(res.Digest, act.Key)
 			res.Digest = foldStr(res.Digest, "|w")
 			continue
@@ -768,6 +882,21 @@ func Evaluate(sc *Scenario, res *Result) []Violation {
 		case InvNoMemberOpenFailures:
 			if res.MemberOpenFailures > 0 {
 				add(inv.Kind, "%d current-member decrypt failures", res.MemberOpenFailures)
+			}
+		case InvScrubRepairedMin:
+			if res.SweepRepaired < int(inv.Value) {
+				add(inv.Kind, "sweep repaired %d copies < floor %d (%d divergent detected)",
+					res.SweepRepaired, int(inv.Value), res.SweepDivergent)
+			}
+		case InvFinalCorruptMax:
+			if res.FinalCorruptCopies > int(inv.Value) {
+				add(inv.Kind, "final audit found %d corrupt stored copies > cap %d (%d rot injected)",
+					res.FinalCorruptCopies, int(inv.Value), res.RotInjected)
+			}
+		case InvSweepBudgetMsgsMax:
+			if res.SweepMaxTickMsgs > int(inv.Value) {
+				add(inv.Kind, "worst sweep tick spent %d msgs > budget %d",
+					res.SweepMaxTickMsgs, int(inv.Value))
 			}
 		}
 	}

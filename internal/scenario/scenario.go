@@ -65,12 +65,16 @@ const (
 	// KindCelebrity redirects a fraction of feed reads to one hot key for
 	// the window — a flash crowd on a celebrity profile.
 	KindCelebrity EventKind = "celebrity"
+	// KindRot instantly bit-flips the stored bytes of one replica copy for
+	// count seeded already-written keys — silent at-rest corruption the
+	// verify layer must mask and the scrub sweeper must find and repair.
+	KindRot EventKind = "rot"
 )
 
 // EventKinds lists every kind in canonical order.
 func EventKinds() []EventKind {
 	return []EventKind{KindChurn, KindCrash, KindPartition, KindOverload,
-		KindByzantine, KindLoss, KindRevoke, KindCelebrity}
+		KindByzantine, KindLoss, KindRevoke, KindCelebrity, KindRot}
 }
 
 // Event is one scheduled happening. Which fields are meaningful depends on
@@ -99,7 +103,8 @@ type Event struct {
 	// Rate is the loss probability (loss, in (0, 0.9]) or per-reply
 	// corruption probability (byzantine, in (0, 1]).
 	Rate float64
-	// Count is how many members a revoke event removes (>= 1).
+	// Count is how many members a revoke event removes, or how many written
+	// keys a rot event corrupts one copy of (>= 1).
 	Count int
 }
 
@@ -128,6 +133,16 @@ const (
 	// InvNoMemberOpenFailures forbids any current member failing to
 	// decrypt a fresh envelope.
 	InvNoMemberOpenFailures InvariantKind = "no-member-open-failures"
+	// InvScrubRepairedMin requires the sweep to have repaired at least
+	// value copies — evidence continuous scrubbing engaged and healed the
+	// injected rot.
+	InvScrubRepairedMin InvariantKind = "scrub-repaired-min"
+	// InvFinalCorruptMax caps the copies still failing the integrity check
+	// at run end (detect-or-repair: injected rot must not outlive the run).
+	InvFinalCorruptMax InvariantKind = "final-corrupt-copies-max"
+	// InvSweepBudgetMsgsMax caps the messages any single sweep tick spent —
+	// the budget-enforcement witness (normally set to the sweep budget).
+	InvSweepBudgetMsgsMax InvariantKind = "sweep-budget-msgs-max"
 )
 
 // Invariant is one replay check; Value is meaningful only for the valued
@@ -140,7 +155,8 @@ type Invariant struct {
 // valuedInvariant reports whether the kind carries a threshold value.
 func valuedInvariant(k InvariantKind) bool {
 	switch k {
-	case InvLookupSuccessMin, InvP99MaxMS, InvMaxSurfacedCorruption, InvServerShedsMin:
+	case InvLookupSuccessMin, InvP99MaxMS, InvMaxSurfacedCorruption, InvServerShedsMin,
+		InvScrubRepairedMin, InvFinalCorruptMax, InvSweepBudgetMsgsMax:
 		return true
 	}
 	return false
@@ -150,7 +166,8 @@ func valuedInvariant(k InvariantKind) bool {
 func knownInvariant(k InvariantKind) bool {
 	switch k {
 	case InvLookupSuccessMin, InvP99MaxMS, InvMaxSurfacedCorruption,
-		InvServerShedsMin, InvNoRevokedOpens, InvNoMemberOpenFailures:
+		InvServerShedsMin, InvNoRevokedOpens, InvNoMemberOpenFailures,
+		InvScrubRepairedMin, InvFinalCorruptMax, InvSweepBudgetMsgsMax:
 		return true
 	}
 	return false
@@ -200,6 +217,12 @@ type Scenario struct {
 	// GraphWeighted samples workload actors by BA follower degree instead
 	// of Zipf rank order (workload.WeightGraph).
 	GraphWeighted bool
+	// SweepBudget/SweepChunk activate the continuous scrub sweeper
+	// (scrub.Sweeper over the written keyspace, one tick per scenario
+	// tick): SweepBudget is the per-tick message budget, SweepChunk the
+	// keys per sweep chunk. Both must be set together (0/0 disables).
+	SweepBudget int
+	SweepChunk  int
 	// Events is the schedule, canonically sorted by (tick, kind).
 	Events []Event
 	// Invariants are the replay checks.
@@ -226,6 +249,7 @@ var shapes = map[EventKind]shape{
 	KindLoss:      {dur: true, rate: true},
 	KindRevoke:    {count: true},
 	KindCelebrity: {dur: true, frac: true},
+	KindRot:       {count: true},
 }
 
 // byzModes are the accepted byzantine mode spellings (simnet's ByzMode
@@ -280,6 +304,12 @@ func (s *Scenario) Validate() error {
 	if s.GatePerTick == 0 && s.GateQueue > 0 {
 		return fail("node-gate queue %d requires a per-tick budget", s.GateQueue)
 	}
+	if s.SweepBudget < 0 || s.SweepChunk < 0 {
+		return fail("sweep %d %d must be >= 0", s.SweepBudget, s.SweepChunk)
+	}
+	if (s.SweepBudget > 0) != (s.SweepChunk > 0) {
+		return fail("sweep budget %d and chunk %d must be set together", s.SweepBudget, s.SweepChunk)
+	}
 
 	seen := make(map[[2]any]bool) // (tick, kind) uniqueness
 	type window struct {
@@ -301,6 +331,9 @@ func (s *Scenario) Validate() error {
 		if e.Kind == KindRevoke {
 			revokeTotal += e.Count
 			continue
+		}
+		if e.Kind == KindRot {
+			continue // instant: no window to contend for
 		}
 		windows = append(windows, window{family(e.Kind), e.Tick, e.End(), e.Tick})
 	}
@@ -348,6 +381,24 @@ func (s *Scenario) Validate() error {
 			}
 			if s.GatePerTick == 0 {
 				return fail("%s requires node-gate", inv.Kind)
+			}
+		case InvScrubRepairedMin:
+			if inv.Value < 1 || inv.Value != float64(int(inv.Value)) {
+				return fail("%s value %g must be a positive integer", inv.Kind, inv.Value)
+			}
+			if s.SweepChunk == 0 {
+				return fail("%s requires sweep", inv.Kind)
+			}
+		case InvFinalCorruptMax:
+			if inv.Value < 0 || inv.Value != float64(int(inv.Value)) {
+				return fail("%s value %g must be a non-negative integer", inv.Kind, inv.Value)
+			}
+		case InvSweepBudgetMsgsMax:
+			if inv.Value < 1 || inv.Value != float64(int(inv.Value)) {
+				return fail("%s value %g must be a positive integer", inv.Kind, inv.Value)
+			}
+			if s.SweepChunk == 0 {
+				return fail("%s requires sweep", inv.Kind)
 			}
 		default:
 			if inv.Value != 0 {
@@ -427,6 +478,10 @@ func (s *Scenario) validateEvent(e Event) error {
 		}
 		if s.Readers == 0 {
 			return fail("revoke requires readers > 0")
+		}
+	case KindRot:
+		if e.Count < 1 {
+			return fail("rot count %d must be >= 1", e.Count)
 		}
 	}
 	return nil
